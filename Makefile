@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full paper reproduction + Bechamel micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Just the paper's tables and figures (see `tinca_bench list`).
+experiments:
+	dune exec bin/tinca_bench.exe -- run all
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/protocol_walkthrough.exe
+	dune exec examples/kvstore.exe
+	dune exec examples/crash_torture.exe
+	dune exec examples/cluster_demo.exe
+	dune exec examples/fileserver_compare.exe
+
+clean:
+	dune clean
