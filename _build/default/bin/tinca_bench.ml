@@ -1,0 +1,143 @@
+(* CLI driver for the reproduction experiments.
+
+   tinca_bench list           - show every experiment id
+   tinca_bench run <id> ...   - run one or more experiments
+   tinca_bench run all        - run everything *)
+
+open Cmdliner
+module Registry = Tinca_harness.Registry
+
+let list_cmd =
+  let doc = "List all experiments (paper tables and figures)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-20s %-50s [%s]\n" e.Registry.id e.Registry.title e.Registry.paper_ref)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_ids csv_dir ids =
+  let targets =
+    if List.mem "all" ids then Registry.all
+    else
+      List.map
+        (fun id ->
+          match Registry.find id with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "unknown experiment %S; try `tinca_bench list`\n" id;
+              exit 1)
+        ids
+  in
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      (match csv_dir with
+      | None -> print_string (Registry.run_experiment e)
+      | Some dir ->
+          Printf.printf "=== %s: %s ===\n" e.Registry.id e.Registry.title;
+          List.iteri
+            (fun i table ->
+              let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" e.Registry.id i) in
+              let oc = open_out path in
+              output_string oc (Tinca_harness.Registry.csv_of table);
+              close_out oc;
+              Printf.printf "  wrote %s\n" path)
+            (e.Registry.run ()));
+      Printf.printf "(wall time %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    targets
+
+let run_cmd =
+  let doc = "Run experiments by id (or `all`)." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Write each table as a CSV file into $(docv) instead of printing it.")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ csv $ ids)
+
+(* `trace` subcommand: replay a block trace (from a file, or synthesized)
+   over a chosen stack and report the evaluation metrics. *)
+let run_trace stack_name trace_file synth_ops read_pct verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let module Stacks = Tinca_stacks.Stacks in
+  let module Fs = Tinca_fs.Fs in
+  let module Trace = Tinca_workloads.Trace in
+  let module Ops = Tinca_workloads.Ops in
+  let open Tinca_sim in
+  let trace =
+    match trace_file with
+    | Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        Trace.parse text
+    | None ->
+        Trace.synthesize ~seed:7 ~nblocks:4096 ~ops:synth_ops ~read_pct ~zipf_theta:0.9
+          ~fsync_every:8
+  in
+  let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
+  let stack =
+    match stack_name with
+    | "tinca" -> Stacks.tinca env
+    | "classic" -> Stacks.classic ~journal_len:4096 env
+    | "ubj" -> Stacks.ubj env
+    | "nojournal" -> Stacks.nojournal env
+    | other ->
+        Printf.eprintf "unknown stack %S (tinca|classic|ubj|nojournal)\n" other;
+        exit 1
+  in
+  let fs =
+    Fs.format
+      ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
+      stack.Stacks.backend
+  in
+  let ops = Ops.of_fs ~compute:(Clock.advance env.Stacks.clock) fs in
+  Trace.prealloc ~block_size:4096 trace ops;
+  Fs.fsync fs;
+  let t0 = Clock.now_ns env.Stacks.clock in
+  let snap = Metrics.snapshot env.Stacks.metrics in
+  let stats = Trace.run ~block_size:4096 trace ops in
+  let seconds = (Clock.now_ns env.Stacks.clock -. t0) /. 1e9 in
+  let per_op name =
+    float_of_int (Metrics.since env.Stacks.metrics snap name) /. float_of_int stats.Ops.ops
+  in
+  Printf.printf "stack=%s ops=%d sim_seconds=%.4f\n" stack.Stacks.label stats.Ops.ops seconds;
+  Printf.printf "throughput        %10.0f ops/s\n" (float_of_int stats.Ops.ops /. seconds);
+  Printf.printf "clflush/op        %10.1f\n" (per_op "pmem.clflush");
+  Printf.printf "disk writes/op    %10.2f\n" (per_op "disk.writes");
+  Printf.printf "disk reads/op     %10.2f\n" (per_op "disk.reads");
+  Printf.printf "cache write hit   %10.1f%%\n" (100.0 *. stack.Stacks.cache_write_hit_rate ())
+
+let trace_cmd =
+  let doc = "Replay a block trace (R/W/F text format) over a stack." in
+  let stack =
+    Arg.(value & opt string "tinca" & info [ "stack" ] ~docv:"STACK"
+           ~doc:"Stack to drive: tinca, classic, ubj or nojournal.")
+  in
+  let file =
+    Arg.(value & opt (some file) None & info [ "file" ] ~docv:"TRACE"
+           ~doc:"Trace file to replay (default: synthesize one).")
+  in
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc:"Synthesized trace length.")
+  in
+  let read_pct =
+    Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P"
+           ~doc:"Synthesized read fraction in [0,1].")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log recovery/commit activity.") in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run_trace $ stack $ file $ ops $ read_pct $ verbose)
+
+let () =
+  let doc = "Tinca (SC'17) reproduction: regenerate the paper's tables and figures." in
+  let info = Cmd.info "tinca_bench" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/cluster_demo.ml: Array List Printf String Tinca_cluster Tinca_fs Tinca_workloads

@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Bytes Char Printexc Printf Tinca_fs Tinca_pmem Tinca_stacks Tinca_util

@@ -1,0 +1,1 @@
+examples/fileserver_compare.ml: Clock Metrics Printf Tinca_fs Tinca_sim Tinca_stacks Tinca_workloads

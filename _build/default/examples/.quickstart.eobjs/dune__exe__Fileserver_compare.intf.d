@@ -1,0 +1,1 @@
+examples/fileserver_compare.mli:

@@ -1,0 +1,1 @@
+examples/kvstore.ml: Bytes Clock Hashtbl Latency List Metrics Option Printf String Tinca_blockdev Tinca_core Tinca_pmem Tinca_sim Tinca_util

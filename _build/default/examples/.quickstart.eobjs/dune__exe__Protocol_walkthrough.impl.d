@@ -1,0 +1,1 @@
+examples/protocol_walkthrough.ml: Bytes Cache Clock Entry Format Latency Layout List Metrics Printf Tinca_blockdev Tinca_core Tinca_pmem Tinca_sim

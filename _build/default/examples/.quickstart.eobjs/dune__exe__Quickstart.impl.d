@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Clock Latency Metrics Printf Tinca_blockdev Tinca_core Tinca_pmem Tinca_sim

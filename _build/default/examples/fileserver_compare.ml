@@ -1,0 +1,47 @@
+(* Side-by-side comparison on one machine: the same Filebench-style
+   fileserver workload over the three local stacks the paper discusses —
+   Tinca, Classic (Ext4+JBD2 over Flashcache) and UBJ — with the
+   evaluation metrics of §5.1 (throughput, clflush per op, disk writes
+   per op, write hit rate).
+
+   Run with:  dune exec examples/fileserver_compare.exe *)
+
+open Tinca_sim
+module Stacks = Tinca_stacks.Stacks
+module Fs = Tinca_fs.Fs
+module Filebench = Tinca_workloads.Filebench
+module Ops = Tinca_workloads.Ops
+
+let fs_config = { Fs.default_config with ninodes = 2048; journal_len = 4096 }
+
+let run label spec =
+  let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
+  let stack = spec env in
+  let fs = Fs.format ~config:fs_config stack.Stacks.backend in
+  let ops = Ops.of_fs ~compute:(Clock.advance env.Stacks.clock) fs in
+  let cfg =
+    { (Filebench.default Filebench.Fileserver) with nfiles = 300; mean_file_kb = 32; ops = 4_000 }
+  in
+  let t = Filebench.prealloc cfg ops in
+  Fs.fsync fs;
+  let t0 = Clock.now_ns env.Stacks.clock in
+  let snap = Metrics.snapshot env.Stacks.metrics in
+  let stats = Filebench.run t ops in
+  let seconds = (Clock.now_ns env.Stacks.clock -. t0) /. 1e9 in
+  let per_op name = float_of_int (Metrics.since env.Stacks.metrics snap name) /. float_of_int stats.Ops.ops in
+  Printf.printf "  %-8s %9.0f ops/s %10.1f clflush/op %8.2f disk-writes/op %8.0f%% write-hit\n"
+    label
+    (float_of_int stats.Ops.ops /. seconds)
+    (per_op "pmem.clflush") (per_op "disk.writes")
+    (100.0 *. stack.Stacks.cache_write_hit_rate ())
+
+let () =
+  Printf.printf "Fileserver workload (16 KB ops, R/W 1/2) on three local stacks:\n\n";
+  run "Tinca" (fun env -> Stacks.tinca env);
+  run "Classic" (fun env -> Stacks.classic ~journal_len:fs_config.Fs.journal_len env);
+  run "UBJ" (fun env -> Stacks.ubj env);
+  print_newline ();
+  print_endline "Tinca commits once per transaction (no double write, fine-grained";
+  print_endline "metadata); Classic journals + checkpoints through block-format";
+  print_endline "metadata; UBJ commits in place but pays memcpy on frozen blocks";
+  print_endline "and transaction-sized checkpoints."

@@ -1,0 +1,1 @@
+lib/blockdev/block_io.ml: Disk Nvm_bdev

@@ -1,0 +1,1 @@
+lib/blockdev/disk.ml: Bytes Clock Float Hashtbl Latency Metrics Printf Tinca_sim

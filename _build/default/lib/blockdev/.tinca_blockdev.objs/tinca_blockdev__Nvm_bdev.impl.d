@@ -1,0 +1,1 @@
+lib/blockdev/nvm_bdev.ml: Bytes Metrics Printf Tinca_pmem Tinca_sim

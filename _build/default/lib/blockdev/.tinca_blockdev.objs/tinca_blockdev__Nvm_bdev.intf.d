@@ -1,0 +1,1 @@
+lib/blockdev/nvm_bdev.mli: Tinca_pmem Tinca_sim

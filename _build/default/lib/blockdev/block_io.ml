@@ -1,0 +1,26 @@
+(** A plain block-device interface, used to stack layers (journal over
+    cache over NVM/disk) without introducing dependency cycles.  Layers
+    construct one of these records over themselves. *)
+
+type t = {
+  block_size : int;
+  nblocks : int;
+  read_block : int -> bytes;
+  write_block : int -> bytes -> unit;
+}
+
+let of_disk disk =
+  {
+    block_size = Disk.block_size disk;
+    nblocks = Disk.nblocks disk;
+    read_block = (fun blkno -> Disk.read_block disk blkno);
+    write_block = (fun blkno data -> Disk.write_block disk blkno data);
+  }
+
+let of_nvm_bdev bdev =
+  {
+    block_size = Nvm_bdev.block_size bdev;
+    nblocks = Nvm_bdev.nblocks bdev;
+    read_block = (fun blkno -> Nvm_bdev.read_block bdev blkno);
+    write_block = (fun blkno data -> Nvm_bdev.write_block bdev blkno data);
+  }

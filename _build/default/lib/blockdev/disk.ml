@@ -1,0 +1,95 @@
+open Tinca_sim
+
+type t = {
+  clock : Clock.t;
+  metrics : Metrics.t;
+  lat : Latency.disk;
+  nblocks : int;
+  block_size : int;
+  store : (int, bytes) Hashtbl.t;
+  mutable head : int; (* last accessed block, for HDD seek distance *)
+  mutable busy_until : float; (* device queue: when the last access completes *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ~clock ~metrics ~kind ~nblocks ~block_size =
+  if nblocks <= 0 || block_size <= 0 then invalid_arg "Disk.create: bad geometry";
+  {
+    clock;
+    metrics;
+    lat = Latency.disk_of_kind kind;
+    nblocks;
+    block_size;
+    store = Hashtbl.create 4096;
+    head = 0;
+    busy_until = 0.0;
+    reads = 0;
+    writes = 0;
+  }
+
+let kind t = t.lat.Latency.kind
+let block_size t = t.block_size
+let nblocks t = t.nblocks
+
+let check t blkno =
+  if blkno < 0 || blkno >= t.nblocks then
+    invalid_arg (Printf.sprintf "Disk: block %d out of range [0, %d)" blkno t.nblocks)
+
+(* Positioning cost: nothing when the access is sequential; otherwise for
+   an HDD a distance-scaled seek plus average half-rotation folded into
+   [seek_ns]; SSDs have no positioning cost beyond the per-block figure. *)
+let position_cost t blkno =
+  let sequential = blkno = t.head + 1 || blkno = t.head in
+  let cost =
+    match t.lat.Latency.kind with
+    | Latency.Ssd -> 0.0
+    | Latency.Hdd ->
+        if sequential then 0.0
+        else
+          let dist = float_of_int (abs (blkno - t.head)) /. float_of_int t.nblocks in
+          t.lat.Latency.seek_ns *. (0.25 +. (0.75 *. sqrt dist))
+  in
+  t.head <- blkno;
+  (cost, sequential)
+
+(* One queued device access: it starts when both the caller issues it and
+   the device is free, and occupies the device for [cost].  Foreground
+   callers wait for completion; background (cleaner) accesses only
+   reserve device time. *)
+let access t ~background cost =
+  let start = Float.max (Clock.now_ns t.clock) t.busy_until in
+  let finish = start +. cost in
+  t.busy_until <- finish;
+  if not background then Clock.advance_to t.clock finish
+
+let read_block t blkno =
+  check t blkno;
+  let pos_cost, sequential = position_cost t blkno in
+  let xfer =
+    if sequential then t.lat.Latency.seq_block_ns else t.lat.Latency.read_block_ns
+  in
+  access t ~background:false (pos_cost +. xfer);
+  t.reads <- t.reads + 1;
+  Metrics.incr t.metrics "disk.reads" ~by:1;
+  match Hashtbl.find_opt t.store blkno with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.block_size '\000'
+
+let write_block ?(background = false) t blkno data =
+  check t blkno;
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Disk.write_block: wrong block size";
+  let pos_cost, sequential = position_cost t blkno in
+  let xfer =
+    if sequential then t.lat.Latency.seq_block_ns else t.lat.Latency.write_block_ns
+  in
+  access t ~background (pos_cost +. xfer);
+  t.writes <- t.writes + 1;
+  Metrics.incr t.metrics "disk.writes" ~by:1;
+  if sequential then Metrics.incr t.metrics "disk.seq_writes" ~by:1;
+  Hashtbl.replace t.store blkno (Bytes.copy data)
+
+let written_blocks t = Hashtbl.length t.store
+let reads t = t.reads
+let writes t = t.writes

@@ -1,0 +1,41 @@
+(** Latency-modelled disk (the cache's backing store).
+
+    Two media are modelled, matching the paper's testbed (§5.1, §5.4.1):
+    a SATA SSD (fixed per-4 KB cost) and a 7200 rpm HDD (distance-scaled
+    seek + rotation + transfer, with sequential-access detection).  The
+    backing store is sparse so multi-GB simulated datasets cost only the
+    blocks actually written.
+
+    Counters: ["disk.reads"], ["disk.writes"], ["disk.seq_writes"]. *)
+
+type t
+
+val create :
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  kind:Tinca_sim.Latency.disk_kind ->
+  nblocks:int ->
+  block_size:int ->
+  t
+
+val kind : t -> Tinca_sim.Latency.disk_kind
+val block_size : t -> int
+val nblocks : t -> int
+
+(** [read_block t blkno] — blocks never written read as zeros. *)
+val read_block : t -> int -> bytes
+
+(** [write_block ?background t blkno data].  The device is a single
+    queue: every access occupies it for the modelled duration.
+    Foreground accesses (the default) block the caller — the clock
+    advances past any queued work.  [~background:true] models an
+    asynchronous cleaner thread: the write consumes device time (and so
+    delays later foreground accesses) without advancing the caller's
+    clock. *)
+val write_block : ?background:bool -> t -> int -> bytes -> unit
+
+(** Number of distinct blocks ever written (sparse footprint). *)
+val written_blocks : t -> int
+
+val reads : t -> int
+val writes : t -> int

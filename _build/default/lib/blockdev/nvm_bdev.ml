@@ -1,0 +1,42 @@
+open Tinca_sim
+module Pmem = Tinca_pmem.Pmem
+
+type t = {
+  pmem : Pmem.t;
+  metrics : Metrics.t;
+  base : int;
+  nblocks : int;
+  block_size : int;
+}
+
+let create ~pmem ~metrics ~base ~nblocks ~block_size =
+  if base < 0 || nblocks <= 0 || block_size <= 0 then invalid_arg "Nvm_bdev.create";
+  if base + (nblocks * block_size) > Pmem.size pmem then
+    invalid_arg "Nvm_bdev.create: region exceeds pmem size";
+  if base mod Pmem.line_size <> 0 || block_size mod Pmem.line_size <> 0 then
+    invalid_arg "Nvm_bdev.create: region must be line-aligned";
+  { pmem; metrics; base; nblocks; block_size }
+
+let nblocks t = t.nblocks
+let block_size t = t.block_size
+
+let block_off t blkno =
+  if blkno < 0 || blkno >= t.nblocks then
+    invalid_arg (Printf.sprintf "Nvm_bdev: block %d out of range" blkno);
+  t.base + (blkno * t.block_size)
+
+let read_block t blkno =
+  Metrics.incr t.metrics "nvmbdev.reads" ~by:1;
+  Pmem.read t.pmem ~off:(block_off t blkno) ~len:t.block_size
+
+let read_block_into t blkno ~buf =
+  Metrics.incr t.metrics "nvmbdev.reads" ~by:1;
+  Pmem.read_into t.pmem ~off:(block_off t blkno) ~buf ~pos:0 ~len:t.block_size
+
+let write_block t blkno data =
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Nvm_bdev.write_block: wrong block size";
+  let off = block_off t blkno in
+  Metrics.incr t.metrics "nvmbdev.writes" ~by:1;
+  Pmem.write t.pmem ~off data;
+  Pmem.persist t.pmem ~off ~len:t.block_size

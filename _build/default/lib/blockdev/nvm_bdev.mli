@@ -1,0 +1,30 @@
+(** NVM-based block device — the low layer of the Classic stack (§5.1:
+    "an NVM-based block device with clflush and sfence").
+
+    Presents a region of a {!Tinca_pmem.Pmem} as a 4 KB block device: a
+    block write stores the whole block and persists it with one clflush
+    per cache line plus an sfence; a block read loads the whole block.
+    This is where the Classic stack's write amplification is paid.
+
+    Counters: ["nvmbdev.reads"], ["nvmbdev.writes"]. *)
+
+type t
+
+(** [create ~pmem ~metrics ~base ~nblocks ~block_size] — [base] is the
+    byte offset of the region inside [pmem]. *)
+val create :
+  pmem:Tinca_pmem.Pmem.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  base:int ->
+  nblocks:int ->
+  block_size:int ->
+  t
+
+val nblocks : t -> int
+val block_size : t -> int
+val read_block : t -> int -> bytes
+val read_block_into : t -> int -> buf:bytes -> unit
+val write_block : t -> int -> bytes -> unit
+
+(** Byte offset of a block inside the underlying pmem. *)
+val block_off : t -> int -> int

@@ -1,0 +1,1 @@
+lib/cachelib/free_monitor.ml: Array

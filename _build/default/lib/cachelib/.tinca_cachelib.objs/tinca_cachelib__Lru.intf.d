@@ -1,0 +1,1 @@
+lib/cachelib/lru.mli:

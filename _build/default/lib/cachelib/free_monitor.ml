@@ -1,0 +1,97 @@
+type policy = Lifo | Fifo
+
+(* The pool is a ring of capacity n+1 so head = tail distinguishes empty
+   from full; Lifo pops where it last pushed, Fifo pops the oldest
+   entry.  Lazy deletion: stale entries are skipped at pop. *)
+type t = {
+  n : int;
+  policy : policy;
+  free : bool array;
+  ring : int array;
+  mutable head : int; (* push position *)
+  mutable tail : int; (* oldest entry *)
+  mutable nfree : int;
+}
+
+let create ?(policy = Lifo) ~n () =
+  if n <= 0 then invalid_arg "Free_monitor.create";
+  let ring = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    ring.(i) <- i
+  done;
+  { n; policy; free = Array.make n true; ring; head = n; tail = 0; nfree = n }
+
+let capacity t = t.n
+let free_count t = t.nfree
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Free_monitor: index out of range"
+
+let is_free t i =
+  check t i;
+  t.free.(i)
+
+let cap t = Array.length t.ring
+
+let ring_full t = (t.head + 1) mod cap t = t.tail
+
+(* Rebuild the ring from the free bitmap: one occurrence per free index,
+   ascending.  Run when lazy deletion has bloated or emptied the ring. *)
+let rebuild t =
+  let head = ref 0 in
+  for j = 0 to t.n - 1 do
+    if t.free.(j) then begin
+      t.ring.(!head) <- j;
+      incr head
+    end
+  done;
+  t.tail <- 0;
+  t.head <- !head
+
+let rec alloc t =
+  if t.nfree = 0 then None
+  else if t.head = t.tail then begin
+    (* Every live entry was consumed as a stale duplicate. *)
+    rebuild t;
+    alloc t
+  end
+  else begin
+    let i =
+      match t.policy with
+      | Lifo ->
+          t.head <- (t.head + cap t - 1) mod cap t;
+          t.ring.(t.head)
+      | Fifo ->
+          let i = t.ring.(t.tail) in
+          t.tail <- (t.tail + 1) mod cap t;
+          i
+    in
+    (* Stale entries (marked used out-of-band) are skipped. *)
+    if t.free.(i) then begin
+      t.free.(i) <- false;
+      t.nfree <- t.nfree - 1;
+      Some i
+    end
+    else alloc t
+  end
+
+let push t i =
+  (* The caller marks [i] free before pushing, so a rebuild includes it. *)
+  if ring_full t then rebuild t
+  else begin
+    t.ring.(t.head) <- i;
+    t.head <- (t.head + 1) mod cap t
+  end
+
+let free t i =
+  check t i;
+  if t.free.(i) then invalid_arg "Free_monitor.free: already free";
+  t.free.(i) <- true;
+  t.nfree <- t.nfree + 1;
+  push t i
+
+let mark_used t i =
+  check t i;
+  if not t.free.(i) then invalid_arg "Free_monitor.mark_used: already used";
+  t.free.(i) <- false;
+  t.nfree <- t.nfree - 1

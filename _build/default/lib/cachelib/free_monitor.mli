@@ -1,0 +1,32 @@
+(** Free-block monitor (paper §4.6): tracks vacant NVM blocks.
+
+    DRAM-only; rebuilt from the persistent cache-entry table on recovery.
+    Lazy-deletion stack so that [mark_used] (during recovery rebuild) is
+    O(1). *)
+
+type t
+
+(** Allocation order.  [Lifo] (default) reuses the most recently freed
+    index — cache-friendly but concentrates NVM wear on a few hot
+    blocks.  [Fifo] hands indices out round-robin, spreading write wear
+    evenly over the medium (wear leveling for endurance-limited NVM,
+    paper 1's PCM endurance concern). *)
+type policy = Lifo | Fifo
+
+(** [create ~n] — all of [0..n-1] free. *)
+val create : ?policy:policy -> n:int -> unit -> t
+
+val capacity : t -> int
+val free_count : t -> int
+val is_free : t -> int -> bool
+
+(** Pop a vacant index, or [None] when full. *)
+val alloc : t -> int option
+
+(** Return an index to the pool.  Raises [Invalid_argument] if already
+    free. *)
+val free : t -> int -> unit
+
+(** Claim a specific index (recovery rebuild).  Raises [Invalid_argument]
+    if already used. *)
+val mark_used : t -> int -> unit

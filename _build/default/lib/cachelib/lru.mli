@@ -1,0 +1,45 @@
+(** Intrusive doubly-linked LRU list.
+
+    The DRAM-resident replacement structure of both Tinca (§4.6) and
+    Flashcache.  Callers hold onto the ['a node] returned at insertion so
+    [touch]/[remove] are O(1). *)
+
+type 'a t
+type 'a node
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Insert as most-recently-used; returns the handle. *)
+val push_mru : 'a t -> 'a -> 'a node
+
+(** Move an existing node to the MRU end. *)
+val touch : 'a t -> 'a node -> unit
+
+(** Unlink a node.  Safe to call once; a second call raises
+    [Invalid_argument]. *)
+val remove : 'a t -> 'a node -> unit
+
+val value : 'a node -> 'a
+
+(** Least-recently-used node, if any. *)
+val lru : 'a t -> 'a node option
+
+(** Most-recently-used node, if any. *)
+val mru : 'a t -> 'a node option
+
+(** [find_from_lru t ~f] — first node from the LRU end whose value
+    satisfies [f] (victim selection that skips pinned blocks). *)
+val find_from_lru : 'a t -> f:('a -> bool) -> 'a node option
+
+(** Iterate values from LRU to MRU. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+val to_list_lru_first : 'a t -> 'a list
+
+(** [next node] — the neighbour towards the MRU end, if any. *)
+val next : 'a node -> 'a node option
+
+(** [prev node] — the neighbour towards the LRU end, if any. *)
+val prev : 'a node -> 'a node option

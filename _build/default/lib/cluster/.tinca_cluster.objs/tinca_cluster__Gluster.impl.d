@@ -1,0 +1,1 @@
+lib/cluster/gluster.ml: Array Char Clock Latency Node Ops String Tinca_fs Tinca_sim Tinca_workloads

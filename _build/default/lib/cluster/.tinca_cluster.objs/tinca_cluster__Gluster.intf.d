@@ -1,0 +1,1 @@
+lib/cluster/gluster.mli: Node Tinca_sim Tinca_workloads

@@ -1,0 +1,1 @@
+lib/cluster/hdfs.ml: Array Clock Float Hashtbl Latency Node Ops Tinca_fs Tinca_sim Tinca_workloads

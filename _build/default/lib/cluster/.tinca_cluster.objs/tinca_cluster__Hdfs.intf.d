@@ -1,0 +1,1 @@
+lib/cluster/hdfs.mli: Node Tinca_sim Tinca_workloads

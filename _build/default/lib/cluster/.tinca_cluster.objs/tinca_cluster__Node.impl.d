@@ -1,0 +1,1 @@
+lib/cluster/node.ml: Array Tinca_fs Tinca_sim Tinca_stacks Tinca_workloads

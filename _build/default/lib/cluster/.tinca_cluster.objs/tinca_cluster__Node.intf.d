@@ -1,0 +1,1 @@
+lib/cluster/node.mli: Tinca_fs Tinca_sim Tinca_stacks Tinca_workloads

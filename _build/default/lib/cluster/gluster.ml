@@ -1,0 +1,93 @@
+(** GlusterFS-like distributed file system model (paper §5.3.2):
+    distribute + replicate translators.
+
+    Each file hashes to a replica set of [replicas] consecutive data
+    nodes.  Writes (and namespace operations) are applied synchronously
+    to every replica — AFR semantics: the client waits for the slowest
+    replica.  Reads are served by the first replica.  Exposed as an
+    {!Tinca_workloads.Ops} so Filebench drives the cluster unchanged. *)
+
+open Tinca_sim
+
+type t = {
+  nodes : Node.t array;
+  replicas : int;
+  net : Latency.network;
+  mutable client_ns : float;
+  mutable bytes_replicated : int;
+}
+
+let create ?(net = Latency.default_network) ~replicas nodes =
+  if replicas < 1 || replicas > Array.length nodes then
+    invalid_arg "Gluster.create: bad replica count";
+  { nodes; replicas; net; client_ns = 0.0; bytes_replicated = 0 }
+
+let hash_name name =
+  (* FNV-1a over the file name: the distribute translator. *)
+  let h = ref 0x3f29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land max_int) name;
+  !h
+
+let replica_set t name =
+  let n = Array.length t.nodes in
+  let first = hash_name name mod n in
+  Array.init t.replicas (fun i -> t.nodes.((first + i) mod n))
+
+(* Run [f] on every replica synchronously: each replica starts when the
+   request (of [req_bytes]) reaches it; the client resumes at the slowest
+   completion plus the reply latency. *)
+let on_replicas t name ~req_bytes f =
+  let arrival = t.client_ns +. Latency.transfer_ns t.net req_bytes in
+  let slowest = ref arrival in
+  Array.iter
+    (fun node ->
+      Clock.advance_to (Node.clock node) arrival;
+      f node;
+      let completion = Node.now_ns node in
+      if completion > !slowest then slowest := completion)
+    (replica_set t name);
+  t.client_ns <- !slowest +. t.net.Latency.rtt_ns
+
+(* Reads hit the first replica only. *)
+let on_first_replica t name ~resp_bytes f =
+  let arrival = t.client_ns +. t.net.Latency.rtt_ns in
+  let node = (replica_set t name).(0) in
+  Clock.advance_to (Node.clock node) arrival;
+  f node;
+  t.client_ns <- Node.now_ns node +. Latency.transfer_ns t.net resp_bytes
+
+let client_ns t = t.client_ns
+let bytes_replicated t = t.bytes_replicated
+
+let ops t : Tinca_workloads.Ops.t =
+  let open Tinca_workloads in
+  let module Fs = Tinca_fs.Fs in
+  {
+    Ops.create = (fun name -> on_replicas t name ~req_bytes:256 (fun n -> Fs.create n.Node.fs name));
+    delete = (fun name -> on_replicas t name ~req_bytes:256 (fun n -> Fs.delete n.Node.fs name));
+    exists = (fun name -> Fs.exists (replica_set t name).(0).Node.fs name);
+    size =
+      (fun name ->
+        let node = (replica_set t name).(0) in
+        if Fs.exists node.Node.fs name then Fs.size node.Node.fs name else 0);
+    pwrite =
+      (fun name ~off ~len ->
+        t.bytes_replicated <- t.bytes_replicated + (len * t.replicas);
+        on_replicas t name ~req_bytes:len (fun n ->
+            Fs.pwrite n.Node.fs name ~off (Ops.payload len)));
+    pread =
+      (fun name ~off ~len ->
+        on_first_replica t name ~resp_bytes:len (fun n -> ignore (Fs.pread n.Node.fs name ~off ~len)));
+    compute = (fun ns -> t.client_ns <- t.client_ns +. ns);
+    fsync = (fun () ->
+        (* Commit on every node that has dirty state. *)
+        let slowest = ref t.client_ns in
+        Array.iter
+          (fun node ->
+            Clock.advance_to (Node.clock node) t.client_ns;
+            Fs.fsync node.Node.fs;
+            let completion = Node.now_ns node in
+            if completion > !slowest then slowest := completion)
+          t.nodes;
+        t.client_ns <- !slowest +. t.net.Latency.rtt_ns);
+  }

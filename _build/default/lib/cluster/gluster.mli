@@ -1,0 +1,20 @@
+(** GlusterFS-like distributed file system model (paper §5.3.2):
+    distribute + replicate translators.  Each file hashes to a replica
+    set of consecutive data nodes; writes and namespace operations apply
+    synchronously to every replica (AFR semantics — the client waits for
+    the slowest); reads are served by the first replica. *)
+
+type t
+
+val create : ?net:Tinca_sim.Latency.network -> replicas:int -> Node.t array -> t
+
+(** The replica set a file name hashes to. *)
+val replica_set : t -> string -> Node.t array
+
+(** The client's logical time (throughput denominator). *)
+val client_ns : t -> float
+
+val bytes_replicated : t -> int
+
+(** The replicated-POSIX client as a workload target. *)
+val ops : t -> Tinca_workloads.Ops.t

@@ -1,0 +1,112 @@
+(** HDFS-like distributed file system model (paper §5.3.1): one name
+    node (implicit), N data nodes, pipeline replication.
+
+    A chunk write picks a pipeline of [replicas] data nodes round-robin;
+    data flows client -> n1 -> n2 -> ... store-and-forward over the
+    10 GbE model; each node then writes the chunk through its own local
+    stack (create + sequential writes + fsync = block finalization).  The
+    client is bandwidth-bound on its uplink and does not wait for acks
+    (TeraGen's streaming behaviour); the run's execution time is when the
+    last node finishes. *)
+
+open Tinca_sim
+
+type t = {
+  nodes : Node.t array;
+  replicas : int;
+  net : Latency.network;
+  iosize : int; (* local write granularity on a data node *)
+  datanode_cpu_per_mb_ns : float;
+      (* per-MB request-handling CPU on each data node: HDFS checksums
+         every packet (CRC32C per 512 B chunk) and tracks block metadata *)
+  mutable client_ns : float;
+  mutable done_ns : float;
+  mutable rotor : int;
+  mutable chunks_written : int;
+  mutable bytes_replicated : int;
+}
+
+let create ?(net = Latency.default_network) ?(iosize = 64 * 1024)
+    ?(datanode_cpu_per_mb_ns = 4.0e6) ~replicas nodes =
+  if replicas < 1 || replicas > Array.length nodes then invalid_arg "Hdfs.create: bad replica count";
+  { nodes; replicas; net; iosize; datanode_cpu_per_mb_ns; client_ns = 0.0; done_ns = 0.0;
+    rotor = 0; chunks_written = 0; bytes_replicated = 0 }
+
+(* Write one chunk on one node's local FS; returns the node-local
+   duration. *)
+let local_write t node name size iosize =
+  let fs = node.Node.fs in
+  let t0 = Node.now_ns node in
+  let module Fs = Tinca_fs.Fs in
+  if Fs.exists fs name then Fs.delete fs name;
+  Fs.create fs name;
+  let rec go off =
+    if off < size then begin
+      let len = min iosize (size - off) in
+      Fs.pwrite fs name ~off (Tinca_workloads.Ops.payload len);
+      go (off + len)
+    end
+  in
+  go 0;
+  Fs.fsync fs;
+  Tinca_sim.Clock.advance (Node.clock node)
+    (t.datanode_cpu_per_mb_ns *. float_of_int size /. 1048576.0);
+  Node.now_ns node -. t0
+
+let write_chunk t name size =
+  let n = Array.length t.nodes in
+  let pipeline = Array.init t.replicas (fun i -> t.nodes.((t.rotor + i) mod n)) in
+  t.rotor <- (t.rotor + 1) mod n;
+  (* The client streams the chunk onto the wire once. *)
+  let xfer = Latency.transfer_ns t.net size in
+  t.client_ns <- t.client_ns +. xfer;
+  (* Store-and-forward along the pipeline. *)
+  let arrival = ref t.client_ns in
+  Array.iter
+    (fun node ->
+      Clock.advance_to (Node.clock node) !arrival;
+      let dur = local_write t node name size t.iosize in
+      t.bytes_replicated <- t.bytes_replicated + size;
+      ignore dur;
+      let completion = Node.now_ns node in
+      if completion > t.done_ns then t.done_ns <- completion;
+      arrival := !arrival +. xfer)
+    pipeline;
+  t.chunks_written <- t.chunks_written + 1
+
+(** When the run finished: max of the client stream end and every node's
+    completion. *)
+let execution_ns t =
+  Array.fold_left (fun acc node -> Float.max acc (Node.now_ns node)) (Float.max t.client_ns t.done_ns)
+    t.nodes
+
+let chunks_written t = t.chunks_written
+let bytes_replicated t = t.bytes_replicated
+
+(** An {!Tinca_workloads.Ops} view so the TeraGen generator can drive the
+    cluster unchanged: writes are buffered client-side per file and the
+    fsync flushes each buffered chunk through the replication pipeline. *)
+let ops t : Tinca_workloads.Ops.t =
+  let open Tinca_workloads in
+  let sizes : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let pending : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  {
+    Ops.create =
+      (fun name ->
+        Hashtbl.replace sizes name 0;
+        Hashtbl.replace pending name 0);
+    delete = (fun name -> Hashtbl.remove sizes name);
+    exists = (fun name -> Hashtbl.mem sizes name);
+    size = (fun name -> match Hashtbl.find_opt sizes name with Some s -> s | None -> 0);
+    pwrite =
+      (fun name ~off ~len ->
+        let newsize = max (off + len) (try Hashtbl.find sizes name with Not_found -> 0) in
+        Hashtbl.replace sizes name newsize;
+        Hashtbl.replace pending name newsize);
+    pread = (fun _ ~off:_ ~len:_ -> ());
+    compute = (fun ns -> t.client_ns <- t.client_ns +. ns);
+    fsync =
+      (fun () ->
+        Hashtbl.iter (fun name size -> if size > 0 then write_chunk t name size) pending;
+        Hashtbl.reset pending);
+  }

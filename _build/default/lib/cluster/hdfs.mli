@@ -1,0 +1,33 @@
+(** HDFS-like distributed file system model (paper §5.3.1): one implicit
+    name node, N data nodes, store-and-forward pipeline replication over
+    the 10 GbE model.  The client streams chunks without waiting for
+    acks (TeraGen's behaviour); execution time is when the last node
+    finishes. *)
+
+type t
+
+(** [create ~replicas nodes] — [iosize] is the data node's local write
+    granularity; [datanode_cpu_per_mb_ns] models per-MB request handling
+    (HDFS checksums every packet). *)
+val create :
+  ?net:Tinca_sim.Latency.network ->
+  ?iosize:int ->
+  ?datanode_cpu_per_mb_ns:float ->
+  replicas:int ->
+  Node.t array ->
+  t
+
+(** Replicate one chunk through a round-robin pipeline of nodes. *)
+val write_chunk : t -> string -> int -> unit
+
+(** When the run finished: max of the client stream end and every node's
+    completion. *)
+val execution_ns : t -> float
+
+val chunks_written : t -> int
+val bytes_replicated : t -> int
+
+(** An {!Tinca_workloads.Ops} view so generators (TeraGen) can drive the
+    cluster unchanged: writes buffer client-side per file; fsync flushes
+    each buffered chunk through the replication pipeline. *)
+val ops : t -> Tinca_workloads.Ops.t

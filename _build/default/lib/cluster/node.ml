@@ -1,0 +1,66 @@
+(** A storage/data node: one full local stack (FS over Tinca or Classic
+    over its own NVM + disk + clock), as in the paper's Figure 9 where
+    each data node of HDFS/GlusterFS runs the local storage manager. *)
+
+module Stacks = Tinca_stacks.Stacks
+module Fs = Tinca_fs.Fs
+
+type kind = Tinca_node | Classic_node
+
+let kind_label = function Tinca_node -> "Tinca" | Classic_node -> "Classic"
+
+type t = {
+  id : int;
+  kind : kind;
+  stack : Stacks.t;
+  fs : Fs.t;
+  ops : Tinca_workloads.Ops.t;
+}
+
+type config = {
+  nvm_bytes : int;
+  disk_blocks : int;
+  fs_config : Fs.config;
+  tech : Tinca_sim.Latency.nvm_tech;
+  disk_kind : Tinca_sim.Latency.disk_kind;
+}
+
+let default_config =
+  {
+    nvm_bytes = 16 * 1024 * 1024;
+    disk_blocks = 65536;
+    fs_config = { Fs.default_config with ninodes = 4096; journal_len = 512 };
+    tech = Tinca_sim.Latency.Pcm;
+    disk_kind = Tinca_sim.Latency.Ssd;
+  }
+
+let make ~id ~config kind =
+  let env =
+    Stacks.make_env ~seed:(1000 + id) ~tech:config.tech ~disk_kind:config.disk_kind
+      ~nvm_bytes:config.nvm_bytes ~disk_blocks:config.disk_blocks ()
+  in
+  let stack =
+    match kind with
+    | Tinca_node -> Stacks.tinca env
+    | Classic_node -> Stacks.classic ~journal_len:config.fs_config.Fs.journal_len env
+  in
+  let fs = Fs.format ~config:config.fs_config stack.Stacks.backend in
+  let clock = stack.Stacks.env.Stacks.clock in
+  let compute ns = Tinca_sim.Clock.advance clock ns in
+  { id; kind; stack; fs; ops = Tinca_workloads.Ops.of_fs ~compute fs }
+
+let clock t = t.stack.Stacks.env.Stacks.clock
+let metrics t = t.stack.Stacks.env.Stacks.metrics
+let now_ns t = Tinca_sim.Clock.now_ns (clock t)
+
+(** Sum one counter across nodes. *)
+let total_metric nodes name =
+  Array.fold_left (fun acc n -> acc + Tinca_sim.Metrics.get (metrics n) name) 0 nodes
+
+(** Snapshot all node metric registries. *)
+let snapshot_all nodes = Array.map (fun n -> Tinca_sim.Metrics.snapshot (metrics n)) nodes
+
+let since_all nodes snaps name =
+  let acc = ref 0 in
+  Array.iteri (fun i n -> acc := !acc + Tinca_sim.Metrics.since (metrics n) snaps.(i) name) nodes;
+  !acc

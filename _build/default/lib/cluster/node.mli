@@ -1,0 +1,41 @@
+(** A storage/data node: one full local stack (FS over Tinca or Classic
+    over its own NVM + disk + clock), as in the paper's Figure 9 where
+    each data node of HDFS/GlusterFS runs the local storage manager. *)
+
+type kind = Tinca_node | Classic_node
+
+val kind_label : kind -> string
+
+type t = {
+  id : int;
+  kind : kind;
+  stack : Tinca_stacks.Stacks.t;
+  fs : Tinca_fs.Fs.t;
+  ops : Tinca_workloads.Ops.t;
+}
+
+type config = {
+  nvm_bytes : int;
+  disk_blocks : int;
+  fs_config : Tinca_fs.Fs.config;
+  tech : Tinca_sim.Latency.nvm_tech;
+  disk_kind : Tinca_sim.Latency.disk_kind;
+}
+
+val default_config : config
+val make : id:int -> config:config -> kind -> t
+
+(** The node's private simulated clock. *)
+val clock : t -> Tinca_sim.Clock.t
+
+val metrics : t -> Tinca_sim.Metrics.t
+val now_ns : t -> float
+
+(** Sum one counter across nodes. *)
+val total_metric : t array -> string -> int
+
+(** Snapshot all node metric registries. *)
+val snapshot_all : t array -> Tinca_sim.Metrics.snapshot array
+
+(** Total increment of one counter across nodes since the snapshots. *)
+val since_all : t array -> Tinca_sim.Metrics.snapshot array -> string -> int

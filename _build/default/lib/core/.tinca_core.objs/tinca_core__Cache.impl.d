@@ -1,0 +1,1 @@
+lib/core/cache.ml: Bytes Clock Entry Format Hashtbl Latency Layout List Logs Metrics Printf Ring Tinca_blockdev Tinca_cachelib Tinca_pmem Tinca_sim Tinca_util

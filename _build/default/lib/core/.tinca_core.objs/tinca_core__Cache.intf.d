@@ -1,0 +1,1 @@
+lib/core/cache.mli: Entry Layout Tinca_blockdev Tinca_cachelib Tinca_pmem Tinca_sim Tinca_util

@@ -1,0 +1,1 @@
+lib/core/entry.ml: Bytes Codec Format Tinca_util

@@ -1,0 +1,1 @@
+lib/core/ring.ml: Layout Tinca_pmem

@@ -1,0 +1,634 @@
+open Tinca_sim
+module Pmem = Tinca_pmem.Pmem
+
+let log_src = Logs.Src.create "tinca.cache" ~doc:"Tinca transactional NVM cache"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Disk = Tinca_blockdev.Disk
+module Lru = Tinca_cachelib.Lru
+module Free_monitor = Tinca_cachelib.Free_monitor
+module Histogram = Tinca_util.Histogram
+
+type mode = Write_back | Write_through
+
+type config = {
+  block_size : int;
+  ring_slots : int;
+  mode : mode;
+  clean_threshold : float;
+      (* dirty fraction of the cache beyond which the background flusher
+         pre-cleans oldest dirty buffer blocks (keeping them cached), so
+         replacement usually finds clean victims.  1.0 disables it. *)
+  alloc_policy : Free_monitor.policy;
+}
+
+let default_config =
+  { block_size = 4096; ring_slots = 131072; mode = Write_back; clean_threshold = 0.7;
+    alloc_policy = Free_monitor.Lifo }
+
+exception Transaction_too_large
+
+(* DRAM-side bookkeeping for one cached disk block (§4.6: hash table +
+   LRU list, reconstructible from the persistent entry table). *)
+type info = {
+  disk_blkno : int;
+  entry_idx : int;
+  mutable cur : int;
+  mutable prev : int option;
+  mutable role_log : bool;
+  mutable dirty : bool;
+  mutable node : info Lru.node option;
+}
+
+type t = {
+  cfg : config;
+  layout : Layout.t;
+  pmem : Pmem.t;
+  disk : Disk.t;
+  clock : Clock.t;
+  metrics : Metrics.t;
+  cpu : Latency.cpu;
+  ring : Ring.t;
+  index : (int, info) Hashtbl.t;
+  lru : info Lru.t;
+  free_data : Free_monitor.t;
+  free_entries : Free_monitor.t;
+  txn_sizes : Histogram.t;
+  mutable pinned : int; (* infos currently in log role *)
+  mutable dirty_count : int;
+  mutable cow_pinned : int; (* NVM blocks held as previous versions *)
+  mutable peak_cow : int;
+  mutable committing : bool;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+}
+
+let layout t = t.layout
+let config t = t.cfg
+
+(* --- superblock ------------------------------------------------------- *)
+
+let magic = 0x314143_4E49_54L (* "TINCA1" little-endian-ish tag *)
+
+let write_super t =
+  let b = Bytes.make 64 '\000' in
+  Bytes.set_int64_le b 0 magic;
+  Tinca_util.Codec.set_u32 b 8 t.cfg.block_size;
+  Tinca_util.Codec.set_u32 b 12 t.cfg.ring_slots;
+  Tinca_util.Codec.set_u32 b 16 t.layout.Layout.nblocks;
+  Pmem.write t.pmem ~off:t.layout.Layout.super_off b;
+  Pmem.persist t.pmem ~off:t.layout.Layout.super_off ~len:64
+
+let read_super pmem =
+  let b = Pmem.read pmem ~off:0 ~len:64 in
+  if Bytes.get_int64_le b 0 <> magic then failwith "Tinca.Cache: unformatted NVM (bad magic)";
+  let block_size = Tinca_util.Codec.get_u32 b 8 in
+  let ring_slots = Tinca_util.Codec.get_u32 b 12 in
+  let nblocks = Tinca_util.Codec.get_u32 b 16 in
+  (block_size, ring_slots, nblocks)
+
+(* --- entry I/O --------------------------------------------------------- *)
+
+(* Create or modify a cache entry with a 16 B atomic write + clflush, the
+   paper's fine-grained metadata update; [fence] is split out so role
+   switches can batch their clflushes under a single sfence. *)
+let write_entry ?(fence = true) t idx e =
+  let off = Layout.entry_off t.layout idx in
+  Pmem.atomic_write16 t.pmem ~off (Entry.encode e);
+  Pmem.clflush t.pmem ~off ~len:Entry.size;
+  if fence then Pmem.sfence t.pmem
+
+let entry_at t idx = Entry.decode (Pmem.read t.pmem ~off:(Layout.entry_off t.layout idx) ~len:Entry.size)
+
+let entry_of_info ~role info =
+  {
+    Entry.valid = true;
+    role;
+    modified = info.dirty;
+    disk_blkno = info.disk_blkno;
+    prev = info.prev;
+    cur = info.cur;
+  }
+
+(* --- allocation & replacement (§4.6) ----------------------------------- *)
+
+let node_exn info =
+  match info.node with Some n -> n | None -> failwith "Tinca.Cache: info without LRU node"
+
+(* All dirty-bit transitions go through here so the background flusher
+   can watch the dirty population. *)
+let note_dirty t info v =
+  if info.dirty <> v then begin
+    info.dirty <- v;
+    t.dirty_count <- t.dirty_count + (if v then 1 else -1)
+  end
+
+let read_data_block t nvm_blk =
+  Pmem.read t.pmem ~off:(Layout.data_block_off t.layout nvm_blk) ~len:t.cfg.block_size
+
+let writeback ?(background = false) t info =
+  let data = read_data_block t info.cur in
+  Disk.write_block ~background t.disk info.disk_blkno data;
+  Metrics.incr t.metrics "tinca.writebacks" ~by:1
+
+(* Victim selection: LRU order, skipping every block involved in the
+   committing transaction (log role pins both its current and previous
+   NVM blocks, because [prev] is only non-None while the role is log). *)
+let evict_one t =
+  match Lru.find_from_lru t.lru ~f:(fun info -> not info.role_log) with
+  | None -> failwith "Tinca.Cache: no evictable block (cache exhausted by transaction)"
+  | Some node ->
+      let info = Lru.value node in
+      if info.dirty then begin
+        writeback t info;
+        note_dirty t info false
+      end;
+      (* Persistently invalidate the entry so recovery cannot resurrect
+         a block whose NVM space is about to be reused. *)
+      write_entry t info.entry_idx
+        { Entry.valid = false; role = Buffer; modified = false; disk_blkno = 0; prev = None; cur = 0 };
+      Lru.remove t.lru node;
+      info.node <- None;
+      Hashtbl.remove t.index info.disk_blkno;
+      Free_monitor.free t.free_data info.cur;
+      Free_monitor.free t.free_entries info.entry_idx;
+      Metrics.incr t.metrics "tinca.evictions" ~by:1
+
+let rec alloc_data t =
+  match Free_monitor.alloc t.free_data with
+  | Some i -> i
+  | None ->
+      evict_one t;
+      alloc_data t
+
+let rec alloc_entry t =
+  match Free_monitor.alloc t.free_entries with
+  | Some i -> i
+  | None ->
+      evict_one t;
+      alloc_entry t
+
+(* Background flusher: when the dirty fraction exceeds the threshold,
+   write the oldest dirty buffer blocks back using background device time
+   (they stay cached, marked clean persistently), elevator-sorted by home
+   block number.  Keeps replacement from stalling on dirty victims. *)
+let maybe_clean t =
+  let high =
+    int_of_float (t.cfg.clean_threshold *. float_of_int t.layout.Layout.nblocks)
+  in
+  if t.dirty_count > high then begin
+    let low = max 0 (high * 7 / 8) in
+    let budget = ref (t.dirty_count - low) in
+    let victims = ref [] in
+    let rec collect node_opt =
+      if !budget > 0 then
+        match node_opt with
+        | None -> ()
+        | Some node ->
+            let info = Lru.value node in
+            if info.dirty && not info.role_log then begin
+              victims := info :: !victims;
+              decr budget
+            end;
+            collect (Lru.next node)
+    in
+    collect (Lru.lru t.lru);
+    let sorted = List.sort (fun a b -> compare a.disk_blkno b.disk_blkno) !victims in
+    List.iter
+      (fun info ->
+        writeback ~background:true t info;
+        note_dirty t info false;
+        write_entry ~fence:false t info.entry_idx (entry_of_info ~role:Entry.Buffer info);
+        Metrics.incr t.metrics "tinca.cleaned" ~by:1)
+      sorted;
+    if sorted <> [] then Pmem.sfence t.pmem
+  end
+
+(* --- construction ------------------------------------------------------ *)
+
+let make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics =
+  {
+    cfg;
+    layout;
+    pmem;
+    disk;
+    clock;
+    metrics;
+    cpu = Latency.default_cpu;
+    ring = Ring.attach ~pmem ~layout;
+    index = Hashtbl.create 4096;
+    lru = Lru.create ();
+    free_data = Free_monitor.create ~policy:cfg.alloc_policy ~n:layout.Layout.nblocks ();
+    free_entries = Free_monitor.create ~n:layout.Layout.nblocks ();
+    txn_sizes = Histogram.create ();
+    pinned = 0;
+    dirty_count = 0;
+    cow_pinned = 0;
+    peak_cow = 0;
+    committing = false;
+    read_hits = 0;
+    read_misses = 0;
+    write_hits = 0;
+    write_misses = 0;
+  }
+
+let format ~config:cfg ~pmem ~disk ~clock ~metrics =
+  let layout =
+    Layout.compute ~pmem_bytes:(Pmem.size pmem) ~block_size:cfg.block_size
+      ~ring_slots:cfg.ring_slots
+  in
+  if Disk.block_size disk <> cfg.block_size then
+    invalid_arg "Tinca.Cache.format: disk block size mismatch";
+  let t = make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics in
+  (* Zero the entry table persistently, then the pointers and superblock. *)
+  Pmem.fill pmem ~off:layout.Layout.entries_off
+    ~len:(layout.Layout.nblocks * Entry.size)
+    '\000';
+  Pmem.persist pmem ~off:layout.Layout.entries_off ~len:(layout.Layout.nblocks * Entry.size);
+  Ring.format t.ring;
+  write_super t;
+  t
+
+(* --- revocation (shared by abort and recovery, §4.5) -------------------- *)
+
+(* Undo one block of the in-flight transaction using the DRAM info (which
+   mirrors the media entry).
+
+   [force] distinguishes the two revocation sources of §4.5: blocks named
+   in the ring range [Tail, Head) are revoked unconditionally — the Head
+   advance that put them in range is persisted strictly after their new
+   entry, so whatever entry we see (log, or buffer when a role-switch
+   flush happened to complete before the crash) is the in-flight
+   transaction's version.  Blocks found only by the full entry scan are
+   revoked when still in log role. *)
+let revoke_block ?(force = false) t blkno =
+  match Hashtbl.find_opt t.index blkno with
+  | None -> () (* entry write never became durable: nothing to undo *)
+  | Some info ->
+      if force || info.role_log then begin
+        (match info.prev with
+        | Some p ->
+            (* Roll back to the previous version. *)
+            Free_monitor.free t.free_data info.cur;
+            info.cur <- p;
+            info.prev <- None;
+            t.cow_pinned <- t.cow_pinned - 1;
+            note_dirty t info true;
+            if info.role_log then begin
+              info.role_log <- false;
+              t.pinned <- t.pinned - 1
+            end;
+            write_entry t info.entry_idx (entry_of_info ~role:Entry.Buffer info)
+        | None ->
+            (* Write miss with no prior version: delete block and entry. *)
+            note_dirty t info false;
+            write_entry t info.entry_idx
+              { Entry.valid = false; role = Buffer; modified = false; disk_blkno = 0; prev = None; cur = 0 };
+            (match info.node with Some node -> Lru.remove t.lru node | None -> ());
+            info.node <- None;
+            Hashtbl.remove t.index blkno;
+            Free_monitor.free t.free_data info.cur;
+            Free_monitor.free t.free_entries info.entry_idx;
+            if info.role_log then begin
+              info.role_log <- false;
+              t.pinned <- t.pinned - 1
+            end);
+        Metrics.incr t.metrics "tinca.revoked" ~by:1
+      end
+
+let recover ~pmem ~disk ~clock ~metrics =
+  let block_size, ring_slots, stored_nblocks = read_super pmem in
+  let layout = Layout.compute ~pmem_bytes:(Pmem.size pmem) ~block_size ~ring_slots in
+  if layout.Layout.nblocks <> stored_nblocks then
+    failwith "Tinca.Cache.recover: geometry mismatch";
+  if Disk.block_size disk <> block_size then
+    failwith "Tinca.Cache.recover: disk block size mismatch";
+  let cfg = { default_config with block_size; ring_slots } in
+  let t = make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics in
+  (* Blocks named by the ring range are the in-flight transaction's; their
+     entries must be interpreted as in-flight even when a role-switch
+     flush leaked to the medium before the crash (see revoke_block). *)
+  let in_ring = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace in_ring b ()) (Ring.pending_blknos t.ring);
+  (* Rebuild the DRAM index from the persistent entry table. *)
+  for i = 0 to layout.Layout.nblocks - 1 do
+    let e = entry_at t i in
+    if e.Entry.valid then begin
+      if Hashtbl.mem t.index e.Entry.disk_blkno then
+        failwith "Tinca.Cache.recover: duplicate valid entry for a disk block";
+      let role_log = e.Entry.role = Entry.Log in
+      let in_flight = role_log || Hashtbl.mem in_ring e.Entry.disk_blkno in
+      let info =
+        {
+          disk_blkno = e.Entry.disk_blkno;
+          entry_idx = i;
+          cur = e.Entry.cur;
+          (* prev is meaningful (and pins NVM space) only for in-flight
+             blocks; other buffer-role entries carry a stale prev. *)
+          prev = (if in_flight then e.Entry.prev else None);
+          role_log;
+          dirty = e.Entry.modified;
+          node = None;
+        }
+      in
+      info.node <- Some (Lru.push_mru t.lru info);
+      Hashtbl.replace t.index info.disk_blkno info;
+      Free_monitor.mark_used t.free_entries i;
+      Free_monitor.mark_used t.free_data info.cur;
+      (match info.prev with Some p -> Free_monitor.mark_used t.free_data p | None -> ());
+      if role_log then t.pinned <- t.pinned + 1;
+      if info.dirty then t.dirty_count <- t.dirty_count + 1;
+      if info.prev <> None then t.cow_pinned <- t.cow_pinned + 1
+    end
+  done;
+  (* Revoke set = ring range [Tail, Head) ∪ all log-role entries.  The
+     union is required: an entry can be persisted before its ring slot
+     (commit step 1 precedes step 2), and a role-switched (buffer)
+     entry of the in-flight transaction is only named by the ring. *)
+  let before = Metrics.get t.metrics "tinca.revoked" in
+  Hashtbl.iter (fun blkno () -> revoke_block ~force:true t blkno) in_ring;
+  Hashtbl.iter
+    (fun blkno info -> if info.role_log then revoke_block ~force:true t blkno)
+    (Hashtbl.copy t.index);
+  Ring.commit_point t.ring;
+  Metrics.incr t.metrics "tinca.recoveries" ~by:1;
+  Log.info (fun m ->
+      m "recovered: %d cached blocks, %d in-flight blocks revoked (%d named by ring)"
+        (Hashtbl.length t.index)
+        (Metrics.get t.metrics "tinca.revoked" - before)
+        (Hashtbl.length in_ring));
+  t
+
+(* --- block I/O ---------------------------------------------------------- *)
+
+let charge_op t = Clock.advance t.clock t.cpu.Latency.op_overhead_ns
+let charge_lookup t = Clock.advance t.clock t.cpu.Latency.hash_lookup_ns
+
+let insert_clean t blkno data =
+  let nvm_blk = alloc_data t in
+  let entry_idx = alloc_entry t in
+  let off = Layout.data_block_off t.layout nvm_blk in
+  Pmem.write t.pmem ~off data;
+  Pmem.persist t.pmem ~off ~len:t.cfg.block_size;
+  let info =
+    { disk_blkno = blkno; entry_idx; cur = nvm_blk; prev = None; role_log = false;
+      dirty = false; node = None }
+  in
+  write_entry t entry_idx (entry_of_info ~role:Entry.Buffer info);
+  info.node <- Some (Lru.push_mru t.lru info);
+  Hashtbl.replace t.index blkno info;
+  info
+
+let read t blkno =
+  charge_op t;
+  charge_lookup t;
+  match Hashtbl.find_opt t.index blkno with
+  | Some info ->
+      t.read_hits <- t.read_hits + 1;
+      Metrics.incr t.metrics "tinca.read_hits" ~by:1;
+      Lru.touch t.lru (node_exn info);
+      read_data_block t info.cur
+  | None ->
+      t.read_misses <- t.read_misses + 1;
+      Metrics.incr t.metrics "tinca.read_misses" ~by:1;
+      let data = Disk.read_block t.disk blkno in
+      let _info = insert_clean t blkno data in
+      data
+
+(* --- transactions (§4.3–§4.4) ------------------------------------------ *)
+
+module Txn = struct
+  type state = Running | Committing | Finished
+
+  type handle = {
+    cache : t;
+    staged : (int, bytes) Hashtbl.t;
+    mutable order : int list; (* reversed insertion order *)
+    mutable state : state;
+  }
+
+  let init cache =
+    { cache; staged = Hashtbl.create 16; order = []; state = Running }
+
+  let add h blkno data =
+    if h.state <> Running then invalid_arg "Tinca.Txn.add: transaction not running";
+    let t = h.cache in
+    if Bytes.length data <> t.cfg.block_size then invalid_arg "Tinca.Txn.add: wrong block size";
+    Clock.advance t.clock t.cpu.Latency.memcpy_4k_ns;
+    if not (Hashtbl.mem h.staged blkno) then h.order <- blkno :: h.order;
+    Hashtbl.replace h.staged blkno (Bytes.copy data)
+
+  let block_count h = Hashtbl.length h.staged
+
+  (* Commit one block: paper §4.4 steps 1–3 (write data COW; swing the
+     entry atomically; record the block number in the ring and advance
+     Head). *)
+  let commit_block t blkno data =
+    let new_blk = alloc_data t in
+    let off = Layout.data_block_off t.layout new_blk in
+    Pmem.write t.pmem ~off data;
+    Pmem.persist t.pmem ~off ~len:t.cfg.block_size;
+    (match Hashtbl.find_opt t.index blkno with
+    | Some info ->
+        (* Write hit: COW block write (§4.3). *)
+        t.write_hits <- t.write_hits + 1;
+        Metrics.incr t.metrics "tinca.write_hits" ~by:1;
+        info.prev <- Some info.cur;
+        info.cur <- new_blk;
+        info.role_log <- true;
+        note_dirty t info true;
+        t.pinned <- t.pinned + 1;
+        t.cow_pinned <- t.cow_pinned + 1;
+        if t.cow_pinned > t.peak_cow then t.peak_cow <- t.cow_pinned;
+        write_entry t info.entry_idx (entry_of_info ~role:Entry.Log info)
+    | None ->
+        (* Write miss: fresh entry, previous version = FRESH. *)
+        t.write_misses <- t.write_misses + 1;
+        Metrics.incr t.metrics "tinca.write_misses" ~by:1;
+        let entry_idx = alloc_entry t in
+        let info =
+          { disk_blkno = blkno; entry_idx; cur = new_blk; prev = None; role_log = true;
+            dirty = false; node = None }
+        in
+        note_dirty t info true;
+        t.pinned <- t.pinned + 1;
+        write_entry t entry_idx (entry_of_info ~role:Entry.Log info);
+        info.node <- Some (Lru.push_mru t.lru info);
+        Hashtbl.replace t.index blkno info);
+    Ring.record t.ring blkno
+
+  let revoke_partial h blocks_done =
+    let t = h.cache in
+    List.iter (fun blkno -> revoke_block t blkno) blocks_done;
+    Ring.rewind_head t.ring;
+    t.committing <- false
+
+  let commit h =
+    if h.state <> Running then invalid_arg "Tinca.Txn.commit: transaction not running";
+    let t = h.cache in
+    h.state <- Committing;
+    let blocks = List.rev h.order in
+    let n = List.length blocks in
+    if n = 0 then begin
+      h.state <- Finished;
+      Metrics.incr t.metrics "tinca.commits" ~by:1
+    end
+    else begin
+      if n > t.cfg.ring_slots then raise Transaction_too_large;
+      let hits = List.fold_left (fun acc b -> if Hashtbl.mem t.index b then acc + 1 else acc) 0 blocks in
+      let evictable = Lru.length t.lru - t.pinned in
+      if n + hits > Free_monitor.free_count t.free_data + evictable then
+        raise Transaction_too_large;
+      t.committing <- true;
+      charge_op t;
+      let committed = ref [] in
+      (try
+         List.iter
+           (fun blkno ->
+             commit_block t blkno (Hashtbl.find h.staged blkno);
+             committed := blkno :: !committed)
+           blocks
+       with e ->
+         revoke_partial h !committed;
+         h.state <- Finished;
+         raise e);
+      (* §4.4 step 4: role switches for every block, batched under a
+         single fence, which must complete BEFORE the Tail update so a
+         crash cannot surface a half-switched committed transaction. *)
+      let infos = List.map (fun blkno -> Hashtbl.find t.index blkno) blocks in
+      List.iter
+        (fun info ->
+          info.role_log <- false;
+          t.pinned <- t.pinned - 1;
+          write_entry ~fence:false t info.entry_idx (entry_of_info ~role:Entry.Buffer info))
+        infos;
+      Pmem.sfence t.pmem;
+      (* §4.4 step 5: Tail := Head — the durable commit point. *)
+      Ring.commit_point t.ring;
+      (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
+      List.iter
+        (fun info ->
+          (match info.prev with
+          | Some p ->
+              Free_monitor.free t.free_data p;
+              info.prev <- None;
+              t.cow_pinned <- t.cow_pinned - 1
+          | None -> ());
+          Lru.touch t.lru (node_exn info))
+        infos;
+      t.committing <- false;
+      h.state <- Finished;
+      maybe_clean t;
+      Log.debug (fun m -> m "committed transaction of %d blocks (ring head %d)" n (Ring.head t.ring));
+      Histogram.add t.txn_sizes (float_of_int n);
+      Metrics.incr t.metrics "tinca.commits" ~by:1;
+      Metrics.incr t.metrics "tinca.blocks_committed" ~by:n;
+      (* Write-through: propagate to disk immediately (kept for the
+         ablation study; write-back is the paper's default). *)
+      if t.cfg.mode = Write_through then
+        List.iter
+          (fun info ->
+            writeback t info;
+            note_dirty t info false;
+            write_entry t info.entry_idx (entry_of_info ~role:Entry.Buffer info))
+          infos
+    end
+
+  let abort h =
+    let t = h.cache in
+    match h.state with
+    | Finished -> invalid_arg "Tinca.Txn.abort: transaction already finished"
+    | Running ->
+        h.state <- Finished;
+        Metrics.incr t.metrics "tinca.aborts" ~by:1
+    | Committing ->
+        (* Mid-commit abort: revoke what the ring has recorded. *)
+        let pending = Ring.pending_blknos t.ring in
+        List.iter (fun blkno -> revoke_block t blkno) pending;
+        Ring.rewind_head t.ring;
+        t.committing <- false;
+        h.state <- Finished;
+        Metrics.incr t.metrics "tinca.aborts" ~by:1
+end
+
+let write_direct t blkno data =
+  let h = Txn.init t in
+  Txn.add h blkno data;
+  Txn.commit h
+
+(* --- maintenance -------------------------------------------------------- *)
+
+let flush_all t =
+  Hashtbl.iter
+    (fun _ info ->
+      if info.dirty && not info.role_log then begin
+        writeback t info;
+        note_dirty t info false;
+        write_entry t info.entry_idx (entry_of_info ~role:Entry.Buffer info)
+      end)
+    t.index
+
+let cached_blocks t = Hashtbl.length t.index
+let free_blocks t = Free_monitor.free_count t.free_data
+let contains t blkno = Hashtbl.mem t.index blkno
+
+let ratio a b = if a + b = 0 then 0.0 else float_of_int a /. float_of_int (a + b)
+let write_hit_rate t = ratio t.write_hits t.write_misses
+let read_hit_rate t = ratio t.read_hits t.read_misses
+let txn_size_histogram t = t.txn_sizes
+let peak_cow_blocks t = t.peak_cow
+
+let peek t blkno =
+  match Hashtbl.find_opt t.index blkno with
+  | Some info -> Some (read_data_block t info.cur)
+  | None -> None
+
+(* --- invariant audit ----------------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith ("Tinca.Cache invariant: " ^^ fmt) in
+  if Lru.length t.lru <> Hashtbl.length t.index then
+    fail "LRU length %d <> index size %d" (Lru.length t.lru) (Hashtbl.length t.index);
+  if (not t.committing) && Ring.head t.ring <> Ring.tail t.ring then
+    fail "ring not quiescent outside commit (head=%d tail=%d)" (Ring.head t.ring)
+      (Ring.tail t.ring);
+  let data_refs = Hashtbl.create 64 in
+  let claim blk who =
+    if blk < 0 || blk >= t.layout.Layout.nblocks then fail "NVM block %d out of range" blk;
+    (match Hashtbl.find_opt data_refs blk with
+    | Some other -> fail "NVM block %d referenced by both %s and %s" blk other who
+    | None -> ());
+    Hashtbl.replace data_refs blk who;
+    if Free_monitor.is_free t.free_data blk then fail "NVM block %d both free and referenced" blk
+  in
+  let pinned = ref 0 in
+  Hashtbl.iter
+    (fun blkno info ->
+      if info.disk_blkno <> blkno then fail "index key %d <> info disk_blkno %d" blkno info.disk_blkno;
+      claim info.cur (Printf.sprintf "cur of %d" blkno);
+      (match info.prev with
+      | Some p ->
+          if not info.role_log then fail "block %d has prev but buffer role" blkno;
+          claim p (Printf.sprintf "prev of %d" blkno)
+      | None -> ());
+      if info.role_log then incr pinned;
+      if Free_monitor.is_free t.free_entries info.entry_idx then
+        fail "entry slot %d of block %d marked free" info.entry_idx blkno;
+      let e = entry_at t info.entry_idx in
+      (* Buffer-role media entries legitimately keep a stale prev field
+         after the role switch (it is only dead weight until the next COW
+         update overwrites it), so normalize prev before comparing. *)
+      let e = if e.Entry.role = Entry.Buffer then { e with Entry.prev = info.prev } else e in
+      if not (Entry.equal e (entry_of_info ~role:(if info.role_log then Entry.Log else Entry.Buffer) info))
+      then
+        fail "media entry %s disagrees with DRAM info for block %d"
+          (Format.asprintf "%a" Entry.pp e)
+          blkno)
+    t.index;
+  if !pinned <> t.pinned then fail "pinned count %d <> recomputed %d" t.pinned !pinned;
+  let used_data = t.layout.Layout.nblocks - Free_monitor.free_count t.free_data in
+  if used_data <> Hashtbl.length data_refs then
+    fail "free monitor says %d used data blocks, references say %d" used_data
+      (Hashtbl.length data_refs)

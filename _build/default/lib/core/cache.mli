@@ -1,0 +1,149 @@
+(** Tinca: the transactional NVM disk cache (paper §4).
+
+    A write-back (default) or write-through cache interposed between a
+    file system and a {!Tinca_blockdev.Disk}, storing cached blocks in a
+    {!Tinca_pmem.Pmem} and exporting the paper's transactional
+    primitives: {!Txn.init} ([tinca_init_txn]), {!Txn.commit}
+    ([tinca_commit]) and {!Txn.abort} ([tinca_abort]).
+
+    Consistency guarantees (verified by the crash-injection test suite):
+    after a crash at any point and any subset of unflushed cache lines
+    surviving, {!recover} restores the cache to exactly the state as of
+    the last completed commit — committed transactions are atomic and
+    durable, in-flight ones roll back completely.
+
+    Two deliberate refinements of the paper's §4.4/§4.5 prose, recorded
+    here because the test suite depends on them:
+    - all role-switch flushes are fenced {e before} the Tail update, so a
+      crash can never leave Tail advanced while role switches were lost
+      (which would make recovery keep half a transaction);
+    - recovery revokes the {e union} of blocks named in the ring range
+      [Tail, Head) and blocks whose entry still carries the log role — a
+      ring-only scan would miss a block whose entry was persisted before
+      its ring slot (paper step 1 precedes step 2). *)
+
+type t
+
+type mode = Write_back | Write_through
+
+type config = {
+  block_size : int;   (** default 4096 *)
+  ring_slots : int;   (** default 131072 = 1 MB of 8 B slots *)
+  mode : mode;
+  clean_threshold : float;
+      (** dirty fraction of the cache beyond which a background flusher
+          pre-cleans the oldest dirty buffer blocks (elevator-sorted,
+          background device time, blocks stay cached and are marked clean
+          persistently), so replacement usually finds clean victims.
+          Default 0.7; 1.0 disables pre-cleaning. *)
+  alloc_policy : Tinca_cachelib.Free_monitor.policy;
+      (** NVM data-block allocation order.  [Lifo] (default) reuses the
+          most recently freed block; [Fifo] rotates through the whole
+          region, spreading write wear evenly — a wear-leveling extension
+          for endurance-limited NVM (the paper's §1 PCM concern). *)
+}
+
+val default_config : config
+
+exception Transaction_too_large
+
+(** [format ~config ~pmem ~disk ~clock ~metrics] initializes the NVM
+    layout (superblock, zeroed pointers and entry table) and returns an
+    empty cache. *)
+val format :
+  config:config ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
+(** [recover ~pmem ~disk ~clock ~metrics] re-attaches after a crash:
+    validates the superblock, scans the entry table to rebuild the DRAM
+    index / LRU / free monitor, and revokes every block of the in-flight
+    transaction (paper §4.5).  Raises [Failure] on unformatted media. *)
+val recover :
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
+val layout : t -> Layout.t
+val config : t -> config
+
+(** {1 Block I/O} *)
+
+(** [read t blkno] returns the newest version of the block, from NVM on a
+    hit or from disk (filling the cache) on a miss. *)
+val read : t -> int -> bytes
+
+(** [write_direct t blkno data] — single-block atomic write outside any
+    caller transaction (implemented as a one-block commit). *)
+val write_direct : t -> int -> bytes -> unit
+
+(** {1 Transactions} *)
+
+module Txn : sig
+  type handle
+
+  (** [tinca_init_txn]: start a running transaction (DRAM-resident). *)
+  val init : t -> handle
+
+  (** Stage a block; staging the same block twice keeps the newest data. *)
+  val add : handle -> int -> bytes -> unit
+
+  val block_count : handle -> int
+
+  (** [tinca_commit]: run the commit protocol of §4.4.  On return the
+      transaction is durable in NVM.  Raises {!Transaction_too_large} if
+      the ring or the evictable cache space cannot host it (nothing is
+      written in that case). *)
+  val commit : handle -> unit
+
+  (** [tinca_abort]: drop a running transaction, or revoke a partially
+      committed one to its pre-transaction state. *)
+  val abort : handle -> unit
+end
+
+(** {1 Maintenance} *)
+
+(** Write every dirty buffer block back to disk (blocks stay cached and
+    are marked clean persistently).  Not needed for durability — commits
+    are durable in NVM — only for decommissioning the cache. *)
+val flush_all : t -> unit
+
+(** Number of blocks currently cached. *)
+val cached_blocks : t -> int
+
+(** Number of vacant NVM data blocks. *)
+val free_blocks : t -> int
+
+(** [contains t blkno] *)
+val contains : t -> int -> bool
+
+(** Write hit rate so far (paper Fig 12c). *)
+val write_hit_rate : t -> float
+
+val read_hit_rate : t -> float
+
+(** Histogram of blocks per committed transaction (paper Fig 13 /
+    §5.4.3). *)
+val txn_size_histogram : t -> Tinca_util.Histogram.t
+
+(** Peak number of NVM blocks simultaneously pinned by COW previous
+    versions (paper §5.4.3 spatial overhead). *)
+val peak_cow_blocks : t -> int
+
+(** {1 Introspection for tests} *)
+
+(** Decode entry slot [i] from media. *)
+val entry_at : t -> int -> Entry.t
+
+(** Newest cached data for [blkno], if cached. *)
+val peek : t -> int -> bytes option
+
+(** Full consistency audit of DRAM structures vs NVM media; raises
+    [Failure] with a description on any violation.  Used by tests after
+    every recovery. *)
+val check_invariants : t -> unit

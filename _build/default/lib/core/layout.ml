@@ -1,0 +1,59 @@
+type t = {
+  block_size : int;
+  ring_slots : int;
+  nblocks : int;
+  super_off : int;
+  head_off : int;
+  tail_off : int;
+  ring_off : int;
+  entries_off : int;
+  data_off : int;
+  total_bytes : int;
+}
+
+let align_up v a = (v + a - 1) / a * a
+
+let compute ~pmem_bytes ~block_size ~ring_slots =
+  if block_size <= 0 || block_size mod 64 <> 0 then
+    invalid_arg "Layout.compute: block_size must be a positive multiple of 64";
+  if ring_slots <= 0 then invalid_arg "Layout.compute: ring_slots must be positive";
+  let super_off = 0 in
+  let head_off = 64 in
+  let tail_off = 128 in
+  let ring_off = 192 in
+  let entries_off = align_up (ring_off + (ring_slots * 8)) 64 in
+  (* Each data block costs block_size bytes of data plus 16 bytes of entry. *)
+  let budget = pmem_bytes - entries_off in
+  if budget < block_size + Entry.size then
+    invalid_arg "Layout.compute: pmem too small for this ring";
+  let rec fit nblocks =
+    let data_off = align_up (entries_off + (nblocks * Entry.size)) block_size in
+    if data_off + (nblocks * block_size) <= pmem_bytes then (nblocks, data_off)
+    else fit (nblocks - 1)
+  in
+  let nblocks, data_off = fit (budget / (block_size + Entry.size)) in
+  if nblocks <= 0 then invalid_arg "Layout.compute: pmem too small";
+  {
+    block_size;
+    ring_slots;
+    nblocks;
+    super_off;
+    head_off;
+    tail_off;
+    ring_off;
+    entries_off;
+    data_off;
+    total_bytes = data_off + (nblocks * block_size);
+  }
+
+let entry_off t i =
+  assert (i >= 0 && i < t.nblocks);
+  t.entries_off + (i * Entry.size)
+
+let data_block_off t i =
+  assert (i >= 0 && i < t.nblocks);
+  t.data_off + (i * t.block_size)
+
+let ring_slot_off t counter = t.ring_off + (counter mod t.ring_slots * 8)
+
+let metadata_fraction t = float_of_int t.data_off /. float_of_int t.total_bytes

@@ -1,0 +1,36 @@
+(** Tinca's NVM space partition (paper Fig 5, §4.2).
+
+    {v
+    [ superblock | Head ptr | Tail ptr | ring buffer | entry table | data ]
+    v}
+
+    The superblock records geometry and a magic so {!Cache.recover} can
+    refuse unformatted media.  Head and Tail live on distinct cache lines
+    so that a crash can never couple their survival. *)
+
+type t = {
+  block_size : int;       (** data block size, default 4096 *)
+  ring_slots : int;       (** 8 B slots in the ring buffer *)
+  nblocks : int;          (** data blocks (= entry slots) *)
+  super_off : int;
+  head_off : int;
+  tail_off : int;
+  ring_off : int;
+  entries_off : int;
+  data_off : int;
+  total_bytes : int;      (** pmem bytes consumed *)
+}
+
+(** [compute ~pmem_bytes ~block_size ~ring_slots] sizes the largest data
+    region that fits.  Raises [Invalid_argument] if nothing fits. *)
+val compute : pmem_bytes:int -> block_size:int -> ring_slots:int -> t
+
+val entry_off : t -> int -> int
+
+val data_block_off : t -> int -> int
+
+val ring_slot_off : t -> int -> int
+
+(** Fraction of NVM spent on metadata (ring + entries + superblock);
+    the paper quotes ~0.4 % for entries on an 8 GB cache. *)
+val metadata_fraction : t -> float

@@ -1,0 +1,57 @@
+module Pmem = Tinca_pmem.Pmem
+
+type t = {
+  pmem : Pmem.t;
+  layout : Layout.t;
+  (* DRAM mirrors of the persistent pointers, kept in sync. *)
+  mutable head : int;
+  mutable tail : int;
+}
+
+let attach ~pmem ~layout =
+  let head = Pmem.read_u64_int pmem ~off:layout.Layout.head_off in
+  let tail = Pmem.read_u64_int pmem ~off:layout.Layout.tail_off in
+  { pmem; layout; head; tail }
+
+let slots t = t.layout.Layout.ring_slots
+let head t = t.head
+let tail t = t.tail
+let in_flight t = t.head - t.tail
+
+let write_ptr t ~off v =
+  Pmem.atomic_write8_int t.pmem ~off v;
+  Pmem.persist t.pmem ~off ~len:8
+
+let record t blkno =
+  if in_flight t >= slots t then invalid_arg "Ring.record: ring buffer full";
+  let slot_off = Layout.ring_slot_off t.layout t.head in
+  Pmem.atomic_write8_int t.pmem ~off:slot_off blkno;
+  Pmem.persist t.pmem ~off:slot_off ~len:8;
+  t.head <- t.head + 1;
+  write_ptr t ~off:t.layout.Layout.head_off t.head
+
+let commit_point t =
+  t.tail <- t.head;
+  write_ptr t ~off:t.layout.Layout.tail_off t.tail
+
+let rewind_head t =
+  t.head <- t.tail;
+  write_ptr t ~off:t.layout.Layout.head_off t.head
+
+let pending_blknos t =
+  let acc = ref [] in
+  for c = t.head - 1 downto t.tail do
+    let off = Layout.ring_slot_off t.layout c in
+    acc := Pmem.read_u64_int t.pmem ~off :: !acc
+  done;
+  !acc
+
+let reload t =
+  t.head <- Pmem.read_u64_int t.pmem ~off:t.layout.Layout.head_off;
+  t.tail <- Pmem.read_u64_int t.pmem ~off:t.layout.Layout.tail_off
+
+let format t =
+  t.head <- 0;
+  t.tail <- 0;
+  write_ptr t ~off:t.layout.Layout.head_off 0;
+  write_ptr t ~off:t.layout.Layout.tail_off 0

@@ -1,0 +1,41 @@
+(** The fine-grained ring buffer that regulates committing transactions
+    (paper §4.4).
+
+    Replaces JBD2's descriptor and commit blocks: each element is one
+    8-byte on-disk block number; [Head] and [Tail] are persistent 8-byte
+    monotonic counters (slot = counter mod nslots) updated with atomic
+    writes followed by clflush + sfence.  [Head = Tail] means no
+    transaction is in flight; the half-open range [Tail, Head) lists the
+    blocks of the in-flight transaction. *)
+
+type t
+
+(** Attach to (already formatted or zeroed) media. *)
+val attach : pmem:Tinca_pmem.Pmem.t -> layout:Layout.t -> t
+
+val slots : t -> int
+val head : t -> int
+val tail : t -> int
+
+(** Blocks recorded in the in-flight transaction. *)
+val in_flight : t -> int
+
+(** [record t blkno] writes [blkno] at the Head slot (atomic 8 B +
+    persist) and then advances Head (atomic 8 B + persist) — steps 2–3 of
+    the commit protocol.  Raises [Invalid_argument] if the ring is full. *)
+val record : t -> int -> unit
+
+(** Persistently set Tail := Head (the commit point, step 5). *)
+val commit_point : t -> unit
+
+(** Persistently set Head := Tail (after an abort's revocations). *)
+val rewind_head : t -> unit
+
+(** Disk block numbers in [Tail, Head), oldest first (recovery scan). *)
+val pending_blknos : t -> int list
+
+(** Re-read Head/Tail from media (after a crash). *)
+val reload : t -> unit
+
+(** Zero both pointers persistently (formatting). *)
+val format : t -> unit

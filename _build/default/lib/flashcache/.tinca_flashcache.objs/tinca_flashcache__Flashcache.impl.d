@@ -1,0 +1,1 @@
+lib/flashcache/flashcache.ml: Array Bytes Clock Hashtbl Latency List Metrics Tinca_blockdev Tinca_pmem Tinca_sim Tinca_util

@@ -1,0 +1,1 @@
+lib/flashcache/flashcache.mli: Tinca_blockdev Tinca_pmem Tinca_sim

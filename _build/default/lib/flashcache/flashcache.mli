@@ -1,0 +1,69 @@
+(** Flashcache-style NVM cache — the middle layer of the Classic stack
+    (paper §3.2, §5.1).
+
+    Faithful to the two properties the paper criticizes:
+    - cache metadata is organized in {e block format}: 16 B per slot,
+      256 slots per 4 KB metadata block;
+    - metadata is updated {e synchronously}: every cached write also
+      rewrites the whole 4 KB metadata block that holds the slot (64
+      cache-line flushes on top of the 64 for the data block).
+
+    Set-associative placement with per-set LRU, write-back by default,
+    like Facebook's Flashcache.  Two ablation knobs reproduce the
+    motivation experiments: [metadata_sync = false] waives metadata
+    updates entirely (Fig 4) and [flush_writes = false] drops
+    clflush/sfence from the write path (Fig 3b).
+
+    Counters: ["flashcache.read_hits"/"read_misses"],
+    ["flashcache.write_hits"/"write_misses"], ["flashcache.evictions"],
+    ["flashcache.writebacks"], ["flashcache.md_writes"]. *)
+
+type t
+
+type config = {
+  block_size : int;      (** default 4096 *)
+  associativity : int;   (** slots per set, default 512 (Flashcache's) *)
+  metadata_sync : bool;  (** default true *)
+  flush_writes : bool;   (** default true *)
+  dirty_threshold : float;
+      (** per-set dirty fraction beyond which the background cleaner
+          writes dirty blocks to disk (Flashcache's dirty_thresh_pct,
+          default 0.2).  Cleaning uses background device time: it does
+          not block the foreground op but does occupy the disk. *)
+}
+
+val default_config : config
+
+(** [create ~config ~pmem ~disk ~clock ~metrics] lays the cache out over
+    all of [pmem] (metadata region + data region). *)
+val create :
+  config:config ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
+(** Re-attach after a crash: rebuild the DRAM mirror from the persistent
+    metadata region; dirty blocks stay dirty. *)
+val recover :
+  config:config ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
+(** Cache slots available. *)
+val nslots : t -> int
+
+val read : t -> int -> bytes
+val write : t -> int -> bytes -> unit
+
+(** Write back all dirty blocks. *)
+val flush_all : t -> unit
+
+val contains : t -> int -> bool
+val write_hit_rate : t -> float
+val read_hit_rate : t -> float
+val cached_blocks : t -> int

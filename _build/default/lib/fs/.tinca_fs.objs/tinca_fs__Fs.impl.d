@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Backend Bytes Char Hashtbl Int64 List Printf String Tinca_util

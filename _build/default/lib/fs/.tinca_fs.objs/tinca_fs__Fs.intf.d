@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Backend

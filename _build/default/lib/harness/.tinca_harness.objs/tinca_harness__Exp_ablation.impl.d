@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Latency List Option Printf Runner Tinca_cachelib Tinca_core Tinca_fs Tinca_pmem Tinca_sim Tinca_stacks Tinca_util Tinca_workloads

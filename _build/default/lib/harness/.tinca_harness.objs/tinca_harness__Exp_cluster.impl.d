@@ -1,0 +1,1 @@
+lib/harness/exp_cluster.ml: Array List Printf Runner Tinca_cluster Tinca_fs Tinca_util Tinca_workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_cluster.mli: Tinca_util

@@ -1,0 +1,1 @@
+lib/harness/exp_fio.ml: List Printf Runner Tinca_stacks Tinca_util Tinca_workloads

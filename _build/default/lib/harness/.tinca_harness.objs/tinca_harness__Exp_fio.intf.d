@@ -1,0 +1,1 @@
+lib/harness/exp_fio.mli: Tinca_util

@@ -1,0 +1,1 @@
+lib/harness/exp_motivation.ml: List Option Printf Runner Tinca_flashcache Tinca_stacks Tinca_util Tinca_workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_recovery.ml: Array Bytes Char List Printexc Printf Tinca_fs Tinca_pmem Tinca_stacks Tinca_util

@@ -1,0 +1,1 @@
+lib/harness/exp_tpcc.ml: Latency List Printf Runner Tinca_sim Tinca_stacks Tinca_util Tinca_workloads

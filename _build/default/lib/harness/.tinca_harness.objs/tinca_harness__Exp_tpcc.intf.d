@@ -1,0 +1,1 @@
+lib/harness/exp_tpcc.mli: Tinca_util

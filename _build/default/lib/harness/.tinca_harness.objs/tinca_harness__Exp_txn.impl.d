@@ -1,0 +1,1 @@
+lib/harness/exp_txn.ml: List Option Printf Runner Tinca_core Tinca_fs Tinca_stacks Tinca_util Tinca_workloads

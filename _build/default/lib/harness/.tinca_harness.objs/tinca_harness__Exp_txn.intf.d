@@ -1,0 +1,1 @@
+lib/harness/exp_txn.mli: Tinca_util

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Clock Latency Metrics Printf Tinca_fs Tinca_sim Tinca_stacks Tinca_workloads

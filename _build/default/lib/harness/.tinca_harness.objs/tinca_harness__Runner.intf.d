@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Tinca_fs Tinca_sim Tinca_stacks Tinca_workloads

@@ -1,0 +1,289 @@
+(** Extension experiments beyond the paper's figures, probing the design
+    choices DESIGN.md calls out.
+
+    - [ubj_compare] (§5.4.4 quantified): Tinca vs UBJ vs Classic on Fio
+      and Varmail.
+    - [writeback_ablation]: Tinca's write-back default vs write-through
+      (what role switch buys once checkpointing is forced back in:
+      write-through pays a disk write per committed block, like
+      checkpointing would).
+    - [batching_ablation]: fsync interval sweep — how transaction
+      coalescing amortizes the per-commit overheads in both systems.
+    - [wear]: NVM lines persisted per logical MB written — the endurance
+      argument of §1 (double writes ~halve NVM cache lifetime). *)
+
+module Stacks = Tinca_stacks.Stacks
+module Cache = Tinca_core.Cache
+module Fio = Tinca_workloads.Fio
+module Filebench = Tinca_workloads.Filebench
+module Ops = Tinca_workloads.Ops
+module Tabular = Tinca_util.Tabular
+
+let fio_cfg = { Fio.default with file_size = 16 * 1024 * 1024; read_pct = 0.3; ops = 6_000 }
+
+let ubj_compare () =
+  let run_fio spec =
+    Runner.run_local ~spec
+      ~prealloc:(fun ops -> Fio.prealloc fio_cfg ops)
+      ~work:(fun ops -> Fio.run fio_cfg ops)
+      ()
+  in
+  let run_varmail spec =
+    let cfg = { (Filebench.default Filebench.Varmail) with nfiles = 300; mean_file_kb = 16; ops = 3_000 } in
+    let st = ref None in
+    Runner.run_local ~spec
+      ~prealloc:(fun ops -> st := Some (Filebench.prealloc cfg ops))
+      ~work:(fun ops -> Filebench.run (Option.get !st) ops)
+      ()
+  in
+  let table =
+    Tabular.create ~title:"5.4.4 quantified: Tinca vs UBJ vs Classic throughput (ops/s)"
+      [ "Workload"; "Classic"; "UBJ"; "Tinca"; "Tinca/UBJ" ]
+  in
+  List.iter
+    (fun (label, run) ->
+      let classic = run (fun env -> Stacks.classic ~journal_len:4096 env) in
+      let ubj = run (fun env -> Stacks.ubj env) in
+      let tinca = run (fun env -> Stacks.tinca env) in
+      Tabular.add_row table
+        [
+          label;
+          Tabular.cell_f ~decimals:0 classic.Runner.throughput;
+          Tabular.cell_f ~decimals:0 ubj.Runner.throughput;
+          Tabular.cell_f ~decimals:0 tinca.Runner.throughput;
+          Runner.ratio_str tinca.Runner.throughput ubj.Runner.throughput;
+        ])
+    [ ("fio 3/7", run_fio); ("varmail", run_varmail) ];
+  [ table ]
+
+let writeback_ablation () =
+  let run mode =
+    let spec = Stacks.tinca ~cache_config:{ Cache.default_config with Cache.mode } in
+    Runner.run_local ~spec
+      ~prealloc:(fun ops -> Fio.prealloc fio_cfg ops)
+      ~work:(fun ops -> Fio.run fio_cfg ops)
+      ()
+  in
+  let wb = run Cache.Write_back in
+  let wt = run Cache.Write_through in
+  let table =
+    Tabular.create
+      ~title:"Ablation: write-back (role switch, no checkpoint) vs write-through (forced disk write per commit)"
+      [ "Mode"; "IOPS"; "disk writes/op" ]
+  in
+  Tabular.add_row table
+    [ "write-back"; Tabular.cell_f ~decimals:0 wb.Runner.throughput;
+      Tabular.cell_f wb.Runner.disk_writes_per_op ];
+  Tabular.add_row table
+    [ "write-through"; Tabular.cell_f ~decimals:0 wt.Runner.throughput;
+      Tabular.cell_f wt.Runner.disk_writes_per_op ];
+  [ table ]
+
+let batching_ablation () =
+  let table =
+    Tabular.create ~title:"Ablation: transaction coalescing (fsync every N writes), Fio write IOPS"
+      [ "fsync interval"; "Classic"; "Tinca"; "Tinca/Classic" ]
+  in
+  List.iter
+    (fun interval ->
+      let cfg = { fio_cfg with Fio.fsync_every = interval; read_pct = 0.0 } in
+      let run spec =
+        Runner.run_local ~spec
+          ~prealloc:(fun ops -> Fio.prealloc cfg ops)
+          ~work:(fun ops -> Fio.run cfg ops)
+          ()
+      in
+      let tinca = run (fun env -> Stacks.tinca env) in
+      let classic = run (fun env -> Stacks.classic ~journal_len:4096 env) in
+      Tabular.add_row table
+        [
+          string_of_int interval;
+          Tabular.cell_f ~decimals:0 classic.Runner.throughput;
+          Tabular.cell_f ~decimals:0 tinca.Runner.throughput;
+          Runner.ratio_str tinca.Runner.throughput classic.Runner.throughput;
+        ])
+    [ 1; 8; 64 ];
+  [ table ]
+
+let wear () =
+  let run spec =
+    let env_holder = ref None in
+    let m =
+      Runner.run_local
+        ~spec:(fun env ->
+          env_holder := Some env;
+          spec env)
+        ~prealloc:(fun ops -> Fio.prealloc fio_cfg ops)
+        ~work:(fun ops -> Fio.run fio_cfg ops)
+        ()
+    in
+    (m, Tinca_pmem.Pmem.wear_max (Option.get !env_holder).Stacks.pmem)
+  in
+  let t_m, t_max = run (fun env -> Stacks.tinca env) in
+  let c_m, c_max = run (fun env -> Stacks.classic ~journal_len:4096 env) in
+  let per_mb m = float_of_int m.Runner.lines_persisted /. Runner.mb m.Runner.stats.Ops.bytes_written in
+  let table =
+    Tabular.create ~title:"Extension: NVM wear (lines persisted) per logical MB written — endurance (§1)"
+      [ "System"; "lines/MB"; "max line wear"; "relative" ]
+  in
+  Tabular.add_row table
+    [ "Classic"; Tabular.cell_f ~decimals:0 (per_mb c_m); Tabular.cell_i c_max; "1.00x" ];
+  Tabular.add_row table
+    [ "Tinca"; Tabular.cell_f ~decimals:0 (per_mb t_m); Tabular.cell_i t_max;
+      Runner.ratio_str (per_mb t_m) (per_mb c_m) ];
+  [ table ]
+
+let wear_leveling () =
+  (* Extension: FIFO (round-robin) NVM block allocation spreads COW write
+     wear across the whole data region; LIFO reuse concentrates it.  The
+     effect shows on a hot working set that fits the cache (no eviction
+     churn): every page is repeatedly COW-updated in place. *)
+  let module Fm = Tinca_cachelib.Free_monitor in
+  let hot_cfg =
+    { Fio.default with file_size = 1 lsl 20; read_pct = 0.0; ops = 6_000; fsync_every = 8 }
+  in
+  let run policy =
+    let env_holder = ref None in
+    let m =
+      Runner.run_local
+        ~spec:(fun env ->
+          env_holder := Some env;
+          Stacks.tinca ~cache_config:{ Cache.default_config with Cache.alloc_policy = policy } env)
+        ~prealloc:(fun ops -> Fio.prealloc hot_cfg ops)
+        ~work:(fun ops -> Fio.run hot_cfg ops)
+        ()
+    in
+    let env = Option.get !env_holder in
+    let pmem = env.Stacks.pmem in
+    (* Measure over the data region only: the ring, pointers and entry
+       table are hot under any allocation policy. *)
+    let layout =
+      Tinca_core.Layout.compute ~pmem_bytes:(Tinca_pmem.Pmem.size pmem) ~block_size:4096
+        ~ring_slots:Cache.default_config.Cache.ring_slots
+    in
+    let data_max =
+      Tinca_pmem.Pmem.wear_max_in pmem ~off:layout.Tinca_core.Layout.data_off
+        ~len:(layout.Tinca_core.Layout.nblocks * 4096)
+    in
+    (m, data_max)
+  in
+  let lifo_m, lifo_max = run Fm.Lifo in
+  let fifo_m, fifo_max = run Fm.Fifo in
+  let table =
+    Tabular.create
+      ~title:"Extension: wear leveling via FIFO block allocation (Fio 100% write)"
+      [ "Allocation"; "IOPS"; "max data-line wear"; "lifetime gain" ]
+  in
+  Tabular.add_row table
+    [ "LIFO (hot reuse)"; Tabular.cell_f ~decimals:0 lifo_m.Runner.throughput;
+      Tabular.cell_i lifo_max; "1.0x" ];
+  Tabular.add_row table
+    [ "FIFO (round-robin)"; Tabular.cell_f ~decimals:0 fifo_m.Runner.throughput;
+      Tabular.cell_i fifo_max;
+      Printf.sprintf "%.1fx" (float_of_int lifo_max /. float_of_int (max 1 fifo_max)) ];
+  [ table ]
+
+let flush_instr () =
+  (* Extension (paper §2.1/§5.1): the prototype's Xeon only supported
+     clflush; clflushopt and clwb were "proposed to substitute clflush
+     but still bring in overheads".  Model them and measure both
+     stacks. *)
+  let open Tinca_sim in
+  let run instr spec =
+    let m =
+      Runner.run_local ~flush_instr:instr ~spec
+        ~prealloc:(fun ops -> Fio.prealloc fio_cfg ops)
+        ~work:(fun ops -> Fio.run fio_cfg ops)
+        ()
+    in
+    m.Runner.throughput
+  in
+  let table =
+    Tabular.create
+      ~title:"Extension: cache-line flush instruction (Fio 3/7, IOPS)"
+      [ "Instruction"; "Classic"; "Tinca"; "Tinca/Classic" ]
+  in
+  List.iter
+    (fun instr ->
+      let classic = run instr (fun env -> Stacks.classic ~journal_len:4096 env) in
+      let tinca = run instr (fun env -> Stacks.tinca env) in
+      Tabular.add_row table
+        [ Latency.flush_instr_name instr; Tabular.cell_f ~decimals:0 classic;
+          Tabular.cell_f ~decimals:0 tinca; Runner.ratio_str tinca classic ])
+    [ Latency.Clflush; Latency.Clflushopt; Latency.Clwb ];
+  [ table ]
+
+let consistency_levels () =
+  (* Extension (paper §2.3): the consistency-level spectrum.  On the
+     Classic stack, data=ordered dodges the double write of file data
+     and beats data=journal; on Tinca the full data-consistency level is
+     already cheap, so giving it up buys little — the thesis of the
+     paper, measured. *)
+  let run spec ~journaled ~ordered =
+    let fs_config = { Runner.default_fs_config with Tinca_fs.Fs.ordered } in
+    let m =
+      Runner.run_local ~spec ~journaled ~fs_config
+        ~prealloc:(fun ops -> Fio.prealloc fio_cfg ops)
+        ~work:(fun ops -> Fio.run fio_cfg ops)
+        ()
+    in
+    m.Runner.throughput
+  in
+  let table =
+    Tabular.create
+      ~title:"Extension: consistency levels (Fio 3/7, IOPS) — 2.3's spectrum"
+      [ "Mode"; "Classic"; "Tinca"; "consistency" ]
+  in
+  let classic = (fun env -> Stacks.classic ~journal_len:4096 env) in
+  let tinca = (fun env -> Stacks.tinca env) in
+  Tabular.add_row table
+    [ "data=journal (paper's level)";
+      Tabular.cell_f ~decimals:0 (run classic ~journaled:true ~ordered:false);
+      Tabular.cell_f ~decimals:0 (run tinca ~journaled:true ~ordered:false);
+      "metadata + data" ];
+  Tabular.add_row table
+    [ "data=ordered";
+      Tabular.cell_f ~decimals:0 (run classic ~journaled:true ~ordered:true);
+      Tabular.cell_f ~decimals:0 (run tinca ~journaled:true ~ordered:true);
+      "metadata only" ];
+  Tabular.add_row table
+    [ "no journal";
+      Tabular.cell_f ~decimals:0 (run (fun env -> Stacks.nojournal env) ~journaled:false ~ordered:false);
+      Tabular.cell_f ~decimals:0 (run tinca ~journaled:false ~ordered:false);
+      "none" ];
+  [ table ]
+
+let page_cache () =
+  (* Extension (Fig 1(c)): a DRAM buffer cache above the NVM cache.  A
+     read-heavy workload (webproxy) shows how much NVM read traffic the
+     DRAM tier absorbs, and what it does to throughput. *)
+  let run pages =
+    let cfg =
+      { (Filebench.default Filebench.Webproxy) with nfiles = 300; mean_file_kb = 24; ops = 3_000 }
+    in
+    let fs_config = { Runner.default_fs_config with Tinca_fs.Fs.page_cache_pages = pages } in
+    let st = ref None in
+    Runner.run_local ~fs_config
+      ~spec:(fun env -> Stacks.tinca env)
+      ~prealloc:(fun ops -> st := Some (Filebench.prealloc cfg ops))
+      ~work:(fun ops -> Filebench.run (Option.get !st) ops)
+      ()
+  in
+  let table =
+    Tabular.create
+      ~title:"Extension: DRAM buffer cache above Tinca (webproxy, read-heavy)"
+      [ "Page-cache pages"; "OPs/s"; "clflush/op"; "relative throughput" ]
+  in
+  let base = run 0 in
+  List.iter
+    (fun pages ->
+      let m = if pages = 0 then base else run pages in
+      Tabular.add_row table
+        [
+          string_of_int pages;
+          Tabular.cell_f ~decimals:0 m.Runner.throughput;
+          Tabular.cell_f ~decimals:1 m.Runner.clflush_per_op;
+          Runner.ratio_str m.Runner.throughput base.Runner.throughput;
+        ])
+    [ 0; 512; 2048; 8192 ];
+  [ table ]

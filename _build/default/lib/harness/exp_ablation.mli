@@ -1,0 +1,29 @@
+(** Extension experiments beyond the paper's figures, probing the design
+    choices DESIGN.md calls out. *)
+
+(** §5.4.4 quantified: Tinca vs UBJ vs Classic on Fio and Varmail. *)
+val ubj_compare : unit -> Tinca_util.Tabular.t list
+
+(** Write-back (role switch) vs write-through (forced per-commit disk
+    write). *)
+val writeback_ablation : unit -> Tinca_util.Tabular.t list
+
+(** Transaction coalescing: fsync-interval sweep on both stacks. *)
+val batching_ablation : unit -> Tinca_util.Tabular.t list
+
+(** NVM lines persisted per logical MB — the §1 endurance argument. *)
+val wear : unit -> Tinca_util.Tabular.t list
+
+(** LIFO vs FIFO NVM block allocation (wear leveling). *)
+val wear_leveling : unit -> Tinca_util.Tabular.t list
+
+(** clflush vs clflushopt vs clwb (paper §2.1/§5.1). *)
+val flush_instr : unit -> Tinca_util.Tabular.t list
+
+(** §2.3's consistency-level spectrum: data=journal vs data=ordered vs
+    no journal, on both stacks. *)
+val consistency_levels : unit -> Tinca_util.Tabular.t list
+
+(** Fig 1(c)'s DRAM buffer cache above the NVM cache: capacity sweep on a
+    read-heavy workload. *)
+val page_cache : unit -> Tinca_util.Tabular.t list

@@ -1,0 +1,145 @@
+(** Figures 10 and 11: the 4-node cluster experiments (paper §5.3).
+
+    Fig 10: TeraGen over the HDFS-like DFS with 1/2/3 replicas —
+    execution time (paper: Tinca 29 % / 54 % / 60 % faster), clflush per
+    MB and disk blocks per MB (paper: −80.7 % clflush, −38.3 % disk
+    writes at 3 replicas).
+
+    Fig 11: Filebench over the GlusterFS-like DFS with 2 replicas —
+    OPs/s (paper: Tinca 1.8x fileserver, 1.2x webproxy, 1.5x varmail),
+    clflush per op, disk blocks per op. *)
+
+module Node = Tinca_cluster.Node
+module Hdfs = Tinca_cluster.Hdfs
+module Gluster = Tinca_cluster.Gluster
+module Teragen = Tinca_workloads.Teragen
+module Filebench = Tinca_workloads.Filebench
+module Ops = Tinca_workloads.Ops
+module Tabular = Tinca_util.Tabular
+
+let node_config =
+  { Node.default_config with nvm_bytes = 8 * 1024 * 1024; disk_blocks = 65536 }
+
+let teragen_cfg = { Teragen.default with total_bytes = 48 * 1024 * 1024; chunk_bytes = 1 lsl 20 }
+
+let mk_nodes kind = Array.init 4 (fun id -> Node.make ~id ~config:node_config kind)
+
+type cluster_run = {
+  seconds : float;
+  clflush : int;
+  disk_writes : int;
+  ops : int;
+}
+
+let run_teragen kind replicas =
+  let nodes = mk_nodes kind in
+  let hdfs = Hdfs.create ~replicas nodes in
+  let snaps = Node.snapshot_all nodes in
+  ignore (Teragen.run teragen_cfg (Hdfs.ops hdfs));
+  Array.iter (fun n -> Tinca_fs.Fs.fsync n.Node.fs) nodes;
+  {
+    seconds = Hdfs.execution_ns hdfs /. 1e9;
+    clflush = Node.since_all nodes snaps "pmem.clflush";
+    disk_writes = Node.since_all nodes snaps "disk.writes";
+    ops = 0;
+  }
+
+let fig10 () =
+  let time_t =
+    Tabular.create ~title:"Fig 10(a): TeraGen execution time on HDFS-like DFS (4 nodes)"
+      [ "Replicas"; "Classic s"; "Tinca s"; "Tinca saves" ]
+  in
+  let cl_t =
+    Tabular.create ~title:"Fig 10(b): clflush per MB generated"
+      [ "Replicas"; "Classic"; "Tinca"; "reduction" ]
+  in
+  let dw_t =
+    Tabular.create ~title:"Fig 10(c): disk blocks written per MB generated"
+      [ "Replicas"; "Classic"; "Tinca"; "reduction" ]
+  in
+  let mbs = Runner.mb teragen_cfg.Teragen.total_bytes in
+  List.iter
+    (fun replicas ->
+      let tinca = run_teragen Node.Tinca_node replicas in
+      let classic = run_teragen Node.Classic_node replicas in
+      Tabular.add_row time_t
+        [ string_of_int replicas;
+          Tabular.cell_f classic.seconds;
+          Tabular.cell_f tinca.seconds;
+          Printf.sprintf "%.1f%%" (100.0 *. (1.0 -. (tinca.seconds /. classic.seconds))) ];
+      let per_mb v = float_of_int v /. mbs in
+      Tabular.add_row cl_t
+        [ string_of_int replicas;
+          Tabular.cell_f ~decimals:0 (per_mb classic.clflush);
+          Tabular.cell_f ~decimals:0 (per_mb tinca.clflush);
+          Printf.sprintf "-%.1f%%" (100.0 *. (1.0 -. (float_of_int tinca.clflush /. float_of_int classic.clflush))) ];
+      Tabular.add_row dw_t
+        [ string_of_int replicas;
+          Tabular.cell_f ~decimals:1 (per_mb classic.disk_writes);
+          Tabular.cell_f ~decimals:1 (per_mb tinca.disk_writes);
+          Printf.sprintf "-%.1f%%" (100.0 *. (1.0 -. (float_of_int tinca.disk_writes /. float_of_int classic.disk_writes))) ])
+    [ 1; 2; 3 ];
+  [ time_t; cl_t; dw_t ]
+
+(* 300 us/op of client RPC + server request handling (FUSE + translator
+   stack): GlusterFS's per-op software cost, paid identically by both
+   systems. *)
+let fb_cfg p =
+  { (Filebench.default p) with nfiles = 400; mean_file_kb = 24; ops = 3_000;
+    op_cpu_ns = 300_000.0 }
+
+let run_filebench kind personality =
+  let nodes = mk_nodes kind in
+  let g = Gluster.create ~replicas:2 nodes in
+  let ops = Gluster.ops g in
+  let cfg = fb_cfg personality in
+  let t = Filebench.prealloc cfg ops in
+  let t0 = Gluster.client_ns g in
+  let snaps = Node.snapshot_all nodes in
+  let stats = Filebench.run t ops in
+  {
+    seconds = (Gluster.client_ns g -. t0) /. 1e9;
+    clflush = Node.since_all nodes snaps "pmem.clflush";
+    disk_writes = Node.since_all nodes snaps "disk.writes";
+    ops = stats.Ops.ops;
+  }
+
+let fig11 () =
+  let ops_t =
+    Tabular.create ~title:"Fig 11(a): Filebench OPs/s on GlusterFS-like DFS (2 replicas)"
+      [ "Workload"; "Classic"; "Tinca"; "Tinca/Classic" ]
+  in
+  let cl_t =
+    Tabular.create ~title:"Fig 11(b): clflush per file operation"
+      [ "Workload"; "Classic"; "Tinca"; "reduction" ]
+  in
+  let dw_t =
+    Tabular.create ~title:"Fig 11(c): disk blocks written per file operation"
+      [ "Workload"; "Classic"; "Tinca"; "reduction" ]
+  in
+  List.iter
+    (fun p ->
+      let tinca = run_filebench Node.Tinca_node p in
+      let classic = run_filebench Node.Classic_node p in
+      let opsps r = float_of_int r.ops /. r.seconds in
+      let per_op r v = float_of_int v /. float_of_int (max 1 r.ops) in
+      Tabular.add_row ops_t
+        [ Filebench.personality_name p;
+          Tabular.cell_f ~decimals:0 (opsps classic);
+          Tabular.cell_f ~decimals:0 (opsps tinca);
+          Runner.ratio_str (opsps tinca) (opsps classic) ];
+      Tabular.add_row cl_t
+        [ Filebench.personality_name p;
+          Tabular.cell_f ~decimals:1 (per_op classic classic.clflush);
+          Tabular.cell_f ~decimals:1 (per_op tinca tinca.clflush);
+          Printf.sprintf "-%.1f%%"
+            (100.0 *. (1.0 -. (per_op tinca tinca.clflush /. per_op classic classic.clflush))) ];
+      Tabular.add_row dw_t
+        [ Filebench.personality_name p;
+          Tabular.cell_f ~decimals:2 (per_op classic classic.disk_writes);
+          Tabular.cell_f ~decimals:2 (per_op tinca tinca.disk_writes);
+          Printf.sprintf "-%.1f%%"
+            (100.0
+            *. (1.0 -. (per_op tinca tinca.disk_writes /. per_op classic classic.disk_writes))) ])
+    [ Filebench.Fileserver; Filebench.Webproxy; Filebench.Varmail ];
+  [ ops_t; cl_t; dw_t ]

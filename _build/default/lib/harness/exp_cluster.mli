@@ -1,0 +1,6 @@
+(** Figures 10 and 11: the 4-node cluster experiments (paper §5.3) —
+    TeraGen over the HDFS-like DFS across replica counts, and Filebench
+    over the GlusterFS-like DFS with 2 replicas. *)
+
+val fig10 : unit -> Tinca_util.Tabular.t list
+val fig11 : unit -> Tinca_util.Tabular.t list

@@ -1,0 +1,58 @@
+(** Fig 7: Fio micro-benchmark, Classic vs Tinca (paper §5.2.1).
+
+    Three read/write ratios (3/7, 5/5, 7/3) over a dataset 2.5x the NVM
+    cache; reported per ratio: write IOPS (paper: Tinca 2.5x / 2.1x /
+    1.7x Classic), clflush per write op (paper: −73..76 %), and disk
+    blocks written per write op (paper: −60..65 %). *)
+
+module Stacks = Tinca_stacks.Stacks
+module Fio = Tinca_workloads.Fio
+module Tabular = Tinca_util.Tabular
+
+let nvm_bytes = 8 * 1024 * 1024
+let dataset = 20 * 1024 * 1024 (* = 2.5x cache, like 20 GB vs 8 GB *)
+
+(* fio issues no fsync of its own; Ext4's periodic commit (the 5 s JBD2
+   timer) batches writes into transactions.  fsync_every = 32 stands in
+   for that batching. *)
+let cfg read_pct =
+  { Fio.default with file_size = dataset; read_pct; ops = 8_000; fsync_every = 32 }
+
+let run_pair read_pct =
+  let run spec =
+    Runner.run_local ~nvm_bytes ~spec
+      ~prealloc:(fun ops -> Fio.prealloc (cfg read_pct) ops)
+      ~work:(fun ops -> Fio.run (cfg read_pct) ops)
+      ()
+  in
+  (run (fun env -> Stacks.tinca env), run (fun env -> Stacks.classic ~journal_len:4096 env))
+
+let fig7 () =
+  let iops =
+    Tabular.create ~title:"Fig 7(a): Fio write IOPS"
+      [ "R/W ratio"; "Classic"; "Tinca"; "Tinca/Classic" ]
+  in
+  let clflush =
+    Tabular.create ~title:"Fig 7(b): clflush per write operation"
+      [ "R/W ratio"; "Classic"; "Tinca"; "reduction" ]
+  in
+  let dwrites =
+    Tabular.create ~title:"Fig 7(c): disk blocks written per write operation"
+      [ "R/W ratio"; "Classic"; "Tinca"; "reduction" ]
+  in
+  List.iter
+    (fun (label, read_pct) ->
+      let tinca, classic = run_pair read_pct in
+      let t_cl, t_dw, t_iops = Runner.per_write tinca in
+      let c_cl, c_dw, c_iops = Runner.per_write classic in
+      Tabular.add_row iops
+        [ label; Tabular.cell_f ~decimals:0 c_iops; Tabular.cell_f ~decimals:0 t_iops;
+          Runner.ratio_str t_iops c_iops ];
+      Tabular.add_row clflush
+        [ label; Tabular.cell_f ~decimals:1 c_cl; Tabular.cell_f ~decimals:1 t_cl;
+          Printf.sprintf "-%.1f%%" (100.0 *. (1.0 -. (t_cl /. c_cl))) ];
+      Tabular.add_row dwrites
+        [ label; Tabular.cell_f ~decimals:2 c_dw; Tabular.cell_f ~decimals:2 t_dw;
+          Printf.sprintf "-%.1f%%" (100.0 *. (1.0 -. (t_dw /. c_dw))) ])
+    [ ("3/7", 0.3); ("5/5", 0.5); ("7/3", 0.7) ];
+  [ iops; clflush; dwrites ]

@@ -1,0 +1,5 @@
+(** Fig 7: Fio micro-benchmark, Classic vs Tinca (paper §5.2.1) — write
+    IOPS, clflush per write op and disk blocks per write op across the
+    three read/write ratios. *)
+
+val fig7 : unit -> Tinca_util.Tabular.t list

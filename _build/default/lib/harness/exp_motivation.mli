@@ -1,0 +1,7 @@
+(** Motivation experiments (paper §3): Fig 3(a) journaling write traffic,
+    Fig 3(b) journaling + clflush bandwidth staircase, Fig 4 synchronous
+    cache-metadata update cost. *)
+
+val fig3a : unit -> Tinca_util.Tabular.t list
+val fig3b : unit -> Tinca_util.Tabular.t list
+val fig4 : unit -> Tinca_util.Tabular.t list

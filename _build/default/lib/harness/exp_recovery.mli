@@ -1,0 +1,5 @@
+(** §5.1 Recoverability: randomized crash + recovery trials over
+    FS-on-Tinca (power-cut and process-kill analogues), verifying cache
+    invariants, fsck and every acknowledged write. *)
+
+val run : unit -> Tinca_util.Tabular.t list

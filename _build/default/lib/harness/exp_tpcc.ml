@@ -1,0 +1,109 @@
+(** Figures 8 and 12: TPC-C on Classic vs Tinca (paper §5.2.2, §5.4.1,
+    §5.4.2).
+
+    Fig 8: throughput in TPM across 5..60 users (paper: Tinca ~1.8x /
+    1.7x Classic; both decline with users), clflush per transaction
+    (paper: Tinca at 29.8–36.2 % of Classic) and disk blocks per
+    transaction (paper: 4.2 vs 1.9 at 5 users; 7.0 vs 3.0 at 60).
+
+    Fig 12(a): SSD vs HDD at 20 users (paper: gap widens 1.7x -> 2.8x on
+    HDD).  Fig 12(b): PCM vs NVDIMM vs STT-RAM (paper: gap narrows
+    slightly, 1.7x -> 1.6x).  Fig 12(c): cache write hit rate (paper:
+    Classic 80 %, Tinca 93 %). *)
+
+open Tinca_sim
+module Stacks = Tinca_stacks.Stacks
+module Tpcc = Tinca_workloads.Tpcc
+module Tabular = Tinca_util.Tabular
+
+let nvm_bytes = 5 * 1024 * 1024
+let warehouses = 32
+
+let cfg users = { Tpcc.default with warehouses; users; txns = 3_000 }
+
+let run ?tech ?disk_kind ~users spec =
+  Runner.run_local ~nvm_bytes ?tech ?disk_kind ~spec
+    ~prealloc:(fun ops -> Tpcc.prealloc (cfg users) ops)
+    ~work:(fun ops -> Tpcc.run (cfg users) ops)
+    ()
+
+let tpm m = float_of_int m.Runner.ops /. (m.Runner.sim_seconds /. 60.0)
+
+let fig8 () =
+  let tpm_t =
+    Tabular.create ~title:"Fig 8(a): TPC-C throughput (TPM)"
+      [ "Users"; "Classic"; "Tinca"; "Tinca/Classic" ]
+  in
+  let cl_t =
+    Tabular.create ~title:"Fig 8(b): clflush per TPC-C transaction"
+      [ "Users"; "Classic"; "Tinca"; "Tinca/Classic" ]
+  in
+  let dw_t =
+    Tabular.create ~title:"Fig 8(c): disk blocks written per TPC-C transaction"
+      [ "Users"; "Classic"; "Tinca" ]
+  in
+  List.iter
+    (fun users ->
+      let tinca = run ~users Stacks.tinca in
+      let classic = run ~users (fun env -> Stacks.classic ~journal_len:4096 env) in
+      Tabular.add_row tpm_t
+        [ string_of_int users; Tabular.cell_f ~decimals:0 (tpm classic);
+          Tabular.cell_f ~decimals:0 (tpm tinca); Runner.ratio_str (tpm tinca) (tpm classic) ];
+      Tabular.add_row cl_t
+        [ string_of_int users;
+          Tabular.cell_f ~decimals:1 classic.Runner.clflush_per_op;
+          Tabular.cell_f ~decimals:1 tinca.Runner.clflush_per_op;
+          Printf.sprintf "%.1f%%" (100.0 *. tinca.Runner.clflush_per_op /. classic.Runner.clflush_per_op) ];
+      Tabular.add_row dw_t
+        [ string_of_int users;
+          Tabular.cell_f ~decimals:2 classic.Runner.disk_writes_per_op;
+          Tabular.cell_f ~decimals:2 tinca.Runner.disk_writes_per_op ])
+    [ 5; 10; 15; 20; 40; 60 ];
+  [ tpm_t; cl_t; dw_t ]
+
+let fig12a () =
+  let table =
+    Tabular.create ~title:"Fig 12(a): TPC-C (20 users) on SSD vs HDD"
+      [ "Disk"; "Classic TPM"; "Tinca TPM"; "Tinca/Classic" ]
+  in
+  List.iter
+    (fun disk_kind ->
+      let tinca = run ~disk_kind ~users:20 Stacks.tinca in
+      let classic = run ~disk_kind ~users:20 (fun env -> Stacks.classic ~journal_len:4096 env) in
+      Tabular.add_row table
+        [ Latency.disk_kind_name disk_kind;
+          Tabular.cell_f ~decimals:0 (tpm classic);
+          Tabular.cell_f ~decimals:0 (tpm tinca);
+          Runner.ratio_str (tpm tinca) (tpm classic) ])
+    [ Latency.Ssd; Latency.Hdd ];
+  [ table ]
+
+let fig12b () =
+  let table =
+    Tabular.create ~title:"Fig 12(b): TPC-C (20 users) across NVM technologies"
+      [ "NVM"; "Classic TPM"; "Tinca TPM"; "Tinca/Classic" ]
+  in
+  List.iter
+    (fun tech ->
+      let tinca = run ~tech ~users:20 Stacks.tinca in
+      let classic = run ~tech ~users:20 (fun env -> Stacks.classic ~journal_len:4096 env) in
+      Tabular.add_row table
+        [ Latency.nvm_tech_name tech;
+          Tabular.cell_f ~decimals:0 (tpm classic);
+          Tabular.cell_f ~decimals:0 (tpm tinca);
+          Runner.ratio_str (tpm tinca) (tpm classic) ])
+    [ Latency.Pcm; Latency.Nvdimm; Latency.Stt_ram ];
+  [ table ]
+
+let fig12c () =
+  let tinca = run ~users:20 Stacks.tinca in
+  let classic = run ~users:20 (fun env -> Stacks.classic ~journal_len:4096 env) in
+  let table =
+    Tabular.create ~title:"Fig 12(c): cache write hit rate, TPC-C 20 users"
+      [ "System"; "Write hit rate" ]
+  in
+  Tabular.add_row table
+    [ "Classic"; Printf.sprintf "%.1f%%" (100.0 *. classic.Runner.write_hit_rate) ];
+  Tabular.add_row table
+    [ "Tinca"; Printf.sprintf "%.1f%%" (100.0 *. tinca.Runner.write_hit_rate) ];
+  [ table ]

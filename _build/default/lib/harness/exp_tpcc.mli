@@ -1,0 +1,8 @@
+(** Figures 8 and 12: TPC-C on Classic vs Tinca (paper §5.2.2, §5.4.1,
+    §5.4.2) — TPM / clflush / disk blocks vs user count, SSD vs HDD,
+    NVM technology sweep, and cache write hit rates. *)
+
+val fig8 : unit -> Tinca_util.Tabular.t list
+val fig12a : unit -> Tinca_util.Tabular.t list
+val fig12b : unit -> Tinca_util.Tabular.t list
+val fig12c : unit -> Tinca_util.Tabular.t list

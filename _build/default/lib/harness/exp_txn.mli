@@ -1,0 +1,4 @@
+(** Fig 13 and §5.4.3: blocks per committed transaction (fileserver vs
+    webproxy) and the worst-case COW spatial overhead. *)
+
+val fig13 : unit -> Tinca_util.Tabular.t list

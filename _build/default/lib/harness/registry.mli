@@ -1,0 +1,19 @@
+(** The experiment registry: every table and figure of the paper (plus
+    extension/ablation experiments), addressable by id from the CLI and
+    the benchmark executable. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  paper_ref : string;  (** what the paper reports, for eyeball comparison *)
+  run : unit -> Tinca_util.Tabular.t list;
+}
+
+val all : experiment list
+val find : string -> experiment option
+
+(** Run one experiment and render its header + tables as text. *)
+val run_experiment : experiment -> string
+
+(** CSV form of one result table (for the CLI's [--csv]). *)
+val csv_of : Tinca_util.Tabular.t -> string

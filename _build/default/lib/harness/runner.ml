@@ -1,0 +1,80 @@
+(** Shared measurement machinery for the experiments: build a stack +
+    file system, run a workload's unmeasured prealloc phase, snapshot the
+    metric registries, run the measured phase, and derive the paper's
+    normalized quantities (§5.1 evaluation metrics: throughput from the
+    simulated clock, clflush and disk writes normalized per operation). *)
+
+open Tinca_sim
+module Stacks = Tinca_stacks.Stacks
+module Fs = Tinca_fs.Fs
+module Ops = Tinca_workloads.Ops
+
+type measurement = {
+  label : string;
+  ops : int;
+  sim_seconds : float;
+  throughput : float;          (** benchmark ops per simulated second *)
+  clflush : int;
+  disk_writes : int;
+  clflush_per_op : float;
+  disk_writes_per_op : float;
+  nvm_bytes_stored : int;      (** write traffic into NVM (store lines x 64 B) *)
+  lines_persisted : int;       (** cache lines actually written back to the NVM medium *)
+  write_hit_rate : float;
+  stack : Stacks.t;
+  fs : Fs.t;
+  stats : Ops.stats;
+}
+
+type stack_spec = Stacks.env -> Stacks.t
+
+let default_fs_config = { Fs.default_config with ninodes = 4096; journal_len = 4096 }
+
+(** [run_local ~spec ~prealloc ~work ()] builds one stack, runs the two
+    phases and measures the second. *)
+let run_local ?(nvm_bytes = 8 * 1024 * 1024) ?(disk_blocks = 65536)
+    ?(tech = Latency.Pcm) ?(disk_kind = Latency.Ssd) ?(flush_instr = Latency.Clflush)
+    ?(seed = 42) ?(fs_config = default_fs_config) ?(journaled = true) ~spec ~prealloc ~work () =
+  let env = Stacks.make_env ~seed ~tech ~disk_kind ~flush_instr ~nvm_bytes ~disk_blocks () in
+  let stack = spec env in
+  let fs = Fs.format ~config:{ fs_config with Fs.journaled } stack.Stacks.backend in
+  let ops = Ops.of_fs ~compute:(Clock.advance env.Stacks.clock) fs in
+  prealloc ops;
+  Fs.fsync fs;
+  let t0 = Clock.now_ns env.Stacks.clock in
+  let snap = Metrics.snapshot env.Stacks.metrics in
+  let stats = work ops in
+  Fs.fsync fs;
+  let sim_seconds = (Clock.now_ns env.Stacks.clock -. t0) /. 1e9 in
+  let clflush = Metrics.since env.Stacks.metrics snap "pmem.clflush" in
+  let disk_writes = Metrics.since env.Stacks.metrics snap "disk.writes" in
+  let store_lines = Metrics.since env.Stacks.metrics snap "pmem.store_lines" in
+  let n = max 1 stats.Ops.ops in
+  {
+    label = stack.Stacks.label;
+    ops = stats.Ops.ops;
+    sim_seconds;
+    throughput = float_of_int stats.Ops.ops /. sim_seconds;
+    clflush;
+    disk_writes;
+    clflush_per_op = float_of_int clflush /. float_of_int n;
+    disk_writes_per_op = float_of_int disk_writes /. float_of_int n;
+    nvm_bytes_stored = store_lines * 64;
+    lines_persisted = Metrics.since env.Stacks.metrics snap "pmem.lines_persisted";
+    write_hit_rate = stack.Stacks.cache_write_hit_rate ();
+    stack;
+    fs;
+    stats;
+  }
+
+(** Normalize against write operations instead of all operations
+    (Fig 7's "per write operation"). *)
+let per_write m =
+  let w = max 1 m.stats.Ops.logical_writes in
+  ( float_of_int m.clflush /. float_of_int w,
+    float_of_int m.disk_writes /. float_of_int w,
+    float_of_int m.stats.Ops.logical_writes /. m.sim_seconds )
+
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let ratio_str a b = Printf.sprintf "%.2fx" (a /. b)

@@ -1,0 +1,51 @@
+(** Shared measurement machinery for the experiments: build a stack +
+    file system, run a workload's unmeasured prealloc phase, snapshot the
+    metric registries, run the measured phase, and derive the paper's
+    normalized quantities (§5.1 evaluation metrics: throughput from the
+    simulated clock, clflush and disk writes normalized per operation). *)
+
+type measurement = {
+  label : string;
+  ops : int;
+  sim_seconds : float;
+  throughput : float;          (** benchmark ops per simulated second *)
+  clflush : int;
+  disk_writes : int;
+  clflush_per_op : float;
+  disk_writes_per_op : float;
+  nvm_bytes_stored : int;      (** write traffic into NVM (store lines x 64 B) *)
+  lines_persisted : int;       (** cache lines actually written back to the NVM medium *)
+  write_hit_rate : float;
+  stack : Tinca_stacks.Stacks.t;
+  fs : Tinca_fs.Fs.t;
+  stats : Tinca_workloads.Ops.stats;
+}
+
+type stack_spec = Tinca_stacks.Stacks.env -> Tinca_stacks.Stacks.t
+
+val default_fs_config : Tinca_fs.Fs.config
+
+(** [run_local ~spec ~prealloc ~work ()] builds one stack, runs the two
+    phases and measures the second. *)
+val run_local :
+  ?nvm_bytes:int ->
+  ?disk_blocks:int ->
+  ?tech:Tinca_sim.Latency.nvm_tech ->
+  ?disk_kind:Tinca_sim.Latency.disk_kind ->
+  ?flush_instr:Tinca_sim.Latency.flush_instr ->
+  ?seed:int ->
+  ?fs_config:Tinca_fs.Fs.config ->
+  ?journaled:bool ->
+  spec:stack_spec ->
+  prealloc:(Tinca_workloads.Ops.t -> unit) ->
+  work:(Tinca_workloads.Ops.t -> Tinca_workloads.Ops.stats) ->
+  unit ->
+  measurement
+
+(** Normalize against write operations instead of all operations (Fig 7's
+    "per write operation"): (clflush/write, disk writes/write, write
+    IOPS). *)
+val per_write : measurement -> float * float * float
+
+val mb : int -> float
+val ratio_str : float -> float -> string

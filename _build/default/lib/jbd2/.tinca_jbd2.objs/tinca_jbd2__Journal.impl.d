@@ -1,0 +1,1 @@
+lib/jbd2/journal.ml: Bytes Hashtbl Int32 Int64 List Logs Metrics Option Tinca_blockdev Tinca_sim Tinca_util

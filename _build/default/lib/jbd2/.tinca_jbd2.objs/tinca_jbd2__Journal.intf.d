@@ -1,0 +1,1 @@
+lib/jbd2/journal.mli: Tinca_blockdev Tinca_sim

@@ -1,0 +1,303 @@
+open Tinca_sim
+module Block_io = Tinca_blockdev.Block_io
+
+let log_src = Logs.Src.create "tinca.jbd2" ~doc:"JBD2-style journal"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Codec = Tinca_util.Codec
+
+type config = { start : int; len : int; checkpoint_threshold : float }
+
+let default_threshold = 0.25
+
+let magic_super = 0x4A42445355504231L (* "JBDSUPB1" *)
+let magic_desc = 0x4A42444445534331L (* "JBDDESC1" *)
+let magic_revoke = 0x4A4244524556_4B31L (* "JBDREVK1" *)
+let magic_commit = 0x4A4244434F4D5431L (* "JBDCOMT1" *)
+
+type txn = { seq : int; blocks : (int * bytes) list (* newest last *) }
+
+type t = {
+  cfg : config;
+  io : Block_io.t;
+  metrics : Metrics.t;
+  cap : int; (* log positions: len - 1 (superblock excluded) *)
+  mutable head : int; (* monotonic next-write position *)
+  mutable tail : int; (* monotonic oldest live position *)
+  mutable next_seq : int;
+  mutable pending : txn list; (* committed, not yet checkpointed; oldest first *)
+  (* Page-cache stand-in: newest committed-but-not-checkpointed version
+     per home block.  Ext4 serves such reads from the page cache; without
+     this, readers would see pre-commit contents until checkpoint. *)
+  overlay : (int, bytes) Hashtbl.t;
+}
+
+let bs t = t.io.Block_io.block_size
+let per_desc t = (bs t - 24) / 8
+let pos_block t pos = t.cfg.start + 1 + (pos mod t.cap)
+
+let used_blocks t = t.head - t.tail
+let capacity_blocks t = t.cap
+let pending_txns t = List.length t.pending
+
+let write_super t =
+  let b = Bytes.make (bs t) '\000' in
+  Codec.set_u64 b 0 magic_super;
+  Codec.set_u64_int b 8 t.next_seq;
+  Codec.set_u64_int b 16 t.tail;
+  let crc = Codec.crc32 b ~pos:0 ~len:24 in
+  Bytes.set_int32_le b 24 crc;
+  t.io.Block_io.write_block t.cfg.start b
+
+let check_config ~config ~io =
+  if config.len < 8 then invalid_arg "Jbd2.Journal: journal area too small";
+  if config.start < 0 || config.start + config.len > io.Block_io.nblocks then
+    invalid_arg "Jbd2.Journal: journal area out of device range"
+
+let format ~config ~io ~metrics =
+  check_config ~config ~io;
+  let t = { cfg = config; io; metrics; cap = config.len - 1; head = 0; tail = 0;
+            next_seq = 1; pending = []; overlay = Hashtbl.create 256 } in
+  write_super t;
+  t
+
+(* --- on-journal block codecs --- *)
+
+let make_tagged t magic seq count =
+  let b = Bytes.make (bs t) '\000' in
+  Codec.set_u64 b 0 magic;
+  Codec.set_u64_int b 8 seq;
+  Codec.set_u32 b 16 count;
+  b
+
+let parse_tagged t block =
+  if Bytes.length block <> bs t then None
+  else
+    let magic = Codec.get_u64 block 0 in
+    if
+      Int64.equal magic magic_desc || Int64.equal magic magic_revoke
+      || Int64.equal magic magic_commit
+    then Some (magic, Codec.get_u64_int block 8, Codec.get_u32 block 16)
+    else None
+
+(* --- checkpoint (the second write of the double write) --- *)
+
+let checkpoint t =
+  if t.pending <> [] then begin
+    (* Newest version per home block wins; each is written once. *)
+    let latest = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun txn ->
+        List.iter
+          (fun (blkno, data) ->
+            if not (Hashtbl.mem latest blkno) then order := blkno :: !order;
+            Hashtbl.replace latest blkno data)
+          txn.blocks)
+      t.pending;
+    (* Checkpoint in home-block order (the block layer's elevator). *)
+    List.iter
+      (fun blkno ->
+        t.io.Block_io.write_block blkno (Hashtbl.find latest blkno);
+        Metrics.incr t.metrics "jbd2.checkpoint_writes" ~by:1)
+      (List.sort compare !order);
+    t.pending <- [];
+    Hashtbl.reset t.overlay;
+    t.tail <- t.head;
+    write_super t;
+    Metrics.incr t.metrics "jbd2.checkpoints" ~by:1
+  end
+
+(* Newest committed-but-not-checkpointed version of a home block, if any
+   (the page-cache read path). *)
+let read_cached t blkno = Option.map Bytes.copy (Hashtbl.find_opt t.overlay blkno)
+
+(* --- transactions --- *)
+
+type handle = {
+  journal : t;
+  staged : (int, bytes) Hashtbl.t;
+  mutable order : int list; (* reversed insertion order *)
+  mutable revoked : int list;
+  mutable finished : bool;
+}
+
+let init_txn t = { journal = t; staged = Hashtbl.create 16; order = []; revoked = []; finished = false }
+
+let stage h blkno data =
+  if h.finished then invalid_arg "Jbd2.stage: transaction finished";
+  if Bytes.length data <> bs h.journal then invalid_arg "Jbd2.stage: wrong block size";
+  if not (Hashtbl.mem h.staged blkno) then h.order <- blkno :: h.order;
+  Hashtbl.replace h.staged blkno (Bytes.copy data)
+
+let revoke h blkno =
+  if h.finished then invalid_arg "Jbd2.revoke: transaction finished";
+  h.revoked <- blkno :: h.revoked
+
+let block_count h = Hashtbl.length h.staged
+
+let write_at t pos block = t.io.Block_io.write_block (pos_block t pos) block
+
+(* Split [ids] into chunks of at most [k]. *)
+let chunks k ids =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n = k then go (List.rev cur :: acc) [ x ] 1 rest else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 ids
+
+let commit h =
+  if h.finished then invalid_arg "Jbd2.commit: transaction finished";
+  h.finished <- true;
+  let t = h.journal in
+  let ids = List.rev h.order in
+  let n = List.length ids in
+  if n = 0 && h.revoked = [] then ()
+  else begin
+    let desc_chunks = chunks (per_desc t) ids in
+    let revoke_chunks = chunks (per_desc t) h.revoked in
+    let needed = n + List.length desc_chunks + List.length revoke_chunks + 1 in
+    if needed > t.cap then invalid_arg "Jbd2.commit: transaction larger than journal";
+    if used_blocks t + needed > t.cap then checkpoint t;
+    let seq = t.next_seq in
+    let pos = ref t.head in
+    let emit block =
+      write_at t !pos block;
+      incr pos
+    in
+    (* Descriptor block followed by its log blocks, repeated. *)
+    List.iter
+      (fun chunk ->
+        let d = make_tagged t magic_desc seq (List.length chunk) in
+        List.iteri (fun i blkno -> Codec.set_u64_int d (24 + (i * 8)) blkno) chunk;
+        emit d;
+        List.iter
+          (fun blkno ->
+            emit (Hashtbl.find h.staged blkno);
+            Metrics.incr t.metrics "jbd2.blocks_logged" ~by:1)
+          chunk)
+      desc_chunks;
+    List.iter
+      (fun chunk ->
+        let r = make_tagged t magic_revoke seq (List.length chunk) in
+        List.iteri (fun i blkno -> Codec.set_u64_int r (24 + (i * 8)) blkno) chunk;
+        emit r)
+      revoke_chunks;
+    emit (make_tagged t magic_commit seq n);
+    t.head <- !pos;
+    t.next_seq <- seq + 1;
+    let blocks = List.map (fun blkno -> (blkno, Hashtbl.find h.staged blkno)) ids in
+    t.pending <- t.pending @ [ { seq; blocks } ];
+    List.iter (fun (blkno, data) -> Hashtbl.replace t.overlay blkno data) blocks;
+    Metrics.incr t.metrics "jbd2.commits" ~by:1;
+    if
+      float_of_int (used_blocks t) > t.cfg.checkpoint_threshold *. float_of_int t.cap
+    then checkpoint t
+  end
+
+(* --- recovery --- *)
+
+type scanned = {
+  s_seq : int;
+  s_blocks : (int * bytes) list;
+  s_revoked : int list;
+}
+
+let read_super ~config ~(io : Block_io.t) =
+  let b = io.Block_io.read_block config.start in
+  if not (Int64.equal (Codec.get_u64 b 0) magic_super) then
+    failwith "Jbd2.Journal: unformatted journal (bad magic)";
+  let crc = Codec.crc32 b ~pos:0 ~len:24 in
+  if not (Int32.equal crc (Bytes.get_int32_le b 24)) then
+    failwith "Jbd2.Journal: corrupt journal superblock";
+  (Codec.get_u64_int b 8, Codec.get_u64_int b 16)
+
+let recover ~config ~io ~metrics =
+  check_config ~config ~io;
+  let s_seq, s_tail = read_super ~config ~io in
+  let t = { cfg = config; io; metrics; cap = config.len - 1; head = s_tail; tail = s_tail;
+            next_seq = s_seq; pending = []; overlay = Hashtbl.create 256 } in
+  let read_at pos = io.Block_io.read_block (pos_block t pos) in
+  (* Pass 1: scan forward collecting fully committed transactions. *)
+  let txns = ref [] in
+  let pos = ref s_tail in
+  let seq = ref s_seq in
+  let scanning = ref true in
+  while !scanning && !pos - s_tail < t.cap do
+    (* Scan one transaction starting at !pos with sequence !seq. *)
+    let tpos = ref !pos in
+    let blocks = ref [] in
+    let revoked = ref [] in
+    let committed = ref false in
+    let broken = ref false in
+    let in_txn = ref true in
+    while !in_txn && not !broken && !tpos - s_tail < t.cap do
+      match parse_tagged t (read_at !tpos) with
+      | Some (m, tag_seq, count) when tag_seq = !seq && Int64.equal m magic_desc ->
+          let d = read_at !tpos in
+          incr tpos;
+          let ids = List.init count (fun i -> Codec.get_u64_int d (24 + (i * 8))) in
+          if !tpos + count - s_tail > t.cap then broken := true
+          else
+            List.iter
+              (fun blkno ->
+                blocks := (blkno, read_at !tpos) :: !blocks;
+                incr tpos)
+              ids
+      | Some (m, tag_seq, count) when tag_seq = !seq && Int64.equal m magic_revoke ->
+          let r = read_at !tpos in
+          incr tpos;
+          for i = 0 to count - 1 do
+            revoked := Codec.get_u64_int r (24 + (i * 8)) :: !revoked
+          done
+      | Some (m, tag_seq, _count) when tag_seq = !seq && Int64.equal m magic_commit ->
+          incr tpos;
+          committed := true;
+          in_txn := false
+      | _ -> broken := true
+    done;
+    if !committed then begin
+      txns := { s_seq = !seq; s_blocks = List.rev !blocks; s_revoked = !revoked } :: !txns;
+      pos := !tpos;
+      incr seq
+    end
+    else scanning := false
+  done;
+  let txns = List.rev !txns in
+  (* Pass 2: collect revocations (a revoke in txn S suppresses replay of
+     that block from any txn with sequence <= S), then replay. *)
+  let revoke_seq = Hashtbl.create 16 in
+  List.iter
+    (fun txn ->
+      List.iter
+        (fun blkno ->
+          let cur = match Hashtbl.find_opt revoke_seq blkno with Some s -> s | None -> -1 in
+          if txn.s_seq > cur then Hashtbl.replace revoke_seq blkno txn.s_seq)
+        txn.s_revoked)
+    txns;
+  List.iter
+    (fun txn ->
+      List.iter
+        (fun (blkno, data) ->
+          let revoked =
+            match Hashtbl.find_opt revoke_seq blkno with
+            | Some s -> s >= txn.s_seq
+            | None -> false
+          in
+          if not revoked then begin
+            io.Block_io.write_block blkno data;
+            Metrics.incr metrics "jbd2.replayed" ~by:1
+          end)
+        txn.s_blocks)
+    txns;
+  (* Reset to a clean, empty journal past the replayed region. *)
+  t.head <- !pos;
+  t.tail <- !pos;
+  t.next_seq <- !seq;
+  write_super t;
+  Metrics.incr metrics "jbd2.recoveries" ~by:1;
+  Log.info (fun m ->
+      m "journal recovery: %d committed transactions replayed up to sequence %d"
+        (List.length txns) (!seq - 1));
+  t

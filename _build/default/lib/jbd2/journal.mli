@@ -1,0 +1,79 @@
+(** JBD2-style redo journal — the top layer of the Classic stack
+    (paper §2.3, Fig 2).
+
+    On-journal format, all in 4 KB blocks written through an underlying
+    {!Tinca_blockdev.Block_io} (in the Classic stack: the Flashcache over
+    NVM, so every journal block is absorbed — and amplified — by the
+    cache):
+
+    - a {e journal superblock} summarizing geometry and where recovery
+      must start (sequence number + block offset);
+    - per transaction: one or more {e descriptor blocks} naming the home
+      locations of the data that follows, the {e log blocks} (verbatim
+      copies — the first write of the double write), optional {e revoke
+      blocks}, and a {e commit block} that seals the transaction;
+    - {e checkpointing} later writes every committed block to its home
+      location (the second write) and advances the journal tail.
+
+    Counters: ["jbd2.commits"], ["jbd2.blocks_logged"],
+    ["jbd2.checkpoints"], ["jbd2.checkpoint_writes"], ["jbd2.replayed"]. *)
+
+type t
+
+type config = {
+  start : int;                   (** first block of the journal area *)
+  len : int;                     (** blocks in the journal area (≥ 8) *)
+  checkpoint_threshold : float;  (** checkpoint when used/capacity exceeds this (default 0.25) *)
+}
+
+val default_threshold : float
+
+(** [format ~config ~io ~metrics] initializes an empty journal. *)
+val format : config:config -> io:Tinca_blockdev.Block_io.t -> metrics:Tinca_sim.Metrics.t -> t
+
+(** [recover ~config ~io ~metrics] replays every fully committed
+    transaction found after the superblock's start position into its home
+    blocks (redo), discards any trailing partial transaction, and returns
+    a clean journal. *)
+val recover : config:config -> io:Tinca_blockdev.Block_io.t -> metrics:Tinca_sim.Metrics.t -> t
+
+(** {1 Transactions} *)
+
+type handle
+
+(** Start a running transaction (DRAM-resident). *)
+val init_txn : t -> handle
+
+(** Stage a block; staging the same home block twice keeps the newest. *)
+val stage : handle -> int -> bytes -> unit
+
+(** Record a revoked (truncated) block: it will not be replayed from this
+    or earlier transactions during recovery. *)
+val revoke : handle -> int -> unit
+
+val block_count : handle -> int
+
+(** Write descriptor + log + revoke + commit blocks through the
+    underlying device; on return the transaction is committed.  May
+    trigger a checkpoint first to make room.  Raises [Invalid_argument]
+    if the transaction cannot fit even an empty journal. *)
+val commit : handle -> unit
+
+(** Force a checkpoint: write every pending committed block to its home
+    location (newest version per block once), advance the tail, persist
+    the superblock. *)
+val checkpoint : t -> unit
+
+(** Committed-but-not-checkpointed transactions. *)
+val pending_txns : t -> int
+
+(** Journal blocks currently holding live (uncheckpointed) data. *)
+val used_blocks : t -> int
+
+val capacity_blocks : t -> int
+
+(** Newest committed-but-not-checkpointed version of a home block, if any
+    — the stand-in for Ext4's page cache on the read path.  Readers above
+    the journal must consult this before the cache/disk, otherwise they
+    would observe pre-commit contents until the next checkpoint. *)
+val read_cached : t -> int -> bytes option

@@ -1,0 +1,1 @@
+lib/pmem/pmem.mli: Tinca_sim Tinca_util

@@ -1,0 +1,228 @@
+open Tinca_sim
+
+exception Crash_point
+
+let line_size = 64
+
+type line = { backup : Bytes.t; mutable pending : bool }
+
+type t = {
+  media : Bytes.t;
+  lines : (int, line) Hashtbl.t;
+  clock : Clock.t;
+  metrics : Metrics.t;
+  tech : Latency.nvm_tech;
+  lat : Latency.nvm;
+  rng : Tinca_util.Rng.t;
+  wear : int array;
+  mutable countdown : int option;
+  mutable events : int;
+}
+
+let create ?(seed = 42) ?(flush_instr = Latency.Clflush) ~clock ~metrics ~tech ~size () =
+  if size <= 0 || size mod line_size <> 0 then
+    invalid_arg "Pmem.create: size must be a positive multiple of 64";
+  {
+    media = Bytes.make size '\000';
+    lines = Hashtbl.create 4096;
+    clock;
+    metrics;
+    tech;
+    lat = Latency.nvm_of_tech ~flush_instr tech;
+    rng = Tinca_util.Rng.create seed;
+    wear = Array.make (size / line_size) 0;
+    countdown = None;
+    events = 0;
+  }
+
+let size t = Bytes.length t.media
+let tech t = t.tech
+
+let event t =
+  t.events <- t.events + 1;
+  match t.countdown with
+  | None -> ()
+  | Some k -> if k <= 1 then raise Crash_point else t.countdown <- Some (k - 1)
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > Bytes.length t.media then
+    invalid_arg
+      (Printf.sprintf "Pmem: range [%d, %d) out of bounds (size %d)" off (off + len)
+         (Bytes.length t.media))
+
+(* Make sure the line exists in the volatile layer before mutating it,
+   snapshotting the currently-durable content as rollback state.  A store
+   into a flush-pending line resolves the in-flight write-back
+   adversarially: it may or may not have reached the medium. *)
+let dirty_line t idx =
+  match Hashtbl.find_opt t.lines idx with
+  | Some line ->
+      if line.pending then begin
+        if Tinca_util.Rng.bool t.rng then
+          Bytes.blit t.media (idx * line_size) line.backup 0 line_size;
+        line.pending <- false
+      end
+  | None ->
+      let backup = Bytes.create line_size in
+      Bytes.blit t.media (idx * line_size) backup 0 line_size;
+      Hashtbl.add t.lines idx { backup; pending = false }
+
+let lines_of_range off len =
+  let first = off / line_size in
+  let last = (off + len - 1) / line_size in
+  (first, last)
+
+let store_range t off len =
+  event t;
+  if len > 0 then begin
+    let first, last = lines_of_range off len in
+    for idx = first to last do
+      dirty_line t idx
+    done;
+    let nlines = last - first + 1 in
+    Clock.advance t.clock (t.lat.store_ns *. float_of_int nlines);
+    Metrics.incr t.metrics "pmem.stores" ~by:1;
+    Metrics.incr t.metrics "pmem.store_lines" ~by:nlines
+  end
+
+let write_sub t ~off src ~pos ~len =
+  check_range t off len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Pmem.write_sub: bad source range";
+  store_range t off len;
+  Bytes.blit src pos t.media off len
+
+let write t ~off src = write_sub t ~off src ~pos:0 ~len:(Bytes.length src)
+
+let fill t ~off ~len c =
+  check_range t off len;
+  store_range t off len;
+  Bytes.fill t.media off len c
+
+let atomic_write8 t ~off v =
+  check_range t off 8;
+  if off mod 8 <> 0 then invalid_arg "Pmem.atomic_write8: misaligned";
+  store_range t off 8;
+  Metrics.incr t.metrics "pmem.atomic_writes" ~by:1;
+  Bytes.set_int64_le t.media off v
+
+let atomic_write8_int t ~off v =
+  assert (v >= 0);
+  atomic_write8 t ~off (Int64.of_int v)
+
+let atomic_write16 t ~off v =
+  check_range t off 16;
+  if off mod 16 <> 0 then invalid_arg "Pmem.atomic_write16: misaligned";
+  if Bytes.length v <> 16 then invalid_arg "Pmem.atomic_write16: value must be 16 bytes";
+  store_range t off 16;
+  Metrics.incr t.metrics "pmem.atomic_writes" ~by:1;
+  Bytes.blit v 0 t.media off 16
+
+let charge_read t off len =
+  if len > 0 then begin
+    let first, last = lines_of_range off len in
+    let nlines = last - first + 1 in
+    Clock.advance t.clock (t.lat.read_ns *. float_of_int nlines);
+    Metrics.incr t.metrics "pmem.read_lines" ~by:nlines
+  end
+
+let read t ~off ~len =
+  check_range t off len;
+  charge_read t off len;
+  Bytes.sub t.media off len
+
+let read_into t ~off ~buf ~pos ~len =
+  check_range t off len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Pmem.read_into: bad destination range";
+  charge_read t off len;
+  Bytes.blit t.media off buf pos len
+
+let read_u8 t ~off =
+  check_range t off 1;
+  charge_read t off 1;
+  Char.code (Bytes.get t.media off)
+
+let read_u64 t ~off =
+  check_range t off 8;
+  charge_read t off 8;
+  Bytes.get_int64_le t.media off
+
+let read_u64_int t ~off =
+  let v = read_u64 t ~off in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    invalid_arg "Pmem.read_u64_int: out of int range";
+  Int64.to_int v
+
+let clflush t ~off ~len =
+  check_range t off len;
+  event t;
+  if len > 0 then begin
+    let first, last = lines_of_range off len in
+    for idx = first to last do
+      match Hashtbl.find_opt t.lines idx with
+      | Some line -> line.pending <- true
+      | None -> () (* clean line: the flush is issued but is a no-op *)
+    done;
+    let nlines = last - first + 1 in
+    Metrics.incr t.metrics "pmem.clflush" ~by:nlines;
+    Clock.advance t.clock
+      ((t.lat.clflush_ns +. t.lat.write_ns) *. float_of_int nlines)
+  end
+
+let sfence t =
+  event t;
+  Metrics.incr t.metrics "pmem.sfence" ~by:1;
+  Clock.advance t.clock t.lat.sfence_ns;
+  let persisted = ref [] in
+  Hashtbl.iter (fun idx line -> if line.pending then persisted := idx :: !persisted) t.lines;
+  List.iter
+    (fun idx ->
+      Hashtbl.remove t.lines idx;
+      t.wear.(idx) <- t.wear.(idx) + 1;
+      Metrics.incr t.metrics "pmem.lines_persisted" ~by:1)
+    !persisted
+
+let persist t ~off ~len =
+  clflush t ~off ~len;
+  sfence t
+
+let crash ?seed ?(survival = 0.5) t =
+  let rng = match seed with Some s -> Tinca_util.Rng.create s | None -> t.rng in
+  let entries = Hashtbl.fold (fun idx line acc -> (idx, line) :: acc) t.lines [] in
+  List.iter
+    (fun (idx, line) ->
+      if Tinca_util.Rng.chance rng survival then begin
+        (* The line's newest content reached the medium before power loss. *)
+        t.wear.(idx) <- t.wear.(idx) + 1
+      end
+      else Bytes.blit line.backup 0 t.media (idx * line_size) line_size)
+    entries;
+  Hashtbl.reset t.lines;
+  t.countdown <- None
+
+let set_crash_countdown t c =
+  (match c with
+  | Some k when k < 1 -> invalid_arg "Pmem.set_crash_countdown: k must be >= 1"
+  | _ -> ());
+  t.countdown <- c
+
+let event_count t = t.events
+let dirty_line_count t = Hashtbl.length t.lines
+let is_dirty t ~off = Hashtbl.mem t.lines (off / line_size)
+let wear_total t = Array.fold_left ( + ) 0 t.wear
+let wear_max t = Array.fold_left max 0 t.wear
+
+let wear_histogram t =
+  let h = Tinca_util.Histogram.create () in
+  Array.iter (fun w -> Tinca_util.Histogram.add h (float_of_int w)) t.wear;
+  h
+
+let wear_max_in t ~off ~len =
+  check_range t off len;
+  let first = off / line_size and last = (off + len - 1) / line_size in
+  let m = ref 0 in
+  for i = first to last do
+    if t.wear.(i) > !m then m := t.wear.(i)
+  done;
+  !m

@@ -1,0 +1,130 @@
+(** Byte-addressable persistent-memory simulator.
+
+    Models the NVM the paper's prototype runs on (NVDIMM with added
+    PCM/STT-RAM delays) together with the volatile CPU cache in front of
+    it, because Tinca's correctness argument lives exactly in that gap:
+
+    - regular stores land in a volatile cache-line layer (64 B lines) and
+      are NOT durable;
+    - [clflush] marks a line for write-back; it only becomes durable at
+      the next [sfence] (matching x86 ordering of clflush);
+    - at a crash, every line that is dirty or flush-pending independently
+      either reaches the medium or is lost — an adversarial model of
+      write-back reordering;
+    - 8 B and 16 B aligned atomic writes model [mov]/[cmpxchg16b LOCK]:
+      they cannot tear (a line either carries the whole value or the
+      previous whole value after a crash).
+
+    Reads always observe the newest stores (CPU reads hit its own cache).
+    Every operation charges simulated time to the owning {!Tinca_sim.Clock}
+    and bumps counters in the owning {!Tinca_sim.Metrics}:
+    ["pmem.stores"], ["pmem.store_lines"], ["pmem.clflush"],
+    ["pmem.sfence"], ["pmem.lines_persisted"], ["pmem.read_lines"],
+    ["pmem.atomic_writes"]. *)
+
+type t
+
+(** Raised when the systematic crash-injection countdown expires; see
+    {!set_crash_countdown}. *)
+exception Crash_point
+
+(** Cache-line size in bytes (64). *)
+val line_size : int
+
+(** [create ~clock ~metrics ~tech ~size ()] — [size] must be a multiple of
+    [line_size].  [seed] drives crash-time nondeterminism resolution;
+    [flush_instr] selects the modelled cache-line flush instruction
+    (default [Clflush], the only one the paper's testbed supports). *)
+val create :
+  ?seed:int ->
+  ?flush_instr:Tinca_sim.Latency.flush_instr ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  tech:Tinca_sim.Latency.nvm_tech ->
+  size:int ->
+  unit ->
+  t
+
+val size : t -> int
+val tech : t -> Tinca_sim.Latency.nvm_tech
+
+(** {1 Volatile stores} *)
+
+(** [write t ~off src] stores all of [src] at [off]. *)
+val write : t -> off:int -> bytes -> unit
+
+(** [write_sub t ~off src ~pos ~len] stores [len] bytes of [src] starting
+    at [pos]. *)
+val write_sub : t -> off:int -> bytes -> pos:int -> len:int -> unit
+
+(** [fill t ~off ~len c] stores [len] copies of [c]. *)
+val fill : t -> off:int -> len:int -> char -> unit
+
+(** [atomic_write8 t ~off v] — 8 B aligned atomic store. *)
+val atomic_write8 : t -> off:int -> int64 -> unit
+
+(** [atomic_write8_int t ~off v] — non-negative [int] convenience. *)
+val atomic_write8_int : t -> off:int -> int -> unit
+
+(** [atomic_write16 t ~off v] — 16 B aligned atomic store ([cmpxchg16b]
+    with LOCK); [v] must be exactly 16 bytes. *)
+val atomic_write16 : t -> off:int -> bytes -> unit
+
+(** {1 Reads} *)
+
+val read : t -> off:int -> len:int -> bytes
+val read_into : t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+val read_u8 : t -> off:int -> int
+val read_u64 : t -> off:int -> int64
+val read_u64_int : t -> off:int -> int
+
+(** {1 Persistence primitives} *)
+
+(** [clflush t ~off ~len] issues clflush for every line intersecting the
+    range.  Lines become durable at the next {!sfence}. *)
+val clflush : t -> off:int -> len:int -> unit
+
+(** Ordering + durability point: all flush-pending lines reach the medium. *)
+val sfence : t -> unit
+
+(** [persist t ~off ~len] = [clflush]; [sfence] — the paper's write idiom. *)
+val persist : t -> off:int -> len:int -> unit
+
+(** {1 Crash injection} *)
+
+(** [crash ?seed ?survival t] simulates power loss: each dirty or
+    flush-pending line independently survives (its newest content reaches
+    the medium) with probability [survival] (default 0.5) or reverts to
+    its last persisted content; then the volatile layer is emptied.
+    [seed] overrides the internal RNG for reproducible outcomes. *)
+val crash : ?seed:int -> ?survival:float -> t -> unit
+
+(** [set_crash_countdown t (Some k)] raises {!Crash_point} out of the
+    [k]-th subsequent mutation/persistence event (store, atomic write,
+    clflush or sfence), leaving that event not performed.  [None] disables
+    the hook.  Used by systematic crash-sweep tests. *)
+val set_crash_countdown : t -> int option -> unit
+
+(** Number of mutation/persistence events so far (for sizing sweeps). *)
+val event_count : t -> int
+
+(** Lines currently not durable. *)
+val dirty_line_count : t -> int
+
+(** [is_dirty t ~off] — is the line containing [off] not durable? *)
+val is_dirty : t -> off:int -> bool
+
+(** {1 Wear accounting} *)
+
+(** Total line write-backs to the medium. *)
+val wear_total : t -> int
+
+(** Maximum write-backs over any single line. *)
+val wear_max : t -> int
+
+(** [wear_histogram t] folds per-line wear into a histogram. *)
+val wear_histogram : t -> Tinca_util.Histogram.t
+
+(** [wear_max_in t ~off ~len] — maximum per-line write-backs within a
+    byte range (e.g. just the data region, excluding hot pointer lines). *)
+val wear_max_in : t -> off:int -> len:int -> int

@@ -1,0 +1,12 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now_ns t = t.now
+
+let advance t ns =
+  assert (ns >= 0.0);
+  t.now <- t.now +. ns
+
+let advance_to t ns = if ns > t.now then t.now <- ns
+let seconds t = t.now /. 1e9
+let reset t = t.now <- 0.0

@@ -1,0 +1,26 @@
+(** Simulated nanosecond clock.
+
+    The reproduction replaces wall-clock measurement on the authors'
+    NVDIMM testbed with deterministic simulated time: every modelled
+    action (store, cache-line flush, fence, disk I/O, network transfer,
+    fixed CPU overhead) advances a [Clock.t].  Throughput figures are then
+    operations per simulated second, which preserves the *ratios* the
+    paper reports independently of the host machine. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in nanoseconds since [create]/[reset]. *)
+val now_ns : t -> float
+
+(** Advance the clock by [ns] (>= 0). *)
+val advance : t -> float -> unit
+
+(** [advance_to t ns] moves the clock forward to absolute time [ns]; no-op
+    if the clock is already past it.  Used by the cluster model when a
+    node waits for a network transfer to arrive. *)
+val advance_to : t -> float -> unit
+
+val seconds : t -> float
+val reset : t -> unit

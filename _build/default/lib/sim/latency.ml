@@ -1,0 +1,108 @@
+type nvm_tech = Nvdimm | Stt_ram | Pcm | Reram
+
+let nvm_tech_name = function
+  | Nvdimm -> "NVDIMM"
+  | Stt_ram -> "STT-RAM"
+  | Pcm -> "PCM"
+  | Reram -> "ReRAM"
+
+let all_techs = [ Nvdimm; Stt_ram; Pcm; Reram ]
+
+type nvm = {
+  read_ns : float;
+  write_ns : float;
+  clflush_ns : float;
+  sfence_ns : float;
+  store_ns : float;
+}
+
+(* DRAM-speed base: ~60 ns load, ~15 ns store per line; clflush ~100 ns of
+   instruction + writeback overhead; sfence ~20 ns (measured orders of
+   magnitude from Dulloor et al., EuroSys'14, the paper's ref [7]).  The
+   technology delay is *added* on top, exactly like the prototype adds
+   write/read delays to the NVDIMM. *)
+let base_read_ns = 60.0
+let base_write_ns = 15.0
+let sfence_ns = 20.0
+let store_ns = 10.0
+
+type flush_instr = Clflush | Clflushopt | Clwb
+
+let flush_instr_name = function
+  | Clflush -> "clflush"
+  | Clflushopt -> "clflushopt"
+  | Clwb -> "clwb"
+
+(* clflush serializes against other clflushes (~100 ns each end to end);
+   clflushopt pipelines (~40 ns of issue overhead per line); clwb is
+   clflushopt without the invalidation (~30 ns). *)
+let flush_instr_ns = function Clflush -> 100.0 | Clflushopt -> 40.0 | Clwb -> 30.0
+
+let added_delays = function
+  | Nvdimm -> (0.0, 0.0) (* read, write *)
+  | Stt_ram -> (50.0, 50.0)
+  | Pcm -> (50.0, 180.0)
+  | Reram -> (50.0, 200.0)
+
+let nvm_of_tech ?(flush_instr = Clflush) tech =
+  let added_read, added_write = added_delays tech in
+  {
+    read_ns = base_read_ns +. added_read;
+    write_ns = base_write_ns +. added_write;
+    clflush_ns = flush_instr_ns flush_instr;
+    sfence_ns;
+    store_ns;
+  }
+
+type disk_kind = Ssd | Hdd
+
+let disk_kind_name = function Ssd -> "SSD" | Hdd -> "HDD"
+
+type disk = {
+  kind : disk_kind;
+  read_block_ns : float;
+  write_block_ns : float;
+  seq_block_ns : float;
+  seek_ns : float;
+}
+
+(* SATA SSD: ~60/80 us random 4 KB read/write, ~500 MB/s sequential.
+   7200 rpm HDD: ~4 ms seek + 4.17 ms half rotation, ~150 MB/s transfer. *)
+let disk_of_kind = function
+  | Ssd ->
+      { kind = Ssd; read_block_ns = 60_000.0; write_block_ns = 80_000.0;
+        seq_block_ns = 8_000.0; seek_ns = 0.0 }
+  | Hdd ->
+      { kind = Hdd; read_block_ns = 27_000.0; write_block_ns = 27_000.0;
+        seq_block_ns = 27_000.0; seek_ns = 8_170_000.0 }
+
+type cpu = {
+  op_overhead_ns : float;
+  memcpy_4k_ns : float;
+  hash_lookup_ns : float;
+  lock_ns : float;
+}
+
+let default_cpu =
+  { op_overhead_ns = 2_000.0; memcpy_4k_ns = 400.0; hash_lookup_ns = 100.0; lock_ns = 50.0 }
+
+type network = { rtt_ns : float; bytes_per_ns : float }
+
+(* 10 GbE: ~10 us one-way software latency, 1.25 GB/s. *)
+let default_network = { rtt_ns = 10_000.0; bytes_per_ns = 1.25 }
+
+let transfer_ns net bytes = net.rtt_ns +. (float_of_int bytes /. net.bytes_per_ns)
+
+let table1 () =
+  let open Tinca_util in
+  let t =
+    Tabular.create ~title:"Table 1: Typical DRAM and NVM Technologies"
+      [ "Parameter"; "DRAM"; "STT-RAM"; "ReRAM"; "PCM" ]
+  in
+  Tabular.add_row t [ "Density"; "1x"; "1x"; "2x-4x"; "2x-4x" ];
+  Tabular.add_row t [ "Read Latency"; "60ns"; "100ns"; "200-300ns"; "200-300ns" ];
+  Tabular.add_row t [ "Write Speed"; "~1GB/s"; "~1GB/s"; "~140MB/s"; "~100MB/s" ];
+  Tabular.add_row t [ "Write Endurance"; "1e16"; "1e16"; "1e6"; "1e6-1e8" ];
+  Tabular.add_row t
+    [ "Simulated line write (+delay)"; "15ns (+0)"; "65ns (+50)"; "215ns (+200)"; "195ns (+180)" ];
+  t

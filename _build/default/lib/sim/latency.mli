@@ -1,0 +1,75 @@
+(** Latency model: NVM technologies (paper Table 1 and §5.1), disk media
+    and fixed software costs.
+
+    The paper's prototype emulates PCM by adding 180 ns write / 50 ns read
+    delays to an NVDIMM, and STT-RAM with 50 ns / 50 ns; the NVDIMM itself
+    runs at DRAM speed.  We reproduce exactly those knobs. *)
+
+type nvm_tech =
+  | Nvdimm   (** DRAM-speed NVDIMM (the prototype's base medium) *)
+  | Stt_ram  (** +50 ns write, +50 ns read per cache line *)
+  | Pcm      (** +180 ns write, +50 ns read per cache line (default) *)
+  | Reram    (** PCM-like; included for Table 1 completeness *)
+
+val nvm_tech_name : nvm_tech -> string
+val all_techs : nvm_tech list
+
+type nvm = {
+  read_ns : float;    (** per 64 B cache-line load from the medium *)
+  write_ns : float;   (** per 64 B cache-line write into the medium (charged at flush) *)
+  clflush_ns : float; (** instruction overhead of one cache-line flush *)
+  sfence_ns : float;  (** cost of one sfence *)
+  store_ns : float;   (** CPU store into the (volatile) cache, per line *)
+}
+
+(** Cache-line flush instruction (paper §2.1).  The prototype's Xeon only
+    supports [Clflush]; [Clflushopt] drops the implicit serialization
+    between consecutive flushes, and [Clwb] additionally leaves the line
+    valid in the CPU cache.  Modelled as decreasing per-line instruction
+    overhead. *)
+type flush_instr = Clflush | Clflushopt | Clwb
+
+val flush_instr_name : flush_instr -> string
+
+(** Per-line instruction overhead of a flush instruction. *)
+val flush_instr_ns : flush_instr -> float
+
+(** Cache-line latencies for a technology (with [Clflush] overhead by
+    default; pass [flush_instr] to model the newer instructions). *)
+val nvm_of_tech : ?flush_instr:flush_instr -> nvm_tech -> nvm
+
+type disk_kind = Ssd | Hdd
+
+val disk_kind_name : disk_kind -> string
+
+type disk = {
+  kind : disk_kind;
+  read_block_ns : float;      (** 4 KB random read *)
+  write_block_ns : float;     (** 4 KB random write *)
+  seq_block_ns : float;       (** 4 KB sequential transfer *)
+  seek_ns : float;            (** average positioning cost (HDD only) *)
+}
+
+val disk_of_kind : disk_kind -> disk
+
+type cpu = {
+  op_overhead_ns : float;     (** per storage op: syscall + block-layer software path *)
+  memcpy_4k_ns : float;       (** one 4 KB DRAM memcpy *)
+  hash_lookup_ns : float;     (** DRAM index lookup *)
+  lock_ns : float;            (** lock acquire/release pair *)
+}
+
+val default_cpu : cpu
+
+type network = {
+  rtt_ns : float;             (** one-way latency, 10 GbE *)
+  bytes_per_ns : float;       (** bandwidth, 10 GbE = 1.25 GB/s *)
+}
+
+val default_network : network
+
+(** [transfer_ns net bytes] — one-way time to move [bytes]. *)
+val transfer_ns : network -> int -> float
+
+(** Render paper Table 1 (typical DRAM and NVM technologies). *)
+val table1 : unit -> Tinca_util.Tabular.t

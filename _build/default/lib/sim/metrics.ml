@@ -1,0 +1,35 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let incr t name ~by =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t name (ref by)
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type snapshot = (string * int) list
+
+let snapshot t : snapshot = to_list t
+
+let diff t (snap : snapshot) =
+  let old = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace old k v) snap;
+  to_list t
+  |> List.filter_map (fun (k, v) ->
+         let before = match Hashtbl.find_opt old k with Some x -> x | None -> 0 in
+         if v - before <> 0 then Some (k, v - before) else None)
+
+let since t snap name =
+  let before = match List.assoc_opt name snap with Some x -> x | None -> 0 in
+  get t name - before
+
+let reset t = Hashtbl.reset t
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@." k v) (to_list t)

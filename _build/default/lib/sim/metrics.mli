@@ -1,0 +1,32 @@
+(** Named-counter registry with snapshot/diff.
+
+    Every simulated component (pmem, disks, caches, journals, file system,
+    cluster nodes) registers its counters here so the experiment harness
+    can snapshot before a workload, diff after it, and normalize per
+    operation — the paper's "normalized quantity of clflush / disk
+    writes" methodology (§5.1). *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name ~by] bumps a counter, creating it at 0 if missing. *)
+val incr : t -> string -> by:int -> unit
+
+val get : t -> string -> int
+
+(** All counters, sorted by name. *)
+val to_list : t -> (string * int) list
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [diff t snap] — per-counter increments since [snap]. *)
+val diff : t -> snapshot -> (string * int) list
+
+(** [since t snap name] — increment of one counter since [snap]. *)
+val since : t -> snapshot -> string -> int
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

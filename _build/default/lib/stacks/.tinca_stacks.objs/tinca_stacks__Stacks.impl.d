@@ -1,0 +1,1 @@
+lib/stacks/stacks.ml: Clock Latency List Metrics Tinca_blockdev Tinca_core Tinca_flashcache Tinca_fs Tinca_jbd2 Tinca_pmem Tinca_sim Tinca_ubj Tinca_util

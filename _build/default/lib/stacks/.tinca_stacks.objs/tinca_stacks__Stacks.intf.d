@@ -1,0 +1,1 @@
+lib/stacks/stacks.mli: Tinca_blockdev Tinca_core Tinca_flashcache Tinca_fs Tinca_pmem Tinca_sim Tinca_ubj Tinca_util

@@ -1,0 +1,198 @@
+open Tinca_sim
+module Pmem = Tinca_pmem.Pmem
+module Disk = Tinca_blockdev.Disk
+module Block_io = Tinca_blockdev.Block_io
+module Cache = Tinca_core.Cache
+module Fc = Tinca_flashcache.Flashcache
+module Journal = Tinca_jbd2.Journal
+module Backend = Tinca_fs.Backend
+
+type env = { clock : Clock.t; metrics : Metrics.t; pmem : Pmem.t; disk : Disk.t }
+
+let make_env ?(seed = 42) ?(tech = Latency.Pcm) ?(disk_kind = Latency.Ssd)
+    ?(flush_instr = Latency.Clflush) ~nvm_bytes ~disk_blocks () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~seed ~flush_instr ~clock ~metrics ~tech ~size:nvm_bytes () in
+  let disk = Disk.create ~clock ~metrics ~kind:disk_kind ~nblocks:disk_blocks ~block_size:4096 in
+  { clock; metrics; pmem; disk }
+
+type t = {
+  label : string;
+  env : env;
+  backend : Backend.t;
+  cache_write_hit_rate : unit -> float;
+  txn_size_histogram : unit -> Tinca_util.Histogram.t option;
+  peak_cow_blocks : unit -> int;
+}
+
+(* --- Tinca stack --------------------------------------------------------- *)
+
+let tinca_of_cache env cache =
+  let backend =
+    {
+      Backend.name = "tinca";
+      block_size = 4096;
+      nblocks = Disk.nblocks env.disk;
+      read_block = (fun blkno -> Cache.read cache blkno);
+      commit_blocks =
+        (fun blocks ->
+          let h = Cache.Txn.init cache in
+          List.iter (fun (blkno, data) -> Cache.Txn.add h blkno data) blocks;
+          Cache.Txn.commit h);
+      write_blocks =
+        (fun blocks -> List.iter (fun (blkno, data) -> Cache.write_direct cache blkno data) blocks);
+      sync = (fun () -> Cache.flush_all cache);
+    }
+  in
+  {
+    label = "Tinca";
+    env;
+    backend;
+    cache_write_hit_rate = (fun () -> Cache.write_hit_rate cache);
+    txn_size_histogram = (fun () -> Some (Cache.txn_size_histogram cache));
+    peak_cow_blocks = (fun () -> Cache.peak_cow_blocks cache);
+  }
+
+let tinca ?(cache_config = Cache.default_config) env =
+  let cache =
+    Cache.format ~config:cache_config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
+      ~metrics:env.metrics
+  in
+  tinca_of_cache env cache
+
+let tinca_recover env =
+  let cache =
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+  in
+  tinca_of_cache env cache
+
+(* --- Classic stack -------------------------------------------------------- *)
+
+let io_of_fc fc ~nblocks =
+  {
+    Block_io.block_size = 4096;
+    nblocks;
+    read_block = (fun blkno -> Fc.read fc blkno);
+    write_block = (fun blkno data -> Fc.write fc blkno data);
+  }
+
+let classic_of ~label env fc journal =
+  let backend =
+    {
+      Backend.name = "classic";
+      block_size = 4096;
+      nblocks = Disk.nblocks env.disk;
+      read_block =
+        (fun blkno ->
+          match Journal.read_cached journal blkno with
+          | Some data -> data
+          | None -> Fc.read fc blkno);
+      commit_blocks =
+        (fun blocks ->
+          let h = Journal.init_txn journal in
+          List.iter (fun (blkno, data) -> Journal.stage h blkno data) blocks;
+          Journal.commit h);
+      write_blocks = (fun blocks -> List.iter (fun (blkno, data) -> Fc.write fc blkno data) blocks);
+      sync =
+        (fun () ->
+          Journal.checkpoint journal;
+          Fc.flush_all fc);
+    }
+  in
+  {
+    label;
+    env;
+    backend;
+    cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
+    txn_size_histogram = (fun () -> None);
+    peak_cow_blocks = (fun () -> 0);
+  }
+
+let journal_config ~journal_len ~disk_blocks =
+  {
+    Journal.start = disk_blocks - journal_len;
+    len = journal_len;
+    checkpoint_threshold = Journal.default_threshold;
+  }
+
+let classic ?(fc_config = Fc.default_config) ?(journal_len = 1024) env =
+  let fc =
+    Fc.create ~config:fc_config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
+      ~metrics:env.metrics
+  in
+  let io = io_of_fc fc ~nblocks:(Disk.nblocks env.disk) in
+  let config = journal_config ~journal_len ~disk_blocks:(Disk.nblocks env.disk) in
+  let journal = Journal.format ~config ~io ~metrics:env.metrics in
+  classic_of ~label:"Classic" env fc journal
+
+let classic_recover ?(fc_config = Fc.default_config) ?(journal_len = 1024) env =
+  let fc =
+    Fc.recover ~config:fc_config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
+      ~metrics:env.metrics
+  in
+  let io = io_of_fc fc ~nblocks:(Disk.nblocks env.disk) in
+  let config = journal_config ~journal_len ~disk_blocks:(Disk.nblocks env.disk) in
+  let journal = Journal.recover ~config ~io ~metrics:env.metrics in
+  classic_of ~label:"Classic" env fc journal
+
+(* --- UBJ stack -------------------------------------------------------------- *)
+
+let ubj ?(ubj_config = Tinca_ubj.Ubj.default_config) env =
+  let module Ubj = Tinca_ubj.Ubj in
+  let u =
+    Ubj.create ~config:ubj_config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
+      ~metrics:env.metrics
+  in
+  let commit_blocks blocks =
+    let h = Ubj.Txn.init u in
+    List.iter (fun (blkno, data) -> Ubj.Txn.add h blkno data) blocks;
+    Ubj.Txn.commit h
+  in
+  let backend =
+    {
+      Backend.name = "ubj";
+      block_size = 4096;
+      nblocks = Disk.nblocks env.disk;
+      read_block = (fun blkno -> Ubj.read u blkno);
+      commit_blocks;
+      write_blocks = commit_blocks;
+      sync = (fun () -> Ubj.flush_all u);
+    }
+  in
+  {
+    label = "UBJ";
+    env;
+    backend;
+    cache_write_hit_rate = (fun () -> 0.0);
+    txn_size_histogram = (fun () -> None);
+    peak_cow_blocks = (fun () -> 0);
+  }
+
+(* --- No-journal stack ------------------------------------------------------ *)
+
+let nojournal ?(fc_config = Fc.default_config) env =
+  let fc =
+    Fc.create ~config:fc_config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
+      ~metrics:env.metrics
+  in
+  let write_blocks blocks = List.iter (fun (blkno, data) -> Fc.write fc blkno data) blocks in
+  let backend =
+    {
+      Backend.name = "nojournal";
+      block_size = 4096;
+      nblocks = Disk.nblocks env.disk;
+      read_block = (fun blkno -> Fc.read fc blkno);
+      commit_blocks = write_blocks;
+      write_blocks;
+      sync = (fun () -> Fc.flush_all fc);
+    }
+  in
+  {
+    label = "NoJournal";
+    env;
+    backend;
+    cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
+    txn_size_histogram = (fun () -> None);
+    peak_cow_blocks = (fun () -> 0);
+  }

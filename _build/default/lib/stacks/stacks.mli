@@ -1,0 +1,74 @@
+(** Stack builders: assemble the two systems the paper compares (plus the
+    motivation variants) from the substrate libraries.
+
+    - {b Tinca}: Ext4-like FS -> Tinca transactional NVM cache -> disk
+      (paper Fig 1(c)).
+    - {b Classic}: Ext4-like FS -> JBD2 journal -> Flashcache over an NVM
+      block device -> disk (paper Fig 1(a), §5.1).
+    - {b No-journal}: FS writing straight through Flashcache (the
+      motivation experiments' baseline without crash consistency).
+
+    Every stack owns its simulated clock, metrics registry, pmem and
+    disk, so experiments can run stacks side by side and diff their
+    counters. *)
+
+type env = {
+  clock : Tinca_sim.Clock.t;
+  metrics : Tinca_sim.Metrics.t;
+  pmem : Tinca_pmem.Pmem.t;
+  disk : Tinca_blockdev.Disk.t;
+}
+
+(** [make_env ~nvm_bytes ~disk_blocks ()] — defaults: PCM, SSD, clflush,
+    seed 42. *)
+val make_env :
+  ?seed:int ->
+  ?tech:Tinca_sim.Latency.nvm_tech ->
+  ?disk_kind:Tinca_sim.Latency.disk_kind ->
+  ?flush_instr:Tinca_sim.Latency.flush_instr ->
+  nvm_bytes:int ->
+  disk_blocks:int ->
+  unit ->
+  env
+
+type t = {
+  label : string;
+  env : env;
+  backend : Tinca_fs.Backend.t;
+  (** Write hit rate of the cache layer (paper Fig 12c). *)
+  cache_write_hit_rate : unit -> float;
+  (** Blocks-per-transaction histogram where the stack tracks one
+      (Tinca only; Fig 13). *)
+  txn_size_histogram : unit -> Tinca_util.Histogram.t option;
+  (** Peak NVM blocks pinned as COW previous versions (Tinca only;
+      paper §5.4.3); 0 for other stacks. *)
+  peak_cow_blocks : unit -> int;
+}
+
+(** Build a Tinca stack (formats the cache). *)
+val tinca : ?cache_config:Tinca_core.Cache.config -> env -> t
+
+(** Re-attach a Tinca stack after {!Tinca_pmem.Pmem.crash} (runs cache
+    recovery). *)
+val tinca_recover : env -> t
+
+(** Build a Classic stack (formats cache + journal).  [journal_len]
+    must match the file system's [journal_len] (the journal lives in the
+    last [journal_len] blocks of the disk, as laid out by
+    {!Tinca_fs.Fs.format}). *)
+val classic :
+  ?fc_config:Tinca_flashcache.Flashcache.config -> ?journal_len:int -> env -> t
+
+(** Re-attach a Classic stack after a crash: rebuild the Flashcache
+    mirror, then replay the journal. *)
+val classic_recover :
+  ?fc_config:Tinca_flashcache.Flashcache.config -> ?journal_len:int -> env -> t
+
+(** Flashcache with no journaling above it; [fc_config] exposes the
+    metadata_sync / flush_writes ablation knobs of the motivation
+    figures. *)
+val nojournal : ?fc_config:Tinca_flashcache.Flashcache.config -> env -> t
+
+(** UBJ-style union of buffer cache and journal (paper §5.4.4
+    comparison). *)
+val ubj : ?ubj_config:Tinca_ubj.Ubj.config -> env -> t

@@ -1,0 +1,1 @@
+lib/ubj/ubj.ml: Bytes Clock Hashtbl Latency List Metrics Option Queue Tinca_blockdev Tinca_cachelib Tinca_pmem Tinca_sim

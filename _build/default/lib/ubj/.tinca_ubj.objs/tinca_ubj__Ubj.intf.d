@@ -1,0 +1,1 @@
+lib/ubj/ubj.mli: Tinca_blockdev Tinca_pmem Tinca_sim

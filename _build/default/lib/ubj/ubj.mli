@@ -1,0 +1,56 @@
+(** UBJ-style union of buffer cache and journal (Lee et al., FAST '13) —
+    the design the paper contrasts Tinca with in §5.4.4.
+
+    Model, following the paper's description of UBJ:
+    - the NVM is the buffer cache; a transaction {e commits in place} by
+      freezing its blocks (no copy at commit);
+    - a later update to a frozen block cannot overwrite it: the new
+      version goes to a fresh NVM block via a memcpy on the critical
+      path (the cost Tinca's role switch avoids);
+    - freeing NVM space requires {e checkpointing} whole committed
+      transactions to disk, oldest first, each potentially thousands of
+      blocks (Tinca instead evicts block-by-block via LRU).
+
+    This module is a cost-model comparator used by the `ubj_compare`
+    ablation experiment; it reproduces UBJ's write paths and checkpoint
+    policy, not its full crash-recovery procedure.
+
+    Counters: ["ubj.commits"], ["ubj.frozen_copies"],
+    ["ubj.checkpoints"], ["ubj.checkpoint_writes"], ["ubj.evictions"]. *)
+
+type t
+
+type config = {
+  block_size : int;
+  checkpoint_low_water : float;
+      (** checkpoint oldest transactions when free space falls below this
+          fraction of the cache (default 0.25) *)
+}
+
+val default_config : config
+
+val create :
+  config:config ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
+val read : t -> int -> bytes
+
+module Txn : sig
+  type handle
+
+  val init : t -> handle
+  val add : handle -> int -> bytes -> unit
+  val commit : handle -> unit
+end
+
+(** Checkpoint every committed transaction and write back all dirty
+    state. *)
+val flush_all : t -> unit
+
+val cached_blocks : t -> int
+val frozen_blocks : t -> int
+val free_blocks : t -> int

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Array Bytes Char Int32 Int64 Lazy

@@ -1,0 +1,56 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_u48 b off = get_u32 b off lor (get_u16 b (off + 4) lsl 32)
+
+let set_u48 b off v =
+  set_u32 b off (v land 0xffffffff);
+  set_u16 b (off + 4) ((v lsr 32) land 0xffff)
+
+let get_u56 b off = get_u48 b off lor (get_u8 b (off + 6) lsl 48)
+
+let set_u56 b off v =
+  set_u48 b off v;
+  set_u8 b (off + 6) ((v lsr 48) land 0xff)
+
+let get_u64 b off = Bytes.get_int64_le b off
+let set_u64 b off v = Bytes.set_int64_le b off v
+
+let get_u64_int b off =
+  let v = get_u64 b off in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    invalid_arg "Codec.get_u64_int: out of int range";
+  Int64.to_int v
+
+let set_u64_int b off v =
+  assert (v >= 0);
+  set_u64 b off (Int64.of_int v)
+
+let crc_table =
+  lazy
+    (let table = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       table.(n) <- !c
+     done;
+     table)
+
+let crc32 b ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xffl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl

@@ -1,0 +1,65 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  { samples = Array.make 16 0.0; len = 0; sum = 0.0; sumsq = 0.0;
+    lo = infinity; hi = neg_infinity; sorted = true }
+
+let add t v =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. v;
+  t.sumsq <- t.sumsq +. (v *. v);
+  if v < t.lo then t.lo <- v;
+  if v > t.hi then t.hi <- v;
+  t.sorted <- false
+
+let count t = t.len
+let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
+let min_value t = t.lo
+let max_value t = t.hi
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else
+    let n = float_of_int t.len in
+    let var = (t.sumsq /. n) -. ((t.sum /. n) ** 2.0) in
+    sqrt (Float.max var 0.0)
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  ensure_sorted t;
+  let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+  let lo_idx = int_of_float (Float.floor rank) in
+  let hi_idx = int_of_float (Float.ceil rank) in
+  if lo_idx = hi_idx then t.samples.(lo_idx)
+  else
+    let frac = rank -. float_of_int lo_idx in
+    t.samples.(lo_idx) +. (frac *. (t.samples.(hi_idx) -. t.samples.(lo_idx)))
+
+let pp ppf t =
+  if t.len = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p95=%.1f max=%.1f"
+      t.len (mean t) (percentile t 50.0) (percentile t 95.0) t.hi

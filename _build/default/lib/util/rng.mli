@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (xoshiro256starstar).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that experiments and crash-injection tests are exactly
+    reproducible from a seed. *)
+
+type t
+
+(** [create seed] builds a generator from a 64-bit seed.  Two generators
+    built from the same seed yield identical streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [pick t arr] selects a uniform random element.  Requires a non-empty
+    array. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,52 @@
+type t = { title : string; headers : string list; mutable rows : string list list }
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tabular.add_row: arity mismatch";
+  t.rows <- t.rows @ [ row ]
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v
+
+let render t =
+  let all = t.headers :: t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row row =
+    List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row
+  in
+  List.iter note_row all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad i cell =
+    let extra = widths.(i) - String.length cell in
+    cell ^ String.make extra ' '
+  in
+  let emit_row row =
+    Buffer.add_string buf "  ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let rule = Array.fold_left (fun acc w -> acc + w + 2) 0 widths in
+  Buffer.add_string buf ("  " ^ String.make rule '-' ^ "\n");
+  List.iter emit_row t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let row cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (row t.headers :: List.map row t.rows) ^ "\n"

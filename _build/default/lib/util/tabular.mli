@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Each figure/table of the paper is rendered as an aligned text table so
+    that `bench/main.exe` output can be compared side-by-side with the
+    paper's reported series. *)
+
+type t
+
+(** [create ~title headers] starts a table. *)
+val create : title:string -> string list -> t
+
+(** Append one row; must have the same arity as the header. *)
+val add_row : t -> string list -> unit
+
+(** Convenience for numeric cells. *)
+val cell_f : ?decimals:int -> float -> string
+
+val cell_i : int -> string
+
+(** Render with box-drawing-free ASCII alignment. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** CSV rendering (RFC-4180-style quoting) for post-processing/plotting. *)
+val to_csv : t -> string

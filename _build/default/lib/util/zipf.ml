@@ -1,0 +1,28 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ~theta =
+  assert (n > 0 && theta >= 0.0);
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. ((float_of_int (i + 1)) ** theta));
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; cdf }
+
+let cardinality t = t.n
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* First index whose cdf >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (t.n - 1)

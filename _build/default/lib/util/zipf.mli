@@ -1,0 +1,19 @@
+(** Zipfian sampler over [\[0, n)].
+
+    Storage workloads (TPC-C row access, web-proxy object popularity) are
+    highly skewed; the paper's benchmarks inherit that skew from HammerDB
+    and Filebench.  We use a precomputed-CDF sampler: exact, O(log n) per
+    draw. *)
+
+type t
+
+(** [create ~n ~theta] builds a sampler over ranks [0..n-1] with skew
+    [theta] (0.0 = uniform; 0.99 = classic YCSB-style skew).
+    Requires [n > 0] and [theta >= 0]. *)
+val create : n:int -> theta:float -> t
+
+(** Number of ranks. *)
+val cardinality : t -> int
+
+(** Draw one rank. *)
+val sample : t -> Rng.t -> int

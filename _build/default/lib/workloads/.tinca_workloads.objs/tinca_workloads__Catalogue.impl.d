@@ -1,0 +1,1 @@
+lib/workloads/catalogue.ml: Tabular Tinca_util

@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Array Ops Printf Tinca_util

@@ -1,0 +1,1 @@
+lib/workloads/fio.ml: Ops Tinca_util

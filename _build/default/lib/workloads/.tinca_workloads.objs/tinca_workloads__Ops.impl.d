@@ -1,0 +1,1 @@
+lib/workloads/ops.ml: Bytes Char Lazy Tinca_fs

@@ -1,0 +1,1 @@
+lib/workloads/ops.mli: Tinca_fs

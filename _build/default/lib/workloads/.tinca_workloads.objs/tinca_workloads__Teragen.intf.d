@@ -1,0 +1,1 @@
+lib/workloads/teragen.mli: Ops

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: List Ops Tinca_util

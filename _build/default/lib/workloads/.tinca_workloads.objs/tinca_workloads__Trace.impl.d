@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Fun List Ops Printf String Tinca_util

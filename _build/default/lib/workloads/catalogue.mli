@@ -1,0 +1,4 @@
+(** Paper Table 2: the benchmark catalogue, with the paper's parameters
+    and this reproduction's scaled defaults side by side. *)
+
+val table2 : unit -> Tinca_util.Tabular.t

@@ -1,0 +1,163 @@
+(** Filebench-like macro-benchmarks (paper Table 2): Fileserver (R/W 1/2,
+    16 KB requests), Webproxy (R/W 5/1, zipf-popular objects) and Varmail
+    (R/W 1/1, fsync-heavy mail store).
+
+    Each personality preallocates a file population, then runs its
+    characteristic op mix; throughput is benchmark operations per
+    simulated second. *)
+
+type personality = Fileserver | Webproxy | Varmail
+
+let personality_name = function
+  | Fileserver -> "fileserver"
+  | Webproxy -> "webproxy"
+  | Varmail -> "varmail"
+
+type config = {
+  personality : personality;
+  nfiles : int;        (** preallocated population *)
+  mean_file_kb : int;  (** mean file size *)
+  iosize : int;        (** request size (paper: 16 KB) *)
+  ops : int;           (** measured operations *)
+  op_cpu_ns : float;   (** request-handling CPU charged per benchmark op
+                           (0 locally; set to the RPC/server cost when the
+                           ops target is a DFS client) *)
+  commit_every_ops : int;
+      (** stand-in for the 5 s periodic commit: fsync every N benchmark
+          ops (0 = rely on the file system's size threshold alone) *)
+  seed : int;
+}
+
+let default personality =
+  let nfiles, mean_file_kb =
+    match personality with
+    | Fileserver -> (500, 64)
+    | Webproxy -> (800, 32)
+    | Varmail -> (800, 16)
+  in
+  { personality; nfiles; mean_file_kb; iosize = 16 * 1024; ops = 10_000; op_cpu_ns = 0.0;
+    commit_every_ops = 0; seed = 23 }
+
+type t = {
+  cfg : config;
+  rng : Tinca_util.Rng.t;
+  zipf : Tinca_util.Zipf.t;
+  mutable live : string array; (* current population *)
+  mutable next_id : int;
+}
+
+let fname id = Printf.sprintf "fb_%s_%06d" "f" id
+
+(* File sizes follow a two-point mix around the mean (filebench uses a
+   gamma distribution; a small/large mix captures the same skew). *)
+let sample_size t =
+  let mean = t.cfg.mean_file_kb * 1024 in
+  if Tinca_util.Rng.chance t.rng 0.8 then max 1024 (mean / 2) else mean * 3
+
+let make cfg =
+  {
+    cfg;
+    rng = Tinca_util.Rng.create cfg.seed;
+    zipf = Tinca_util.Zipf.create ~n:cfg.nfiles ~theta:0.9;
+    live = [||];
+    next_id = 0;
+  }
+
+(** Build the file population (unmeasured). *)
+let prealloc cfg (ops : Ops.t) =
+  let t = make cfg in
+  let names =
+    Array.init cfg.nfiles (fun i ->
+        let id = t.next_id in
+        t.next_id <- t.next_id + 1;
+        let name = fname id in
+        ops.Ops.create name;
+        let size = sample_size t in
+        ops.Ops.pwrite name ~off:0 ~len:size;
+        (* Bound the setup transactions regardless of the file system's
+           auto-commit threshold. *)
+        if i mod 16 = 15 then ops.Ops.fsync ();
+        name)
+  in
+  ops.Ops.fsync ();
+  t.live <- names;
+  t
+
+let pick_file t = t.live.(Tinca_util.Rng.int t.rng (Array.length t.live))
+let pick_popular t = t.live.(Tinca_util.Zipf.sample t.zipf t.rng)
+
+let whole_file_read (ops : Ops.t) stats t name =
+  let size = max 1 (ops.Ops.size name) in
+  let io = t.cfg.iosize in
+  let rec go off =
+    if off < size then begin
+      ops.Ops.pread name ~off ~len:(min io (size - off));
+      Ops.note_read stats (min io (size - off));
+      go (off + io)
+    end
+  in
+  go 0
+
+let replace_file (ops : Ops.t) stats t slot =
+  (* Delete a file and write a fresh one in its place. *)
+  let old_name = t.live.(slot) in
+  if ops.Ops.exists old_name then ops.Ops.delete old_name;
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let name = fname id in
+  ops.Ops.create name;
+  let size = sample_size t in
+  let io = t.cfg.iosize in
+  let rec go off =
+    if off < size then begin
+      ops.Ops.pwrite name ~off ~len:(min io (size - off));
+      Ops.note_write stats (min io (size - off));
+      go (off + io)
+    end
+  in
+  go 0;
+  t.live.(slot) <- name
+
+let append_chunk (ops : Ops.t) stats t name =
+  let size = ops.Ops.size name in
+  ops.Ops.pwrite name ~off:size ~len:t.cfg.iosize;
+  Ops.note_write stats t.cfg.iosize
+
+(* One benchmark op per personality. *)
+let step t (ops : Ops.t) stats =
+  let dice = Tinca_util.Rng.float t.rng in
+  (match t.cfg.personality with
+  | Fileserver ->
+      (* writes dominate 2:1 over reads: create/whole-write, append,
+         whole-read, delete+recreate, stat *)
+      if dice < 0.30 then replace_file ops stats t (Tinca_util.Rng.int t.rng (Array.length t.live))
+      else if dice < 0.60 then append_chunk ops stats t (pick_file t)
+      else if dice < 0.90 then whole_file_read ops stats t (pick_file t)
+      else ignore (ops.Ops.size (pick_file t))
+  | Webproxy ->
+      (* 5 reads : 1 write, popularity-skewed *)
+      if dice < 0.833 then whole_file_read ops stats t (pick_popular t)
+      else replace_file ops stats t (Tinca_util.Zipf.sample t.zipf t.rng)
+  | Varmail ->
+      (* mail delivery (append+fsync), mail read, delete — R/W 1/1 *)
+      if dice < 0.45 then begin
+        append_chunk ops stats t (pick_file t);
+        ops.Ops.fsync ()
+      end
+      else if dice < 0.90 then whole_file_read ops stats t (pick_file t)
+      else begin
+        replace_file ops stats t (Tinca_util.Rng.int t.rng (Array.length t.live));
+        ops.Ops.fsync ()
+      end);
+  if t.cfg.op_cpu_ns > 0.0 then ops.Ops.compute t.cfg.op_cpu_ns;
+  Ops.note_op stats
+
+(** Measured phase over a preallocated population. *)
+let run t (ops : Ops.t) =
+  let stats = Ops.new_stats () in
+  for i = 1 to t.cfg.ops do
+    step t ops stats;
+    if t.cfg.commit_every_ops > 0 && i mod t.cfg.commit_every_ops = 0 then ops.Ops.fsync ()
+  done;
+  ops.Ops.fsync ();
+  stats

@@ -1,0 +1,33 @@
+(** Filebench-like macro-benchmarks (paper Table 2): Fileserver (R/W 1/2,
+    16 KB requests), Webproxy (R/W 5/1, zipf-popular objects) and Varmail
+    (R/W 1/1, fsync-heavy mail store). *)
+
+type personality = Fileserver | Webproxy | Varmail
+
+val personality_name : personality -> string
+
+type config = {
+  personality : personality;
+  nfiles : int;        (** preallocated population *)
+  mean_file_kb : int;  (** mean file size *)
+  iosize : int;        (** request size (paper: 16 KB) *)
+  ops : int;           (** measured operations *)
+  op_cpu_ns : float;
+      (** request-handling CPU charged per benchmark op (0 locally; set
+          to the RPC/server cost when the ops target is a DFS client) *)
+  commit_every_ops : int;
+      (** stand-in for the 5 s periodic commit: fsync every N benchmark
+          ops (0 = rely on the file system's size threshold alone) *)
+  seed : int;
+}
+
+(** Sensible defaults per personality (population, file sizes). *)
+val default : personality -> config
+
+type t
+
+(** Build the file population (unmeasured); returns the runnable state. *)
+val prealloc : config -> Ops.t -> t
+
+(** Measured phase over a preallocated population. *)
+val run : t -> Ops.t -> Ops.stats

@@ -1,0 +1,58 @@
+(** Fio-like micro-benchmark: mixed random 4 KB reads and writes over one
+    preallocated file (paper §5.2.1, Table 2: read/write 3/7, 5/5, 7/3;
+    request 4 KB; dataset 2.5x the cache). *)
+
+type config = {
+  file_size : int;     (** dataset bytes (paper: 20 GB, scaled) *)
+  request_size : int;  (** default 4096 *)
+  read_pct : float;    (** fraction of operations that are reads *)
+  ops : int;           (** mixed operations to run *)
+  fsync_every : int;   (** fsync after every n writes (1 = O_SYNC-like) *)
+  seed : int;
+}
+
+let default =
+  { file_size = 64 * 1024 * 1024; request_size = 4096; read_pct = 0.5; ops = 20_000;
+    fsync_every = 1; seed = 7 }
+
+let file_name = "fio.dat"
+
+(** Lay out the dataset file (not part of the measured phase). *)
+let prealloc cfg (ops : Ops.t) =
+  ops.Ops.create file_name;
+  let chunk = 1 lsl 18 in
+  let rec fill off =
+    if off < cfg.file_size then begin
+      let len = min chunk (cfg.file_size - off) in
+      ops.Ops.pwrite file_name ~off ~len;
+      ops.Ops.fsync ();
+      fill (off + len)
+    end
+  in
+  fill 0
+
+(** The measured phase.  Returns (stats, write_ops). *)
+let run cfg (ops : Ops.t) =
+  let rng = Tinca_util.Rng.create cfg.seed in
+  let stats = Ops.new_stats () in
+  let nreq = cfg.file_size / cfg.request_size in
+  let writes_since_sync = ref 0 in
+  for _ = 1 to cfg.ops do
+    let off = Tinca_util.Rng.int rng nreq * cfg.request_size in
+    Ops.note_op stats;
+    if Tinca_util.Rng.float rng < cfg.read_pct then begin
+      ops.Ops.pread file_name ~off ~len:cfg.request_size;
+      Ops.note_read stats cfg.request_size
+    end
+    else begin
+      ops.Ops.pwrite file_name ~off ~len:cfg.request_size;
+      Ops.note_write stats cfg.request_size;
+      incr writes_since_sync;
+      if !writes_since_sync >= cfg.fsync_every then begin
+        ops.Ops.fsync ();
+        writes_since_sync := 0
+      end
+    end
+  done;
+  ops.Ops.fsync ();
+  stats

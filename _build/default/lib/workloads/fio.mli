@@ -1,0 +1,25 @@
+(** Fio-like micro-benchmark: mixed random 4 KB reads and writes over one
+    preallocated file (paper §5.2.1, Table 2: read/write 3/7, 5/5, 7/3;
+    request 4 KB; dataset 2.5x the cache). *)
+
+type config = {
+  file_size : int;     (** dataset bytes (paper: 20 GB, scaled) *)
+  request_size : int;  (** default 4096 *)
+  read_pct : float;    (** fraction of operations that are reads *)
+  ops : int;           (** mixed operations to run *)
+  fsync_every : int;   (** fsync after every n writes (1 = O_SYNC-like;
+                           larger values stand in for Ext4's periodic
+                           commit batching) *)
+  seed : int;
+}
+
+val default : config
+
+(** Name of the dataset file. *)
+val file_name : string
+
+(** Lay out the dataset file (not part of the measured phase). *)
+val prealloc : config -> Ops.t -> unit
+
+(** The measured phase. *)
+val run : config -> Ops.t -> Ops.stats

@@ -1,0 +1,63 @@
+(** The file-operation interface workloads are written against.
+
+    Local experiments bind it to a {!Tinca_fs.Fs} instance; cluster
+    experiments bind it to a replicating client, so the same generators
+    drive both (paper §5.2 vs §5.3).  Write content is synthesized
+    deterministically — the benchmarks only care about traffic shape. *)
+
+type t = {
+  create : string -> unit;
+  delete : string -> unit;
+  exists : string -> bool;
+  size : string -> int;
+  pwrite : string -> off:int -> len:int -> unit;
+  pread : string -> off:int -> len:int -> unit;
+  fsync : unit -> unit;
+  compute : float -> unit;
+      (** charge [ns] of application CPU time to the local clock (SQL
+          processing, request handling); drives throughput realism *)
+}
+
+(* One shared pattern buffer; windows of it stand in for file payloads. *)
+let pattern_pool = lazy (Bytes.init (1 lsl 20) (fun i -> Char.chr (((i * 131) + (i lsr 8)) land 0xff)))
+
+let payload len =
+  let pool = Lazy.force pattern_pool in
+  if len <= Bytes.length pool then Bytes.sub pool 0 len
+  else Bytes.init len (fun i -> Char.chr ((i * 131) land 0xff))
+
+let of_fs ?(compute = fun (_ : float) -> ()) fs =
+  let module Fs = Tinca_fs.Fs in
+  {
+    create = (fun name -> Fs.create fs name);
+    delete = (fun name -> Fs.delete fs name);
+    exists = (fun name -> Fs.exists fs name);
+    size = (fun name -> Fs.size fs name);
+    pwrite = (fun name ~off ~len -> Fs.pwrite fs name ~off (payload len));
+    pread = (fun name ~off ~len -> ignore (Fs.pread fs name ~off ~len));
+    fsync = (fun () -> Fs.fsync fs);
+    compute;
+  }
+
+(** Aggregate logical activity of a workload run (device-level activity
+    is read from the stack's metrics instead). *)
+type stats = {
+  mutable ops : int;            (** benchmark-level operations *)
+  mutable logical_reads : int;
+  mutable logical_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let new_stats () =
+  { ops = 0; logical_reads = 0; logical_writes = 0; bytes_read = 0; bytes_written = 0 }
+
+let note_read s len =
+  s.logical_reads <- s.logical_reads + 1;
+  s.bytes_read <- s.bytes_read + len
+
+let note_write s len =
+  s.logical_writes <- s.logical_writes + 1;
+  s.bytes_written <- s.bytes_written + len
+
+let note_op s = s.ops <- s.ops + 1

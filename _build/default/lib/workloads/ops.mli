@@ -1,0 +1,44 @@
+(** The file-operation interface all workload generators are written
+    against.
+
+    Local experiments bind it to a {!Tinca_fs.Fs} instance via {!of_fs};
+    cluster experiments bind it to a replicating DFS client
+    ({!Tinca_cluster.Hdfs.ops}, {!Tinca_cluster.Gluster.ops}), so the
+    same generators drive both (paper §5.2 vs §5.3).  Write payloads are
+    synthesized deterministically — the benchmarks only care about
+    traffic shape. *)
+
+type t = {
+  create : string -> unit;
+  delete : string -> unit;
+  exists : string -> bool;
+  size : string -> int;
+  pwrite : string -> off:int -> len:int -> unit;
+  pread : string -> off:int -> len:int -> unit;
+  fsync : unit -> unit;
+  compute : float -> unit;
+      (** charge [ns] of application CPU time to the local clock (SQL
+          processing, request handling); drives throughput realism *)
+}
+
+(** Deterministic pattern payload of [len] bytes. *)
+val payload : int -> bytes
+
+(** [of_fs ?compute fs] — bind to a local file system; [compute] should
+    advance the owning stack's clock (default: no-op). *)
+val of_fs : ?compute:(float -> unit) -> Tinca_fs.Fs.t -> t
+
+(** Aggregate logical activity of a workload run (device-level activity
+    is read from the stack's metrics instead). *)
+type stats = {
+  mutable ops : int;  (** benchmark-level operations *)
+  mutable logical_reads : int;
+  mutable logical_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+val new_stats : unit -> stats
+val note_read : stats -> int -> unit
+val note_write : stats -> int -> unit
+val note_op : stats -> unit

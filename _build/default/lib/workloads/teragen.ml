@@ -1,0 +1,41 @@
+(** TeraGen-like data generator (paper §5.3.1): sequential all-write
+    stream of 100-byte rows, batched into HDFS-style chunk files; an
+    fsync closes each chunk (block finalization). *)
+
+type config = {
+  total_bytes : int;   (** data set size (paper: 100 GB, scaled) *)
+  row_bytes : int;     (** default 100 *)
+  chunk_bytes : int;   (** per-chunk file size (HDFS block, scaled: 1 MB) *)
+  buffer_rows : int;   (** rows buffered per write call (client batching) *)
+}
+
+let default =
+  { total_bytes = 32 * 1024 * 1024; row_bytes = 100; chunk_bytes = 1 lsl 20; buffer_rows = 512 }
+
+let chunk_name i = Printf.sprintf "teragen_part_%05d" i
+
+let chunk_count cfg = (cfg.total_bytes + cfg.chunk_bytes - 1) / cfg.chunk_bytes
+
+(** Generate the data set through [ops] (which may be a local FS or a
+    replicating cluster client).  The whole run is the measured phase. *)
+let run cfg (ops : Ops.t) =
+  let stats = Ops.new_stats () in
+  let nchunks = chunk_count cfg in
+  for c = 0 to nchunks - 1 do
+    let name = chunk_name c in
+    ops.Ops.create name;
+    let this_chunk = min cfg.chunk_bytes (cfg.total_bytes - (c * cfg.chunk_bytes)) in
+    let batch = cfg.buffer_rows * cfg.row_bytes in
+    let rec fill off =
+      if off < this_chunk then begin
+        let len = min batch (this_chunk - off) in
+        ops.Ops.pwrite name ~off ~len;
+        Ops.note_write stats len;
+        Ops.note_op stats;
+        fill (off + len)
+      end
+    in
+    fill 0;
+    ops.Ops.fsync ()
+  done;
+  stats

@@ -1,0 +1,18 @@
+(** TeraGen-like data generator (paper §5.3.1): sequential all-write
+    stream of 100-byte rows, batched into HDFS-style chunk files; an
+    fsync closes each chunk (block finalization). *)
+
+type config = {
+  total_bytes : int;   (** data set size (paper: 100 GB, scaled) *)
+  row_bytes : int;     (** default 100 *)
+  chunk_bytes : int;   (** per-chunk file size (HDFS block, scaled: 1 MB) *)
+  buffer_rows : int;   (** rows buffered per write call (client batching) *)
+}
+
+val default : config
+val chunk_name : int -> string
+val chunk_count : config -> int
+
+(** Generate the data set through [ops] (a local FS or a replicating
+    cluster client).  The whole run is the measured phase. *)
+val run : config -> Ops.t -> Ops.stats

@@ -1,0 +1,165 @@
+(** TPC-C-like OLTP generator (paper §5.2.2: HammerDB driving MySQL,
+    350 warehouses ≈ 32 GB, 5–60 users, throughput in TPM).
+
+    We reproduce the traffic shape, not SQL: the five TPC-C transaction
+    profiles issue reads and writes over per-table files with the
+    standard mix, a home-warehouse locality model, zipf-skewed item
+    access, and an fsync at every commit
+    (innodb_flush_log_at_trx_commit = 1).  More users touch more
+    warehouses concurrently, growing the working set — which is what
+    degrades throughput in the paper's Figure 8. *)
+
+type config = {
+  warehouses : int;
+  users : int;
+  txns : int;          (** transactions to run *)
+  txn_cpu_ns : float;  (** SQL-processing CPU per transaction *)
+  seed : int;
+}
+
+let default = { warehouses = 32; users = 10; txns = 5_000; txn_cpu_ns = 250_000.0; seed = 11 }
+
+(* Scaled per-warehouse footprint in 4 KB blocks. *)
+let stock_blocks_per_wh = 24
+let customer_blocks_per_wh = 12
+let district_blocks_per_wh = 2
+let item_blocks = 64 (* shared read-mostly catalogue *)
+let order_log_cap_blocks_per_wh = 64
+
+let bs = 4096
+
+type t = {
+  cfg : config;
+  rng : Tinca_util.Rng.t;
+  item_zipf : Tinca_util.Zipf.t;
+  mutable order_head : int; (* append cursor for the order log, in blocks *)
+}
+
+let table_sizes cfg =
+  [
+    ("tpcc_warehouse.tbl", cfg.warehouses * bs);
+    ("tpcc_district.tbl", cfg.warehouses * district_blocks_per_wh * bs);
+    ("tpcc_stock.tbl", cfg.warehouses * stock_blocks_per_wh * bs);
+    ("tpcc_customer.tbl", cfg.warehouses * customer_blocks_per_wh * bs);
+    ("tpcc_item.tbl", item_blocks * bs);
+    ("tpcc_orders.tbl", cfg.warehouses * order_log_cap_blocks_per_wh * bs);
+    ("tpcc_history.tbl", cfg.warehouses * order_log_cap_blocks_per_wh * bs);
+  ]
+
+(** Create and fill the tables (unmeasured). *)
+let prealloc cfg (ops : Ops.t) =
+  List.iter
+    (fun (name, size) ->
+      ops.Ops.create name;
+      let chunk = 1 lsl 18 in
+      let rec fill off =
+        if off < size then begin
+          let len = min chunk (size - off) in
+          ops.Ops.pwrite name ~off ~len;
+          ops.Ops.fsync ();
+          fill (off + len)
+        end
+      in
+      fill 0)
+    (table_sizes cfg)
+
+let make cfg =
+  {
+    cfg;
+    rng = Tinca_util.Rng.create cfg.seed;
+    item_zipf = Tinca_util.Zipf.create ~n:item_blocks ~theta:0.9;
+    order_head = 0;
+  }
+
+(* A user's home warehouse; users beyond the warehouse count share. *)
+let home_wh t user = user mod t.cfg.warehouses
+
+let read_blk (ops : Ops.t) stats name blk =
+  ops.Ops.pread name ~off:(blk * bs) ~len:bs;
+  Ops.note_read stats bs
+
+let write_blk (ops : Ops.t) stats name blk =
+  ops.Ops.pwrite name ~off:(blk * bs) ~len:bs;
+  Ops.note_write stats bs
+
+let stock_blk t wh = (wh * stock_blocks_per_wh) + Tinca_util.Rng.int t.rng stock_blocks_per_wh
+let customer_blk t wh = (wh * customer_blocks_per_wh) + Tinca_util.Rng.int t.rng customer_blocks_per_wh
+let district_blk t wh = (wh * district_blocks_per_wh) + Tinca_util.Rng.int t.rng district_blocks_per_wh
+
+let order_append_blk t wh =
+  t.order_head <- t.order_head + 1;
+  (wh * order_log_cap_blocks_per_wh) + (t.order_head mod order_log_cap_blocks_per_wh)
+
+(* The five transaction profiles.  Block counts follow the TPC-C row
+   footprints collapsed onto scaled tables. *)
+let new_order t (ops : Ops.t) stats wh =
+  for _ = 1 to 5 do
+    read_blk ops stats "tpcc_item.tbl" (Tinca_util.Zipf.sample t.item_zipf t.rng)
+  done;
+  (* 1 % of stock lines hit a remote warehouse (TPC-C 2.4.1.5).  All five
+     stock rows are read; under a buffer pool only a couple of the dirty
+     pages reach the storage engine's flush per commit. *)
+  for i = 1 to 5 do
+    let w = if Tinca_util.Rng.chance t.rng 0.01 then Tinca_util.Rng.int t.rng t.cfg.warehouses else wh in
+    let blk = stock_blk t w in
+    read_blk ops stats "tpcc_stock.tbl" blk;
+    if i <= 2 then write_blk ops stats "tpcc_stock.tbl" blk
+  done;
+  read_blk ops stats "tpcc_district.tbl" (district_blk t wh);
+  write_blk ops stats "tpcc_district.tbl" (district_blk t wh);
+  write_blk ops stats "tpcc_orders.tbl" (order_append_blk t wh)
+
+let payment t ops stats wh =
+  read_blk ops stats "tpcc_warehouse.tbl" wh;
+  write_blk ops stats "tpcc_warehouse.tbl" wh;
+  let d = district_blk t wh in
+  read_blk ops stats "tpcc_district.tbl" d;
+  write_blk ops stats "tpcc_district.tbl" d;
+  (* 15 % of payments are for remote customers (TPC-C 2.5.1.2). *)
+  let cw = if Tinca_util.Rng.chance t.rng 0.15 then Tinca_util.Rng.int t.rng t.cfg.warehouses else wh in
+  let c = customer_blk t cw in
+  read_blk ops stats "tpcc_customer.tbl" c;
+  write_blk ops stats "tpcc_customer.tbl" c;
+  write_blk ops stats "tpcc_history.tbl" (order_append_blk t wh)
+
+let order_status t ops stats wh =
+  read_blk ops stats "tpcc_customer.tbl" (customer_blk t wh);
+  for _ = 1 to 3 do
+    read_blk ops stats "tpcc_orders.tbl"
+      ((wh * order_log_cap_blocks_per_wh) + Tinca_util.Rng.int t.rng order_log_cap_blocks_per_wh)
+  done
+
+let delivery t ops stats wh =
+  for i = 1 to 5 do
+    let o = (wh * order_log_cap_blocks_per_wh) + Tinca_util.Rng.int t.rng order_log_cap_blocks_per_wh in
+    read_blk ops stats "tpcc_orders.tbl" o;
+    if i <= 3 then write_blk ops stats "tpcc_orders.tbl" o
+  done;
+  let c = customer_blk t wh in
+  read_blk ops stats "tpcc_customer.tbl" c;
+  write_blk ops stats "tpcc_customer.tbl" c
+
+let stock_level t ops stats wh =
+  read_blk ops stats "tpcc_district.tbl" (district_blk t wh);
+  for _ = 1 to 12 do
+    read_blk ops stats "tpcc_stock.tbl" (stock_blk t wh)
+  done
+
+(** Run the measured phase; one fsync per transaction (the commit). *)
+let run cfg (ops : Ops.t) =
+  let t = make cfg in
+  let stats = Ops.new_stats () in
+  for i = 0 to cfg.txns - 1 do
+    let user = i mod max 1 cfg.users in
+    let wh = home_wh t user in
+    let dice = Tinca_util.Rng.float t.rng in
+    if dice < 0.45 then new_order t ops stats wh
+    else if dice < 0.88 then payment t ops stats wh
+    else if dice < 0.92 then order_status t ops stats wh
+    else if dice < 0.96 then delivery t ops stats wh
+    else stock_level t ops stats wh;
+    ops.Ops.compute cfg.txn_cpu_ns;
+    ops.Ops.fsync ();
+    Ops.note_op stats
+  done;
+  stats

@@ -1,0 +1,30 @@
+(** TPC-C-like OLTP generator (paper §5.2.2: HammerDB driving MySQL,
+    350 warehouses ≈ 32 GB, 5–60 users, throughput in TPM).
+
+    Reproduces the traffic shape, not SQL: the five TPC-C transaction
+    profiles (new-order 45 %, payment 43 %, order-status 4 %, delivery
+    4 %, stock-level 4 %) issue reads and writes over per-table files
+    with home-warehouse locality (1 % remote stock, 15 % remote
+    customers), zipf-skewed item access, and an fsync at every commit
+    (innodb_flush_log_at_trx_commit = 1).  More users touch more
+    warehouses concurrently, growing the working set — which is what
+    degrades throughput in the paper's Figure 8. *)
+
+type config = {
+  warehouses : int;
+  users : int;
+  txns : int;          (** transactions to run *)
+  txn_cpu_ns : float;  (** SQL-processing CPU per transaction *)
+  seed : int;
+}
+
+val default : config
+
+(** Per-table file names and sizes for a configuration. *)
+val table_sizes : config -> (string * int) list
+
+(** Create and fill the tables (unmeasured). *)
+val prealloc : config -> Ops.t -> unit
+
+(** Run the measured phase; one fsync per transaction (the commit). *)
+val run : config -> Ops.t -> Ops.stats

@@ -1,0 +1,46 @@
+(** Block-trace replay.
+
+    Drive the stacks with captured or synthesized block-level traces —
+    the standard way storage papers compare against production workloads
+    (the paper's §2.2 motivation).  Text format, one operation per line:
+
+    {v
+    R <blkno>     read one block
+    W <blkno>     write one block
+    F             fsync (commit boundary)
+    # comment
+    v} *)
+
+type op = Read of int | Write of int | Fsync
+
+val op_to_string : op -> string
+val to_string : op list -> string
+
+(** Raised by {!parse} with (line number, offending line). *)
+exception Parse_error of int * string
+
+val parse : string -> op list
+
+(** Largest block number referenced (sizes the target file). *)
+val max_blkno : op list -> int
+
+(** Deterministically synthesize a trace: zipf-skewed block popularity,
+    [read_pct] reads, an [Fsync] every [fsync_every] writes. *)
+val synthesize :
+  seed:int ->
+  nblocks:int ->
+  ops:int ->
+  read_pct:float ->
+  zipf_theta:float ->
+  fsync_every:int ->
+  op list
+
+(** The target file the replayer operates on. *)
+val file_name : string
+
+(** Create and fill the target file covering the trace's block range
+    (unmeasured). *)
+val prealloc : block_size:int -> op list -> Ops.t -> unit
+
+(** Replay the trace (the measured phase). *)
+val run : block_size:int -> op list -> Ops.t -> Ops.stats

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Bytes Char Clock Hashtbl Latency List Metrics QCheck QCheck_alcotest Tinca_blockdev Tinca_pmem Tinca_sim Tinca_util

@@ -1,0 +1,1 @@
+test/test_cachelib.ml: Alcotest Array Bytes Char Clock Hashtbl Latency List Metrics Option QCheck QCheck_alcotest Tinca_blockdev Tinca_cachelib Tinca_core Tinca_pmem Tinca_sim

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Bytes List Printf Tinca_cluster Tinca_fs Tinca_workloads

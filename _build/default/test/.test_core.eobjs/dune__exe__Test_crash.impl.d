@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Bytes Cache Char Clock Hashtbl Latency List Metrics Option Tinca_blockdev Tinca_core Tinca_pmem Tinca_sim Tinca_util

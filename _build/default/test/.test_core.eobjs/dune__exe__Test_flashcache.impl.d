@@ -1,0 +1,1 @@
+test/test_flashcache.ml: Alcotest Bytes Char Clock Gen Hashtbl Latency List Metrics Printf QCheck QCheck_alcotest Tinca_blockdev Tinca_flashcache Tinca_pmem Tinca_sim

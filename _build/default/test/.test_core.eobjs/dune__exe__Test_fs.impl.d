@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Char Gen List Metrics Printf QCheck QCheck_alcotest String Tinca_blockdev Tinca_fs Tinca_pmem Tinca_sim Tinca_stacks

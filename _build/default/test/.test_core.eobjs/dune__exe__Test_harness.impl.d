@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Option String Tinca_fs Tinca_harness Tinca_sim Tinca_stacks Tinca_util Tinca_workloads

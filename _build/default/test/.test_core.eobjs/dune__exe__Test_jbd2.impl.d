@@ -1,0 +1,1 @@
+test/test_jbd2.ml: Alcotest Bytes Char Clock Gen Hashtbl Latency List Metrics QCheck QCheck_alcotest Tinca_blockdev Tinca_jbd2 Tinca_sim

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Bytes Cache Char Clock Gen Hashtbl Latency List Metrics Printf QCheck QCheck_alcotest Tinca_blockdev Tinca_core Tinca_fs Tinca_pmem Tinca_sim Tinca_stacks Tinca_util

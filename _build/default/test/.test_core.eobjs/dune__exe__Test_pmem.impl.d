@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Bytes Char Clock Gen Hashtbl Int64 Latency List Metrics Printf QCheck QCheck_alcotest String Tinca_pmem Tinca_sim

@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest List Printf Tinca_harness Tinca_stacks Tinca_workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Clock Latency Metrics String Tinca_pmem Tinca_sim Tinca_util

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bytes Cache Char Clock Latency List Metrics Printf Tinca_blockdev Tinca_cluster Tinca_core Tinca_fs Tinca_pmem Tinca_sim Tinca_stacks Tinca_util Tinca_workloads

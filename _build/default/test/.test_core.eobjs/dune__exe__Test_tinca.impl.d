@@ -1,0 +1,1 @@
+test/test_tinca.ml: Alcotest Bytes Cache Char Clock Entry Gen Hashtbl Latency Layout List Metrics Printf QCheck QCheck_alcotest Ring Tinca_blockdev Tinca_core Tinca_pmem Tinca_sim Tinca_util

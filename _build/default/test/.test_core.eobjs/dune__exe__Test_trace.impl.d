@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Bytes List QCheck QCheck_alcotest Tinca_fs Tinca_sim Tinca_stacks Tinca_util Tinca_workloads

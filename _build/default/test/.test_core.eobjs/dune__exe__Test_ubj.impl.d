@@ -1,0 +1,1 @@
+test/test_ubj.ml: Alcotest Bytes Char Clock Latency Metrics Printf Tinca_blockdev Tinca_core Tinca_fs Tinca_pmem Tinca_sim Tinca_stacks Tinca_ubj

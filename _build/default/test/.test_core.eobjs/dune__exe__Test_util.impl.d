@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Codec Fun Gen Histogram Int32 Int64 List QCheck QCheck_alcotest Rng String Tabular Tinca_util Zipf

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array Bytes Clock Latency Metrics Printf Tinca_blockdev Tinca_cluster Tinca_core Tinca_fs Tinca_jbd2 Tinca_pmem Tinca_sim Tinca_stacks

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List String Tinca_fs Tinca_sim Tinca_stacks Tinca_util Tinca_workloads

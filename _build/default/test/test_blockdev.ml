@@ -1,0 +1,181 @@
+(* Tests for the SSD/HDD disk models and the NVM block device. *)
+open Tinca_sim
+module Disk = Tinca_blockdev.Disk
+module Nvm_bdev = Tinca_blockdev.Nvm_bdev
+module Pmem = Tinca_pmem.Pmem
+
+let mk_disk ?(kind = Latency.Ssd) ?(nblocks = 1024) () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  (Disk.create ~clock ~metrics ~kind ~nblocks ~block_size:4096, clock, metrics)
+
+let block c = Bytes.make 4096 c
+
+let test_disk_roundtrip () =
+  let d, _, _ = mk_disk () in
+  Disk.write_block d 7 (block 'x');
+  Alcotest.(check char) "read back" 'x' (Bytes.get (Disk.read_block d 7) 0)
+
+let test_disk_unwritten_zero () =
+  let d, _, _ = mk_disk () in
+  Alcotest.(check char) "zeros" '\000' (Bytes.get (Disk.read_block d 3) 0)
+
+let test_disk_counts () =
+  let d, _, m = mk_disk () in
+  Disk.write_block d 0 (block 'a');
+  Disk.write_block d 1 (block 'b');
+  ignore (Disk.read_block d 0);
+  Alcotest.(check int) "writes" 2 (Disk.writes d);
+  Alcotest.(check int) "reads" 1 (Disk.reads d);
+  Alcotest.(check int) "metric writes" 2 (Metrics.get m "disk.writes");
+  Alcotest.(check int) "sparse footprint" 2 (Disk.written_blocks d)
+
+let test_disk_bounds () =
+  let d, _, _ = mk_disk ~nblocks:8 () in
+  Alcotest.(check bool) "oob write" true
+    (try
+       Disk.write_block d 8 (block 'x');
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong size" true
+    (try
+       Disk.write_block d 0 (Bytes.make 100 'x');
+       false
+     with Invalid_argument _ -> true)
+
+let test_hdd_random_slower_than_seq () =
+  let seq_time =
+    let d, clock, _ = mk_disk ~kind:Latency.Hdd () in
+    for i = 0 to 63 do
+      Disk.write_block d i (block 'x')
+    done;
+    Clock.now_ns clock
+  in
+  let rand_time =
+    let d, clock, _ = mk_disk ~kind:Latency.Hdd () in
+    let r = Tinca_util.Rng.create 5 in
+    for _ = 0 to 63 do
+      Disk.write_block d (Tinca_util.Rng.int r 1024) (block 'x')
+    done;
+    Clock.now_ns clock
+  in
+  Alcotest.(check bool) "random >> sequential on HDD" true (rand_time > 10.0 *. seq_time)
+
+let test_hdd_slower_than_ssd_random () =
+  let run kind =
+    let d, clock, _ = mk_disk ~kind () in
+    let r = Tinca_util.Rng.create 5 in
+    for _ = 0 to 63 do
+      Disk.write_block d (Tinca_util.Rng.int r 1024) (block 'x')
+    done;
+    Clock.now_ns clock
+  in
+  Alcotest.(check bool) "hdd slower" true (run Latency.Hdd > run Latency.Ssd)
+
+let mk_nvm_bdev () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:(64 * 4096) () in
+  (Nvm_bdev.create ~pmem ~metrics ~base:4096 ~nblocks:32 ~block_size:4096, pmem, metrics)
+
+let test_nvm_bdev_roundtrip () =
+  let b, _, _ = mk_nvm_bdev () in
+  Nvm_bdev.write_block b 3 (block 'z');
+  Alcotest.(check char) "read back" 'z' (Bytes.get (Nvm_bdev.read_block b 3) 0)
+
+let test_nvm_bdev_writes_are_durable () =
+  let b, pmem, _ = mk_nvm_bdev () in
+  Nvm_bdev.write_block b 0 (block 'q');
+  Pmem.crash ~seed:3 ~survival:0.0 pmem;
+  Alcotest.(check char) "block write persisted" 'q' (Bytes.get (Nvm_bdev.read_block b 0) 0)
+
+let test_nvm_bdev_flush_cost () =
+  (* A 4 KB block write must flush 64 cache lines — this is the Classic
+     stack's fundamental cost unit. *)
+  let b, _, m = mk_nvm_bdev () in
+  Nvm_bdev.write_block b 1 (block 'w');
+  Alcotest.(check int) "64 clflush per block" 64 (Metrics.get m "pmem.clflush");
+  Alcotest.(check int) "one sfence" 1 (Metrics.get m "pmem.sfence")
+
+let test_nvm_bdev_bounds () =
+  let b, _, _ = mk_nvm_bdev () in
+  Alcotest.(check bool) "oob" true
+    (try
+       ignore (Nvm_bdev.read_block b 32);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_disk_last_write_wins =
+  QCheck.Test.make ~name:"disk: last write wins" ~count:100
+    QCheck.(list (pair (int_bound 31) (int_bound 255)))
+    (fun writes ->
+      let d, _, _ = mk_disk ~nblocks:32 () in
+      List.iter (fun (blk, v) -> Disk.write_block d blk (block (Char.chr v))) writes;
+      let expect = Hashtbl.create 16 in
+      List.iter (fun (blk, v) -> Hashtbl.replace expect blk v) writes;
+      Hashtbl.fold
+        (fun blk v acc -> acc && Bytes.get (Disk.read_block d blk) 0 = Char.chr v)
+        expect true)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "blockdev.disk",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_disk_roundtrip;
+        Alcotest.test_case "unwritten reads zero" `Quick test_disk_unwritten_zero;
+        Alcotest.test_case "counters" `Quick test_disk_counts;
+        Alcotest.test_case "bounds + size checks" `Quick test_disk_bounds;
+        Alcotest.test_case "hdd random vs sequential" `Quick test_hdd_random_slower_than_seq;
+        Alcotest.test_case "hdd slower than ssd" `Quick test_hdd_slower_than_ssd_random;
+        q prop_disk_last_write_wins;
+      ] );
+    ( "blockdev.nvm_bdev",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_nvm_bdev_roundtrip;
+        Alcotest.test_case "durable writes" `Quick test_nvm_bdev_writes_are_durable;
+        Alcotest.test_case "flush cost model" `Quick test_nvm_bdev_flush_cost;
+        Alcotest.test_case "bounds" `Quick test_nvm_bdev_bounds;
+      ] );
+  ]
+
+(* --- device queue model (background cleaner writes) --- *)
+
+let test_background_write_does_not_block () =
+  let d, clock, _ = mk_disk () in
+  let t0 = Clock.now_ns clock in
+  Disk.write_block ~background:true d 100 (block 'q');
+  Alcotest.(check (float 1e-9)) "caller clock unchanged" t0 (Clock.now_ns clock);
+  Alcotest.(check int) "write counted" 1 (Disk.writes d);
+  Alcotest.(check char) "data stored" 'q' (Bytes.get (Disk.read_block d 100) 0)
+
+let test_background_write_occupies_device () =
+  (* A foreground read issued right after a burst of background writes
+     must wait for the queue to drain. *)
+  let burst d n =
+    for i = 0 to n - 1 do
+      Disk.write_block ~background:true d ((i * 37) mod 1024) (block 'b')
+    done
+  in
+  let with_burst =
+    let d, clock, _ = mk_disk () in
+    burst d 32;
+    ignore (Disk.read_block d 512);
+    Clock.now_ns clock
+  in
+  let without =
+    let d, clock, _ = mk_disk () in
+    ignore (Disk.read_block d 512);
+    Clock.now_ns clock
+  in
+  Alcotest.(check bool) "queued behind cleaner" true (with_burst > 10.0 *. without)
+
+let queue_suite =
+  [
+    ( "blockdev.queue",
+      [
+        Alcotest.test_case "background write non-blocking" `Quick test_background_write_does_not_block;
+        Alcotest.test_case "background write occupies device" `Quick
+          test_background_write_occupies_device;
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(* Tests for the cluster models: node stacks, HDFS-like pipeline
+   replication, GlusterFS-like replicate-distribute. *)
+module Node = Tinca_cluster.Node
+module Hdfs = Tinca_cluster.Hdfs
+module Gluster = Tinca_cluster.Gluster
+module Fs = Tinca_fs.Fs
+module Teragen = Tinca_workloads.Teragen
+module Filebench = Tinca_workloads.Filebench
+module Ops = Tinca_workloads.Ops
+
+let node_config =
+  { Node.default_config with nvm_bytes = 4 * 1024 * 1024; disk_blocks = 16384 }
+
+let mk_nodes ?(n = 4) kind = Array.init n (fun id -> Node.make ~id ~config:node_config kind)
+
+let test_node_stack_works () =
+  List.iter
+    (fun kind ->
+      let node = Node.make ~id:0 ~config:node_config kind in
+      Fs.create node.Node.fs "x";
+      Fs.pwrite node.Node.fs "x" ~off:0 (Bytes.of_string "node data");
+      Fs.fsync node.Node.fs;
+      Alcotest.(check string)
+        (Node.kind_label kind ^ " roundtrip")
+        "node data"
+        (Bytes.to_string (Fs.pread node.Node.fs "x" ~off:0 ~len:9));
+      Alcotest.(check bool) "clock advanced" true (Node.now_ns node > 0.0))
+    [ Node.Tinca_node; Node.Classic_node ]
+
+let test_hdfs_replication_count () =
+  List.iter
+    (fun replicas ->
+      let nodes = mk_nodes Node.Tinca_node in
+      let hdfs = Hdfs.create ~replicas nodes in
+      let chunk = 256 * 1024 in
+      for c = 0 to 7 do
+        Hdfs.write_chunk hdfs (Printf.sprintf "part%d" c) chunk
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "replicated bytes with %d replicas" replicas)
+        (8 * chunk * replicas) (Hdfs.bytes_replicated hdfs);
+      (* Each chunk must exist on exactly [replicas] nodes. *)
+      let copies name =
+        Array.fold_left (fun acc n -> if Fs.exists n.Node.fs name then acc + 1 else acc) 0 nodes
+      in
+      for c = 0 to 7 do
+        Alcotest.(check int) "copies" replicas (copies (Printf.sprintf "part%d" c))
+      done)
+    [ 1; 2; 3 ]
+
+let test_hdfs_more_replicas_cost_more () =
+  let time replicas =
+    let nodes = mk_nodes Node.Tinca_node in
+    let hdfs = Hdfs.create ~replicas nodes in
+    for c = 0 to 15 do
+      Hdfs.write_chunk hdfs (Printf.sprintf "part%d" c) (256 * 1024)
+    done;
+    Hdfs.execution_ns hdfs
+  in
+  let t1 = time 1 and t2 = time 2 and t3 = time 3 in
+  Alcotest.(check bool) "monotone in replicas" true (t1 < t2 && t2 < t3)
+
+let test_hdfs_teragen_via_ops () =
+  let nodes = mk_nodes Node.Tinca_node in
+  let hdfs = Hdfs.create ~replicas:2 nodes in
+  let cfg = { Teragen.default with total_bytes = 2 * 1024 * 1024; chunk_bytes = 256 * 1024 } in
+  let stats = Teragen.run cfg (Hdfs.ops hdfs) in
+  Alcotest.(check int) "chunks" (Teragen.chunk_count cfg) (Hdfs.chunks_written hdfs);
+  Alcotest.(check int) "bytes replicated" (2 * 2 * 1024 * 1024) (Hdfs.bytes_replicated hdfs);
+  Alcotest.(check bool) "stats counted" true (stats.Ops.bytes_written = 2 * 1024 * 1024)
+
+let test_hdfs_tinca_faster_than_classic () =
+  let time kind =
+    let nodes = mk_nodes kind in
+    let hdfs = Hdfs.create ~replicas:3 nodes in
+    let cfg = { Teragen.default with total_bytes = 4 * 1024 * 1024; chunk_bytes = 256 * 1024 } in
+    ignore (Teragen.run cfg (Hdfs.ops hdfs));
+    Hdfs.execution_ns hdfs
+  in
+  Alcotest.(check bool) "tinca faster" true (time Node.Tinca_node < time Node.Classic_node)
+
+let test_gluster_replicas_and_content () =
+  let nodes = mk_nodes Node.Tinca_node in
+  let g = Gluster.create ~replicas:2 nodes in
+  let ops = Gluster.ops g in
+  ops.Ops.create "alpha";
+  ops.Ops.pwrite "alpha" ~off:0 ~len:8192;
+  ops.Ops.fsync ();
+  let copies =
+    Array.fold_left (fun acc n -> if Fs.exists n.Node.fs "alpha" then acc + 1 else acc) 0 nodes
+  in
+  Alcotest.(check int) "two replicas" 2 copies;
+  Alcotest.(check int) "size visible" 8192 (ops.Ops.size "alpha");
+  ops.Ops.delete "alpha";
+  let copies_after =
+    Array.fold_left (fun acc n -> if Fs.exists n.Node.fs "alpha" then acc + 1 else acc) 0 nodes
+  in
+  Alcotest.(check int) "deleted everywhere" 0 copies_after
+
+let test_gluster_time_advances () =
+  let nodes = mk_nodes Node.Tinca_node in
+  let g = Gluster.create ~replicas:2 nodes in
+  let ops = Gluster.ops g in
+  ops.Ops.create "f";
+  ops.Ops.pwrite "f" ~off:0 ~len:65536;
+  ops.Ops.fsync ();
+  Alcotest.(check bool) "client time advanced" true (Gluster.client_ns g > 0.0);
+  ops.Ops.pread "f" ~off:0 ~len:4096;
+  Alcotest.(check bool) "read advances time" true (Gluster.client_ns g > 65536.0 /. 1.25)
+
+let test_gluster_filebench_runs () =
+  let nodes = mk_nodes Node.Tinca_node in
+  let g = Gluster.create ~replicas:2 nodes in
+  let ops = Gluster.ops g in
+  let cfg =
+    { (Filebench.default Filebench.Varmail) with nfiles = 40; mean_file_kb = 8; ops = 200 }
+  in
+  let t = Filebench.prealloc cfg ops in
+  let stats = Filebench.run t ops in
+  Alcotest.(check int) "ops" 200 stats.Ops.ops;
+  Array.iter (fun n -> Fs.fsck n.Node.fs) nodes
+
+let test_gluster_distributes () =
+  (* With replicas = 1, files should spread across nodes. *)
+  let nodes = mk_nodes Node.Tinca_node in
+  let g = Gluster.create ~replicas:1 nodes in
+  let ops = Gluster.ops g in
+  for i = 0 to 63 do
+    ops.Ops.create (Printf.sprintf "spread%d" i)
+  done;
+  ops.Ops.fsync ();
+  let counts = Array.map (fun n -> Fs.file_count n.Node.fs) nodes in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "each node holds some files" true (c > 0))
+    counts
+
+let suite =
+  [
+    ( "cluster",
+      [
+        Alcotest.test_case "node stacks" `Quick test_node_stack_works;
+        Alcotest.test_case "hdfs replication count" `Quick test_hdfs_replication_count;
+        Alcotest.test_case "hdfs replica cost monotone" `Quick test_hdfs_more_replicas_cost_more;
+        Alcotest.test_case "hdfs teragen adapter" `Quick test_hdfs_teragen_via_ops;
+        Alcotest.test_case "hdfs tinca beats classic" `Quick test_hdfs_tinca_faster_than_classic;
+        Alcotest.test_case "gluster replication" `Quick test_gluster_replicas_and_content;
+        Alcotest.test_case "gluster time model" `Quick test_gluster_time_advances;
+        Alcotest.test_case "gluster filebench" `Quick test_gluster_filebench_runs;
+        Alcotest.test_case "gluster distributes" `Quick test_gluster_distributes;
+      ] );
+  ]

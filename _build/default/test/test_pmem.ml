@@ -1,0 +1,254 @@
+(* Tests of the persistent-memory simulator: store/flush/fence semantics,
+   crash resolution, atomicity, counters, wear. *)
+open Tinca_sim
+module Pmem = Tinca_pmem.Pmem
+
+let mk ?(tech = Latency.Pcm) ?(size = 8192) ?(seed = 1) () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let p = Pmem.create ~seed ~clock ~metrics ~tech ~size () in
+  (p, clock, metrics)
+
+let bytes_of s = Bytes.of_string s
+
+let test_read_back () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:100 (bytes_of "hello");
+  Alcotest.(check string) "newest visible" "hello" (Bytes.to_string (Pmem.read p ~off:100 ~len:5))
+
+let test_persist_survives_crash () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:0 (bytes_of "durable!");
+  Pmem.persist p ~off:0 ~len:8;
+  (* Crash with survival = 0: every non-durable line is lost. *)
+  Pmem.crash ~seed:9 ~survival:0.0 p;
+  Alcotest.(check string) "persisted data survives" "durable!"
+    (Bytes.to_string (Pmem.read p ~off:0 ~len:8))
+
+let test_unflushed_lost_when_survival_zero () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:0 (bytes_of "volatile");
+  Pmem.crash ~seed:9 ~survival:0.0 p;
+  Alcotest.(check string) "unflushed store lost" (String.make 8 '\000')
+    (Bytes.to_string (Pmem.read p ~off:0 ~len:8))
+
+let test_unflushed_survives_when_survival_one () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:0 (bytes_of "volatile");
+  Pmem.crash ~seed:9 ~survival:1.0 p;
+  Alcotest.(check string) "line evicted before crash" "volatile"
+    (Bytes.to_string (Pmem.read p ~off:0 ~len:8))
+
+let test_clflush_without_fence_not_durable () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:0 (bytes_of "pending!");
+  Pmem.clflush p ~off:0 ~len:8;
+  (* Still flush-pending: a crash with survival 0 loses it. *)
+  Pmem.crash ~seed:9 ~survival:0.0 p;
+  Alcotest.(check string) "clflush alone is not durability" (String.make 8 '\000')
+    (Bytes.to_string (Pmem.read p ~off:0 ~len:8))
+
+let test_fence_makes_pending_durable () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:0 (bytes_of "pending!");
+  Pmem.clflush p ~off:0 ~len:8;
+  Pmem.sfence p;
+  Alcotest.(check int) "no dirty lines" 0 (Pmem.dirty_line_count p);
+  Pmem.crash ~seed:9 ~survival:0.0 p;
+  Alcotest.(check string) "fenced line durable" "pending!"
+    (Bytes.to_string (Pmem.read p ~off:0 ~len:8))
+
+let test_crash_reverts_to_last_persisted () =
+  let p, _, _ = mk () in
+  Pmem.write p ~off:0 (bytes_of "version1");
+  Pmem.persist p ~off:0 ~len:8;
+  Pmem.write p ~off:0 (bytes_of "version2");
+  Pmem.crash ~seed:9 ~survival:0.0 p;
+  Alcotest.(check string) "reverted to last persisted" "version1"
+    (Bytes.to_string (Pmem.read p ~off:0 ~len:8))
+
+let test_crash_subset_is_per_line () =
+  (* Two distinct lines dirty; with 50 % survival and many seeds we should
+     observe all four outcomes, demonstrating per-line independence. *)
+  let outcomes = Hashtbl.create 4 in
+  for seed = 0 to 63 do
+    let p, _, _ = mk () in
+    Pmem.write p ~off:0 (bytes_of "AAAAAAAA");
+    Pmem.write p ~off:64 (bytes_of "BBBBBBBB");
+    Pmem.crash ~seed ~survival:0.5 p;
+    let a = Bytes.get (Pmem.read p ~off:0 ~len:1) 0 = 'A' in
+    let b = Bytes.get (Pmem.read p ~off:64 ~len:1) 0 = 'B' in
+    Hashtbl.replace outcomes (a, b) ()
+  done;
+  Alcotest.(check int) "all four survival combinations seen" 4 (Hashtbl.length outcomes)
+
+let test_atomic8_alignment_enforced () =
+  let p, _, _ = mk () in
+  Alcotest.check_raises "misaligned" (Invalid_argument "Pmem.atomic_write8: misaligned")
+    (fun () -> Pmem.atomic_write8 p ~off:4 1L)
+
+let test_atomic16_alignment_enforced () =
+  let p, _, _ = mk () in
+  Alcotest.check_raises "misaligned" (Invalid_argument "Pmem.atomic_write16: misaligned")
+    (fun () -> Pmem.atomic_write16 p ~off:8 (Bytes.make 16 'x'))
+
+let test_atomic8_roundtrip () =
+  let p, _, _ = mk () in
+  Pmem.atomic_write8 p ~off:16 0x1122334455667788L;
+  Alcotest.(check int64) "roundtrip" 0x1122334455667788L (Pmem.read_u64 p ~off:16)
+
+let test_atomic8_never_tears () =
+  (* An 8 B atomic store within one line either fully survives a crash or
+     fully reverts — never a byte mixture. *)
+  for seed = 0 to 31 do
+    let p, _, _ = mk () in
+    Pmem.atomic_write8 p ~off:0 0x5555555555555555L;
+    Pmem.persist p ~off:0 ~len:8;
+    Pmem.atomic_write8 p ~off:0 0xAAAAAAAAAAAAAAAAL;
+    Pmem.crash ~seed ~survival:0.5 p;
+    let v = Pmem.read_u64 p ~off:0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: no torn value" seed)
+      true
+      (Int64.equal v 0x5555555555555555L || Int64.equal v 0xAAAAAAAAAAAAAAAAL)
+  done
+
+let test_out_of_bounds_rejected () =
+  let p, _, _ = mk ~size:128 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Pmem.write p ~off:120 (bytes_of "too-long!");
+       false
+     with Invalid_argument _ -> true)
+
+let test_counters () =
+  let p, _, m = mk () in
+  Pmem.write p ~off:0 (Bytes.make 256 'x');
+  (* 256 B = 4 lines *)
+  Alcotest.(check int) "store lines" 4 (Metrics.get m "pmem.store_lines");
+  Pmem.clflush p ~off:0 ~len:256;
+  Alcotest.(check int) "clflush count" 4 (Metrics.get m "pmem.clflush");
+  Pmem.sfence p;
+  Alcotest.(check int) "sfence count" 1 (Metrics.get m "pmem.sfence");
+  Alcotest.(check int) "lines persisted" 4 (Metrics.get m "pmem.lines_persisted")
+
+let test_clock_charges () =
+  let p, clock, _ = mk ~tech:Latency.Pcm () in
+  let t0 = Clock.now_ns clock in
+  Pmem.write p ~off:0 (Bytes.make 64 'x');
+  Pmem.persist p ~off:0 ~len:64;
+  let dt = Clock.now_ns clock -. t0 in
+  (* One line: store 10 + clflush 100 + write 195 + sfence 20 = 325 ns. *)
+  Alcotest.(check (float 1.0)) "pcm line persist cost" 325.0 dt
+
+let test_tech_affects_cost () =
+  let cost tech =
+    let p, clock, _ = mk ~tech () in
+    Pmem.write p ~off:0 (Bytes.make 4096 'x');
+    Pmem.persist p ~off:0 ~len:4096;
+    Clock.now_ns clock
+  in
+  Alcotest.(check bool) "PCM slower than NVDIMM" true (cost Latency.Pcm > cost Latency.Nvdimm);
+  Alcotest.(check bool) "STT-RAM between" true
+    (cost Latency.Stt_ram > cost Latency.Nvdimm && cost Latency.Stt_ram < cost Latency.Pcm)
+
+let test_crash_countdown () =
+  let p, _, _ = mk () in
+  Pmem.set_crash_countdown p (Some 3);
+  Pmem.write p ~off:0 (bytes_of "a");
+  (* event 1 *)
+  Pmem.clflush p ~off:0 ~len:1;
+  (* event 2 *)
+  Alcotest.check_raises "third event crashes" Pmem.Crash_point (fun () -> Pmem.sfence p);
+  (* After the raise the hook stays armed until crash is called. *)
+  Pmem.crash ~seed:1 ~survival:0.0 p;
+  (* Disabled after crash: no raise. *)
+  Pmem.write p ~off:0 (bytes_of "b")
+
+let test_wear_accounting () =
+  let p, _, _ = mk () in
+  for _ = 1 to 10 do
+    Pmem.write p ~off:0 (Bytes.make 64 'x');
+    Pmem.persist p ~off:0 ~len:64
+  done;
+  Alcotest.(check int) "total wear" 10 (Pmem.wear_total p);
+  Alcotest.(check int) "max wear" 10 (Pmem.wear_max p)
+
+let test_dirty_tracking () =
+  let p, _, _ = mk () in
+  Alcotest.(check bool) "clean initially" false (Pmem.is_dirty p ~off:0);
+  Pmem.write p ~off:0 (bytes_of "x");
+  Alcotest.(check bool) "dirty after store" true (Pmem.is_dirty p ~off:0);
+  Pmem.persist p ~off:0 ~len:1;
+  Alcotest.(check bool) "clean after persist" false (Pmem.is_dirty p ~off:0)
+
+(* Property: any prefix of (write; persist) operations followed by a crash
+   preserves every persisted write. *)
+let prop_persisted_prefix_survives =
+  QCheck.Test.make ~name:"persisted writes survive any crash" ~count:100
+    QCheck.(pair small_nat (list_of_size Gen.(int_range 1 20) (pair (int_bound 63) (int_bound 255))))
+    (fun (seed, writes) ->
+      let p, _, _ = mk ~size:4096 () in
+      List.iter
+        (fun (line, v) ->
+          let b = Bytes.make 64 (Char.chr v) in
+          Pmem.write p ~off:(line * 64) b;
+          Pmem.persist p ~off:(line * 64) ~len:64)
+        writes;
+      Pmem.crash ~seed ~survival:0.0 p;
+      (* The LAST persisted value for each line must be present. *)
+      let expect = Hashtbl.create 16 in
+      List.iter (fun (line, v) -> Hashtbl.replace expect line v) writes;
+      Hashtbl.fold
+        (fun line v acc ->
+          acc && Bytes.get (Pmem.read p ~off:(line * 64) ~len:1) 0 = Char.chr v)
+        expect true)
+
+(* Property: a crash never invents data — every line is either its newest
+   store or its last persisted content. *)
+let prop_crash_no_invention =
+  QCheck.Test.make ~name:"crash yields old or new content per line" ~count:100
+    QCheck.(triple small_nat (int_bound 63) (pair (int_bound 255) (int_bound 255)))
+    (fun (seed, line, (v1, v2)) ->
+      let p, _, _ = mk ~size:4096 () in
+      Pmem.write p ~off:(line * 64) (Bytes.make 64 (Char.chr v1));
+      Pmem.persist p ~off:(line * 64) ~len:64;
+      Pmem.write p ~off:(line * 64) (Bytes.make 64 (Char.chr v2));
+      Pmem.crash ~seed ~survival:0.5 p;
+      let c = Bytes.get (Pmem.read p ~off:(line * 64) ~len:1) 0 in
+      c = Char.chr v1 || c = Char.chr v2)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "pmem.semantics",
+      [
+        Alcotest.test_case "read back newest" `Quick test_read_back;
+        Alcotest.test_case "persist survives crash" `Quick test_persist_survives_crash;
+        Alcotest.test_case "unflushed lost (survival 0)" `Quick test_unflushed_lost_when_survival_zero;
+        Alcotest.test_case "unflushed kept (survival 1)" `Quick test_unflushed_survives_when_survival_one;
+        Alcotest.test_case "clflush alone not durable" `Quick test_clflush_without_fence_not_durable;
+        Alcotest.test_case "fence completes flush" `Quick test_fence_makes_pending_durable;
+        Alcotest.test_case "crash reverts to persisted" `Quick test_crash_reverts_to_last_persisted;
+        Alcotest.test_case "per-line independence" `Quick test_crash_subset_is_per_line;
+        q prop_persisted_prefix_survives;
+        q prop_crash_no_invention;
+      ] );
+    ( "pmem.atomics",
+      [
+        Alcotest.test_case "atomic8 alignment" `Quick test_atomic8_alignment_enforced;
+        Alcotest.test_case "atomic16 alignment" `Quick test_atomic16_alignment_enforced;
+        Alcotest.test_case "atomic8 roundtrip" `Quick test_atomic8_roundtrip;
+        Alcotest.test_case "atomic8 never tears" `Quick test_atomic8_never_tears;
+        Alcotest.test_case "bounds checked" `Quick test_out_of_bounds_rejected;
+      ] );
+    ( "pmem.accounting",
+      [
+        Alcotest.test_case "counters" `Quick test_counters;
+        Alcotest.test_case "clock charges" `Quick test_clock_charges;
+        Alcotest.test_case "technology cost ordering" `Quick test_tech_affects_cost;
+        Alcotest.test_case "crash countdown hook" `Quick test_crash_countdown;
+        Alcotest.test_case "wear accounting" `Quick test_wear_accounting;
+        Alcotest.test_case "dirty tracking" `Quick test_dirty_tracking;
+      ] );
+  ]

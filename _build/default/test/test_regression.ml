@@ -1,0 +1,65 @@
+(* Regression guards on the reproduced result shapes: if a calibration or
+   protocol change pushes a headline figure out of its plausible band
+   (relative to both the paper and the recorded EXPERIMENTS.md values),
+   these tests fail before the bench output quietly drifts. *)
+module Stacks = Tinca_stacks.Stacks
+module Runner = Tinca_harness.Runner
+module Fio = Tinca_workloads.Fio
+module Tpcc = Tinca_workloads.Tpcc
+
+let fio_cfg read_pct =
+  { Fio.default with file_size = 20 * 1024 * 1024; read_pct; ops = 4_000; fsync_every = 32 }
+
+let run_fio read_pct spec =
+  Runner.run_local ~spec
+    ~prealloc:(fun ops -> Fio.prealloc (fio_cfg read_pct) ops)
+    ~work:(fun ops -> Fio.run (fio_cfg read_pct) ops)
+    ()
+
+let in_band name lo v hi =
+  Alcotest.(check bool) (Printf.sprintf "%s: %.2f in [%.2f, %.2f]" name v lo hi) true
+    (v >= lo && v <= hi)
+
+let test_fig7_bands () =
+  (* Paper: 2.5x / 1.7x at the extremes; we accept [1.4, 3.5]. *)
+  List.iter
+    (fun read_pct ->
+      let tinca = run_fio read_pct (fun env -> Stacks.tinca env) in
+      let classic = run_fio read_pct (fun env -> Stacks.classic ~journal_len:4096 env) in
+      let _, _, t_iops = Runner.per_write tinca in
+      let _, _, c_iops = Runner.per_write classic in
+      in_band (Printf.sprintf "IOPS ratio @%.1f" read_pct) 1.4 (t_iops /. c_iops) 3.5;
+      let t_cl, _, _ = Runner.per_write tinca in
+      let c_cl, _, _ = Runner.per_write classic in
+      (* Paper: 73-76 % fewer flushes; accept 50-90 %. *)
+      in_band "clflush reduction" 0.50 (1.0 -. (t_cl /. c_cl)) 0.90)
+    [ 0.3; 0.7 ]
+
+let test_fig8_declines_with_users () =
+  let tpm users spec =
+    let cfg = { Tpcc.default with warehouses = 32; users; txns = 1_500 } in
+    let m =
+      Runner.run_local ~nvm_bytes:(5 * 1024 * 1024) ~spec
+        ~prealloc:(fun ops -> Tpcc.prealloc cfg ops)
+        ~work:(fun ops -> Tpcc.run cfg ops)
+        ()
+    in
+    m.Runner.throughput
+  in
+  let t5 = tpm 5 (fun env -> Stacks.tinca env) in
+  let t60 = tpm 60 (fun env -> Stacks.tinca env) in
+  let c5 = tpm 5 (fun env -> Stacks.classic ~journal_len:4096 env) in
+  let c60 = tpm 60 (fun env -> Stacks.classic ~journal_len:4096 env) in
+  Alcotest.(check bool) "tinca declines with users" true (t60 < t5);
+  Alcotest.(check bool) "classic declines with users" true (c60 < c5);
+  in_band "tpcc ratio @5 users" 1.4 (t5 /. c5) 3.5;
+  in_band "tpcc ratio @60 users" 1.4 (t60 /. c60) 3.5
+
+let suite =
+  [
+    ( "regression",
+      [
+        Alcotest.test_case "fig7 headline bands" `Slow test_fig7_bands;
+        Alcotest.test_case "fig8 user decline + bands" `Slow test_fig8_declines_with_users;
+      ] );
+  ]

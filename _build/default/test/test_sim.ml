@@ -1,0 +1,116 @@
+(* Tests for the simulated clock, latency tables and metrics registry. *)
+open Tinca_sim
+
+let test_clock_monotonic () =
+  let c = Clock.create () in
+  Clock.advance c 10.0;
+  Clock.advance c 5.0;
+  Alcotest.(check (float 1e-9)) "sum" 15.0 (Clock.now_ns c);
+  Clock.advance_to c 12.0;
+  Alcotest.(check (float 1e-9)) "advance_to is monotone" 15.0 (Clock.now_ns c);
+  Clock.advance_to c 20.0;
+  Alcotest.(check (float 1e-9)) "advance_to moves forward" 20.0 (Clock.now_ns c);
+  Alcotest.(check (float 1e-12)) "seconds" 2e-8 (Clock.seconds c);
+  Clock.reset c;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Clock.now_ns c)
+
+let test_clock_rejects_negative () =
+  let c = Clock.create () in
+  Alcotest.(check bool) "assert fires" true
+    (try
+       Clock.advance c (-1.0);
+       false
+     with Assert_failure _ -> true)
+
+let test_latency_orderings () =
+  let open Latency in
+  let nvdimm = nvm_of_tech Nvdimm and pcm = nvm_of_tech Pcm and stt = nvm_of_tech Stt_ram in
+  Alcotest.(check bool) "pcm write slowest" true (pcm.write_ns > stt.write_ns);
+  Alcotest.(check bool) "stt slower than dram" true (stt.write_ns > nvdimm.write_ns);
+  Alcotest.(check bool) "read delays equal for pcm/stt" true (pcm.read_ns = stt.read_ns);
+  let ssd = disk_of_kind Ssd and hdd = disk_of_kind Hdd in
+  Alcotest.(check bool) "hdd seek dominates" true (hdd.seek_ns > ssd.write_block_ns)
+
+let test_transfer_ns () =
+  let open Latency in
+  let net = default_network in
+  let t = transfer_ns net 1_250_000 in
+  (* 1.25 MB at 1.25 GB/s = 1 ms + 10 us rtt. *)
+  Alcotest.(check (float 1.0)) "1.25MB" 1_010_000.0 t
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table1_renders () =
+  let tbl = Latency.table1 () in
+  let s = Tinca_util.Tabular.render tbl in
+  Alcotest.(check bool) "mentions PCM" true (contains_substring s "PCM")
+
+let test_metrics_incr_get () =
+  let m = Metrics.create () in
+  Metrics.incr m "a" ~by:2;
+  Metrics.incr m "a" ~by:3;
+  Alcotest.(check int) "accumulates" 5 (Metrics.get m "a");
+  Alcotest.(check int) "missing is 0" 0 (Metrics.get m "nope")
+
+let test_metrics_snapshot_diff () =
+  let m = Metrics.create () in
+  Metrics.incr m "x" ~by:10;
+  let snap = Metrics.snapshot m in
+  Metrics.incr m "x" ~by:5;
+  Metrics.incr m "y" ~by:7;
+  Alcotest.(check int) "since x" 5 (Metrics.since m snap "x");
+  Alcotest.(check int) "since y" 7 (Metrics.since m snap "y");
+  let d = Metrics.diff m snap in
+  Alcotest.(check (list (pair string int))) "diff" [ ("x", 5); ("y", 7) ] d
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.incr m "x" ~by:1;
+  Metrics.reset m;
+  Alcotest.(check int) "cleared" 0 (Metrics.get m "x")
+
+let suite =
+  [
+    ( "sim.clock",
+      [
+        Alcotest.test_case "monotonic accounting" `Quick test_clock_monotonic;
+        Alcotest.test_case "negative rejected" `Quick test_clock_rejects_negative;
+      ] );
+    ( "sim.latency",
+      [
+        Alcotest.test_case "technology orderings" `Quick test_latency_orderings;
+        Alcotest.test_case "network transfer" `Quick test_transfer_ns;
+        Alcotest.test_case "table 1 renders" `Quick test_table1_renders;
+      ] );
+    ( "sim.metrics",
+      [
+        Alcotest.test_case "incr/get" `Quick test_metrics_incr_get;
+        Alcotest.test_case "snapshot/diff" `Quick test_metrics_snapshot_diff;
+        Alcotest.test_case "reset" `Quick test_metrics_reset;
+      ] );
+  ]
+
+let test_flush_instr_ordering () =
+  let open Latency in
+  Alcotest.(check bool) "clwb cheapest" true
+    (flush_instr_ns Clwb < flush_instr_ns Clflushopt
+    && flush_instr_ns Clflushopt < flush_instr_ns Clflush);
+  (* Persisting through a pmem with clwb must cost less simulated time. *)
+  let cost instr =
+    let clock = Clock.create () in
+    let metrics = Metrics.create () in
+    let pmem = Tinca_pmem.Pmem.create ~flush_instr:instr ~clock ~metrics ~tech:Pcm ~size:4096 () in
+    Tinca_pmem.Pmem.write pmem ~off:0 (Bytes.make 4096 'x');
+    Tinca_pmem.Pmem.persist pmem ~off:0 ~len:4096;
+    Clock.now_ns clock
+  in
+  Alcotest.(check bool) "clwb persists cheaper" true (cost Clwb < cost Clflush)
+
+let flush_instr_suite =
+  [
+    ( "sim.flush_instr",
+      [ Alcotest.test_case "instruction cost ordering" `Quick test_flush_instr_ordering ] );
+  ]

@@ -1,0 +1,193 @@
+(* Tests for the block-trace workload (parse/print, synthesis, replay)
+   and the new FS operations (rename, truncate) plus CSV rendering. *)
+module Trace = Tinca_workloads.Trace
+module Ops = Tinca_workloads.Ops
+module Fs = Tinca_fs.Fs
+module Stacks = Tinca_stacks.Stacks
+module Tabular = Tinca_util.Tabular
+
+(* --- trace --- *)
+
+let test_trace_parse () =
+  let text = "# a comment\nR 5\nW 7\n\nF\nW 5\n" in
+  Alcotest.(check bool) "parsed" true
+    (Trace.parse text = [ Trace.Read 5; Trace.Write 7; Trace.Fsync; Trace.Write 5 ])
+
+let test_trace_parse_errors () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("rejects " ^ bad) true
+        (try
+           ignore (Trace.parse bad);
+           false
+         with Trace.Parse_error _ -> true))
+    [ "X 5\n"; "R\n"; "W abc\n"; "R -3\n"; "R 1 2\n" ]
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"trace print/parse roundtrip" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 1000)))
+    (fun spec ->
+      let ops =
+        List.map
+          (fun (k, b) ->
+            match k with 0 -> Trace.Read b | 1 -> Trace.Write b | _ -> Trace.Fsync)
+          spec
+      in
+      Trace.parse (Trace.to_string ops) = ops)
+
+let test_trace_synthesize_deterministic () =
+  let mk () =
+    Trace.synthesize ~seed:4 ~nblocks:100 ~ops:500 ~read_pct:0.4 ~zipf_theta:0.9 ~fsync_every:8
+  in
+  Alcotest.(check bool) "deterministic" true (mk () = mk ());
+  let ops = mk () in
+  Alcotest.(check bool) "in range" true (Trace.max_blkno ops < 100);
+  let reads = List.length (List.filter (function Trace.Read _ -> true | _ -> false) ops) in
+  Alcotest.(check bool) "read mix ~40%" true (reads > 140 && reads < 260)
+
+let test_trace_replay_over_tinca () =
+  let env = Stacks.make_env ~nvm_bytes:(2 * 1024 * 1024) ~disk_blocks:8192 () in
+  let stack = Stacks.tinca env in
+  let fs =
+    Fs.format ~config:{ Fs.default_config with ninodes = 64; journal_len = 128 } stack.Stacks.backend
+  in
+  let ops = Ops.of_fs fs in
+  let trace =
+    Trace.synthesize ~seed:9 ~nblocks:64 ~ops:400 ~read_pct:0.3 ~zipf_theta:0.8 ~fsync_every:4
+  in
+  Trace.prealloc ~block_size:4096 trace ops;
+  let stats = Trace.run ~block_size:4096 trace ops in
+  Alcotest.(check int) "all ops replayed" 400 stats.Ops.ops;
+  Alcotest.(check bool) "commits happened" true
+    (Tinca_sim.Metrics.get env.Stacks.metrics "tinca.commits" > 0);
+  Fs.fsck fs
+
+(* --- fs rename / truncate --- *)
+
+let mk_fs () =
+  let env = Stacks.make_env ~nvm_bytes:(4 * 1024 * 1024) ~disk_blocks:16384 () in
+  let stack = Stacks.tinca env in
+  (Fs.format ~config:{ Fs.default_config with ninodes = 128; journal_len = 128 } stack.Stacks.backend, env)
+
+let test_rename () =
+  let fs, _ = mk_fs () in
+  Fs.create fs "old";
+  Fs.pwrite fs "old" ~off:0 (Bytes.of_string "payload");
+  Fs.rename fs "old" "new";
+  Fs.fsync fs;
+  Alcotest.(check bool) "old gone" false (Fs.exists fs "old");
+  Alcotest.(check string) "content follows" "payload"
+    (Bytes.to_string (Fs.pread fs "new" ~off:0 ~len:7));
+  Fs.fsck fs;
+  Alcotest.(check bool) "rename to existing rejected" true
+    (try
+       Fs.create fs "other";
+       Fs.rename fs "other" "new";
+       false
+     with Fs.File_exists _ -> true);
+  Alcotest.(check bool) "rename missing rejected" true
+    (try
+       Fs.rename fs "ghost" "x";
+       false
+     with Fs.No_such_file _ -> true)
+
+let test_rename_survives_remount () =
+  let fs, env = mk_fs () in
+  Fs.create fs "a";
+  Fs.pwrite fs "a" ~off:0 (Bytes.of_string "zz");
+  Fs.rename fs "a" "b";
+  Fs.fsync fs;
+  ignore env;
+  let stack2 = Stacks.tinca_recover env in
+  ignore stack2;
+  (* remount via a fresh mount on the same backend *)
+  let fs2 =
+    Fs.mount ~config:{ Fs.default_config with ninodes = 128; journal_len = 128 }
+      stack2.Stacks.backend
+  in
+  Alcotest.(check bool) "renamed name persists" true (Fs.exists fs2 "b");
+  Alcotest.(check bool) "old name gone" false (Fs.exists fs2 "a")
+
+let test_truncate_shrink () =
+  let fs, _ = mk_fs () in
+  Fs.create fs "t";
+  Fs.pwrite fs "t" ~off:0 (Bytes.make 200_000 'q');
+  Fs.fsync fs;
+  Fs.fsck fs;
+  Fs.truncate fs "t" 10_000;
+  Fs.fsync fs;
+  Alcotest.(check int) "size shrunk" 10_000 (Fs.size fs "t");
+  Alcotest.(check char) "kept data" 'q' (Bytes.get (Fs.pread fs "t" ~off:9_999 ~len:1) 0);
+  (* fsck verifies the freed blocks (incl. indirect) left no bitmap leaks. *)
+  Fs.fsck fs;
+  (* Old content beyond the cut must read as zeros (blocks freed). *)
+  Alcotest.(check char) "beyond eof zero" '\000' (Bytes.get (Fs.pread fs "t" ~off:150_000 ~len:1) 0)
+
+let test_truncate_to_zero_and_reuse () =
+  let fs, _ = mk_fs () in
+  Fs.create fs "t";
+  Fs.pwrite fs "t" ~off:0 (Bytes.make 300_000 'r');
+  Fs.truncate fs "t" 0;
+  Fs.fsync fs;
+  Alcotest.(check int) "empty" 0 (Fs.size fs "t");
+  Fs.fsck fs;
+  (* Freed space must be reusable. *)
+  Fs.create fs "u";
+  Fs.pwrite fs "u" ~off:0 (Bytes.make 300_000 's');
+  Fs.fsync fs;
+  Fs.fsck fs
+
+let test_truncate_extend () =
+  let fs, _ = mk_fs () in
+  Fs.create fs "t";
+  Fs.pwrite fs "t" ~off:0 (Bytes.of_string "abc");
+  Fs.truncate fs "t" 100_000;
+  Fs.fsync fs;
+  Alcotest.(check int) "extended" 100_000 (Fs.size fs "t");
+  Alcotest.(check char) "hole zero" '\000' (Bytes.get (Fs.pread fs "t" ~off:50_000 ~len:1) 0);
+  Fs.fsck fs
+
+let test_truncate_double_indirect () =
+  let fs, _ = mk_fs () in
+  Fs.create fs "big";
+  let off = (12 + 1024 + 50) * 4096 in
+  Fs.pwrite fs "big" ~off (Bytes.of_string "tail");
+  Fs.fsync fs;
+  Fs.fsck fs;
+  Fs.truncate fs "big" 4096;
+  Fs.fsync fs;
+  (* The double-indirect tree must be fully reclaimed. *)
+  Fs.fsck fs;
+  Alcotest.(check int) "size" 4096 (Fs.size fs "big")
+
+(* --- csv --- *)
+
+let test_csv_rendering () =
+  let t = Tabular.create ~title:"x" [ "a"; "b" ] in
+  Tabular.add_row t [ "1,5"; "say \"hi\"" ];
+  Tabular.add_row t [ "plain"; "2" ];
+  Alcotest.(check string) "quoted csv" "a,b\n\"1,5\",\"say \"\"hi\"\"\"\nplain,2\n"
+    (Tabular.to_csv t)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "workloads.trace",
+      [
+        Alcotest.test_case "parse" `Quick test_trace_parse;
+        Alcotest.test_case "parse errors" `Quick test_trace_parse_errors;
+        q prop_trace_roundtrip;
+        Alcotest.test_case "synthesize deterministic" `Quick test_trace_synthesize_deterministic;
+        Alcotest.test_case "replay over tinca" `Quick test_trace_replay_over_tinca;
+      ] );
+    ( "fs.rename_truncate",
+      [
+        Alcotest.test_case "rename" `Quick test_rename;
+        Alcotest.test_case "rename survives remount" `Quick test_rename_survives_remount;
+        Alcotest.test_case "truncate shrink" `Quick test_truncate_shrink;
+        Alcotest.test_case "truncate to zero + reuse" `Quick test_truncate_to_zero_and_reuse;
+        Alcotest.test_case "truncate extend" `Quick test_truncate_extend;
+        Alcotest.test_case "truncate double indirect" `Quick test_truncate_double_indirect;
+      ] );
+    ("util.csv", [ Alcotest.test_case "csv quoting" `Quick test_csv_rendering ]);
+  ]

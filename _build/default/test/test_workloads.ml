@@ -1,0 +1,110 @@
+(* Tests of the workload generators: determinism, mix ratios, dataset
+   shapes, and that they run cleanly over a real Tinca stack. *)
+module Fs = Tinca_fs.Fs
+module Stacks = Tinca_stacks.Stacks
+module Ops = Tinca_workloads.Ops
+module Fio = Tinca_workloads.Fio
+module Tpcc = Tinca_workloads.Tpcc
+module Filebench = Tinca_workloads.Filebench
+module Teragen = Tinca_workloads.Teragen
+
+let fs_config = { Fs.default_config with ninodes = 2048; journal_len = 256 }
+
+let mk_fs ?(nvm = 4 * 1024 * 1024) ?(disk_blocks = 32768) () =
+  let env = Stacks.make_env ~nvm_bytes:nvm ~disk_blocks () in
+  let stack = Stacks.tinca env in
+  let fs = Fs.format ~config:fs_config stack.Stacks.backend in
+  (fs, Ops.of_fs fs, env)
+
+let test_fio_runs_and_mix () =
+  let fs, ops, _ = mk_fs () in
+  let cfg = { Fio.default with file_size = 4 * 1024 * 1024; ops = 2_000; read_pct = 0.3 } in
+  Fio.prealloc cfg ops;
+  let stats = Fio.run cfg ops in
+  Alcotest.(check int) "op count" 2_000 stats.Ops.ops;
+  let reads = float_of_int stats.Ops.logical_reads /. 2000.0 in
+  Alcotest.(check bool) "read fraction ~0.3" true (reads > 0.25 && reads < 0.35);
+  Alcotest.(check int) "dataset intact" (4 * 1024 * 1024) (Fs.size fs Fio.file_name);
+  Fs.fsck fs
+
+let test_fio_deterministic () =
+  let run () =
+    let _, ops, env = mk_fs () in
+    let cfg = { Fio.default with file_size = 2 * 1024 * 1024; ops = 500 } in
+    Fio.prealloc cfg ops;
+    ignore (Fio.run cfg ops);
+    Tinca_sim.Clock.now_ns env.Stacks.clock
+  in
+  Alcotest.(check (float 0.0)) "identical simulated time" (run ()) (run ())
+
+let test_tpcc_runs () =
+  let fs, ops, _ = mk_fs () in
+  let cfg = { Tpcc.default with warehouses = 4; users = 4; txns = 500 } in
+  Tpcc.prealloc cfg ops;
+  let stats = Tpcc.run cfg ops in
+  Alcotest.(check int) "txns" 500 stats.Ops.ops;
+  Alcotest.(check bool) "reads and writes happen" true
+    (stats.Ops.logical_reads > 0 && stats.Ops.logical_writes > 0);
+  Fs.fsck fs
+
+let test_tpcc_mix_is_write_heavy () =
+  (* New-order + payment = 88 % of transactions; both write. *)
+  let _, ops, _ = mk_fs () in
+  let cfg = { Tpcc.default with warehouses = 4; users = 8; txns = 2_000 } in
+  Tpcc.prealloc cfg ops;
+  let stats = Tpcc.run cfg ops in
+  let w = float_of_int stats.Ops.logical_writes in
+  let r = float_of_int stats.Ops.logical_reads in
+  Alcotest.(check bool) "writes within 2x of reads" true (w > r /. 2.0 && w < r *. 2.0)
+
+let test_filebench_personalities () =
+  List.iter
+    (fun p ->
+      let fs, ops, _ = mk_fs () in
+      let cfg = { (Filebench.default p) with nfiles = 50; mean_file_kb = 16; ops = 300 } in
+      let t = Filebench.prealloc cfg ops in
+      let stats = Filebench.run t ops in
+      Alcotest.(check int) (Filebench.personality_name p ^ " ops") 300 stats.Ops.ops;
+      Fs.fsck fs)
+    [ Filebench.Fileserver; Filebench.Webproxy; Filebench.Varmail ]
+
+let test_filebench_ratios () =
+  let ratio p =
+    let _, ops, _ = mk_fs () in
+    let cfg = { (Filebench.default p) with nfiles = 60; mean_file_kb = 16; ops = 2_000 } in
+    let t = Filebench.prealloc cfg ops in
+    let stats = Filebench.run t ops in
+    float_of_int stats.Ops.bytes_read /. float_of_int (max 1 stats.Ops.bytes_written)
+  in
+  let webproxy = ratio Filebench.Webproxy in
+  let fileserver = ratio Filebench.Fileserver in
+  Alcotest.(check bool) "webproxy read-heavy" true (webproxy > 2.0);
+  Alcotest.(check bool) "fileserver write-heavy" true (fileserver < 1.5)
+
+let test_teragen_all_writes () =
+  let fs, ops, _ = mk_fs () in
+  let cfg = { Teragen.default with total_bytes = 4 * 1024 * 1024 } in
+  let stats = Teragen.run cfg ops in
+  Alcotest.(check int) "no reads" 0 stats.Ops.logical_reads;
+  Alcotest.(check int) "all bytes written" (4 * 1024 * 1024) stats.Ops.bytes_written;
+  Alcotest.(check int) "chunk files" (Teragen.chunk_count cfg) (Fs.file_count fs);
+  Fs.fsck fs
+
+let test_table2_renders () =
+  let s = Tinca_util.Tabular.render (Tinca_workloads.Catalogue.table2 ()) in
+  Alcotest.(check bool) "non-empty" true (String.length s > 200)
+
+let suite =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "fio mix + dataset" `Quick test_fio_runs_and_mix;
+        Alcotest.test_case "fio deterministic" `Quick test_fio_deterministic;
+        Alcotest.test_case "tpcc runs" `Quick test_tpcc_runs;
+        Alcotest.test_case "tpcc write-heavy" `Quick test_tpcc_mix_is_write_heavy;
+        Alcotest.test_case "filebench personalities" `Quick test_filebench_personalities;
+        Alcotest.test_case "filebench ratios" `Quick test_filebench_ratios;
+        Alcotest.test_case "teragen all writes" `Quick test_teragen_all_writes;
+        Alcotest.test_case "table 2 renders" `Quick test_table2_renders;
+      ] );
+  ]
