@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test check-crash bench experiments examples clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# Exhaustive crash-space model check of the commit protocol: every pmem
+# event of the default 6-commit workload is a crash point; at each one,
+# every survival subset of the torn cache lines is recovered and audited
+# (see `tinca_check --help` for budget/seed/workload flags).
+check-crash:
+	dune exec bin/tinca_check.exe
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:

@@ -1,0 +1,1 @@
+bin/tinca_bench.ml: Arg Clock Cmd Cmdliner Filename List Logs Metrics Printf Sys Term Tinca_fs Tinca_harness Tinca_sim Tinca_stacks Tinca_workloads Unix

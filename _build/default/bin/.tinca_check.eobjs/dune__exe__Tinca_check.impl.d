@@ -1,0 +1,1 @@
+bin/tinca_check.ml: Arg Cmd Cmdliner Format List Logs Printf Term Tinca_checker Tinca_util Unix

@@ -1,0 +1,1 @@
+bin/tinca_check.mli:

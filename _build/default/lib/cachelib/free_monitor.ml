@@ -36,7 +36,15 @@ let cap t = Array.length t.ring
 let ring_full t = (t.head + 1) mod cap t = t.tail
 
 (* Rebuild the ring from the free bitmap: one occurrence per free index,
-   ascending.  Run when lazy deletion has bloated or emptied the ring. *)
+   ascending.  Run when lazy deletion has bloated or emptied the ring.
+
+   Deliberate semantics quirk (pinned by test_cachelib): a rebuild
+   discards the pool's recency/age order and re-sorts it ascending by
+   index, so after a rebuild [Fifo] hands out indices in ascending order
+   rather than oldest-freed-first.  That is harmless for both users of
+   the policy — wear leveling only needs the pool to keep rotating, and
+   correctness never depends on allocation order — and it keeps
+   [mark_used] O(1) during recovery rebuild. *)
 let rebuild t =
   let head = ref 0 in
   for j = 0 to t.n - 1 do

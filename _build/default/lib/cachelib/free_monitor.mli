@@ -10,7 +10,13 @@ type t
     index — cache-friendly but concentrates NVM wear on a few hot
     blocks.  [Fifo] hands indices out round-robin, spreading write wear
     evenly over the medium (wear leveling for endurance-limited NVM,
-    paper 1's PCM endurance concern). *)
+    paper 1's PCM endurance concern).
+
+    Caveat: the age order is approximate.  When lazy deletion forces an
+    internal rebuild of the pool, the free indices are re-sorted
+    ascending, so [Fifo] temporarily degrades to ascending-index order.
+    Rotation (and thus wear spreading) is preserved; exact
+    oldest-freed-first order is not guaranteed. *)
 type policy = Lifo | Fifo
 
 (** [create ~n] — all of [0..n-1] free. *)

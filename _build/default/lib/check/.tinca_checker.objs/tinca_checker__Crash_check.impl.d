@@ -1,0 +1,1 @@
+lib/check/crash_check.ml: Array Bytes Char Clock Format Hashtbl Latency List Logs Metrics Printexc Printf String Tinca_blockdev Tinca_core Tinca_pmem Tinca_sim Tinca_util

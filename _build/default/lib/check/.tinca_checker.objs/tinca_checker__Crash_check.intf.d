@@ -1,0 +1,1 @@
+lib/check/crash_check.mli: Format Tinca_util

@@ -28,6 +28,11 @@ let default_config =
 
 exception Transaction_too_large
 
+exception Cache_exhausted
+(** Replacement found no victim: every cached block is pinned by the
+    in-flight transaction.  [Txn.commit] maps this to
+    {!Transaction_too_large} after rolling the partial commit back. *)
+
 (* DRAM-side bookkeeping for one cached disk block (§4.6: hash table +
    LRU list, reconstructible from the persistent entry table). *)
 type info = {
@@ -37,6 +42,13 @@ type info = {
   mutable prev : int option;
   mutable role_log : bool;
   mutable dirty : bool;
+  mutable pre_dirty : bool;
+      (* dirty bit as of just before the in-flight COW update; meaningful
+         only while [role_log].  In-process revocation restores it, so
+         aborting a transaction over a clean cached block does not turn
+         the block spuriously dirty.  Post-crash recovery cannot read it
+         back from media (the entry's M bit was overwritten by the COW
+         update), so recovered infos conservatively set it to [true]. *)
   mutable node : info Lru.node option;
 }
 
@@ -81,13 +93,30 @@ let write_super t =
   Pmem.write t.pmem ~off:t.layout.Layout.super_off b;
   Pmem.persist t.pmem ~off:t.layout.Layout.super_off ~len:64
 
+(* Read and *validate* the superblock: a corrupt one must surface as a
+   clean "unformatted/corrupt NVM" failure, never as a division by zero
+   or an absurd layout handed to the rest of recovery. *)
 let read_super pmem =
-  let b = Pmem.read pmem ~off:0 ~len:64 in
-  if Bytes.get_int64_le b 0 <> magic then failwith "Tinca.Cache: unformatted NVM (bad magic)";
+  let corrupt fmt = Printf.ksprintf failwith ("Tinca.Cache: " ^^ fmt) in
+  if Pmem.size pmem < Layout.superblock_off + 64 then
+    corrupt "unformatted NVM (device smaller than a superblock)";
+  let b = Pmem.read pmem ~off:Layout.superblock_off ~len:64 in
+  if Bytes.get_int64_le b 0 <> magic then corrupt "unformatted NVM (bad magic)";
   let block_size = Tinca_util.Codec.get_u32 b 8 in
   let ring_slots = Tinca_util.Codec.get_u32 b 12 in
   let nblocks = Tinca_util.Codec.get_u32 b 16 in
-  (block_size, ring_slots, nblocks)
+  if block_size <= 0 || block_size mod 64 <> 0 then
+    corrupt "corrupt superblock (block_size %d)" block_size;
+  if ring_slots <= 0 then corrupt "corrupt superblock (ring_slots %d)" ring_slots;
+  if nblocks <= 0 then corrupt "corrupt superblock (nblocks %d)" nblocks;
+  let layout =
+    try Layout.compute ~pmem_bytes:(Pmem.size pmem) ~block_size ~ring_slots
+    with Invalid_argument _ -> corrupt "corrupt superblock (geometry does not fit the device)"
+  in
+  if layout.Layout.nblocks <> nblocks then
+    corrupt "corrupt superblock (stored %d blocks, device fits %d)" nblocks
+      layout.Layout.nblocks;
+  layout
 
 (* --- entry I/O --------------------------------------------------------- *)
 
@@ -138,7 +167,7 @@ let writeback ?(background = false) t info =
    NVM blocks, because [prev] is only non-None while the role is log). *)
 let evict_one t =
   match Lru.find_from_lru t.lru ~f:(fun info -> not info.role_log) with
-  | None -> failwith "Tinca.Cache: no evictable block (cache exhausted by transaction)"
+  | None -> raise Cache_exhausted
   | Some node ->
       let info = Lru.value node in
       if info.dirty then begin
@@ -270,12 +299,17 @@ let revoke_block ?(force = false) t blkno =
       if force || info.role_log then begin
         (match info.prev with
         | Some p ->
-            (* Roll back to the previous version. *)
+            (* Roll back to the previous version, restoring the dirty bit
+               the block had before the COW update.  For in-process aborts
+               [pre_dirty] is exact, so rolling back over a clean cached
+               block does not schedule a spurious disk writeback; recovered
+               infos carry the conservative [pre_dirty = true] because the
+               pre-transaction M bit is unrecoverable from media. *)
             Free_monitor.free t.free_data info.cur;
             info.cur <- p;
             info.prev <- None;
             t.cow_pinned <- t.cow_pinned - 1;
-            note_dirty t info true;
+            note_dirty t info info.pre_dirty;
             if info.role_log then begin
               info.role_log <- false;
               t.pinned <- t.pinned - 1
@@ -299,10 +333,8 @@ let revoke_block ?(force = false) t blkno =
       end
 
 let recover ~pmem ~disk ~clock ~metrics =
-  let block_size, ring_slots, stored_nblocks = read_super pmem in
-  let layout = Layout.compute ~pmem_bytes:(Pmem.size pmem) ~block_size ~ring_slots in
-  if layout.Layout.nblocks <> stored_nblocks then
-    failwith "Tinca.Cache.recover: geometry mismatch";
+  let layout = read_super pmem in
+  let block_size = layout.Layout.block_size and ring_slots = layout.Layout.ring_slots in
   if Disk.block_size disk <> block_size then
     failwith "Tinca.Cache.recover: disk block size mismatch";
   let cfg = { default_config with block_size; ring_slots } in
@@ -330,6 +362,7 @@ let recover ~pmem ~disk ~clock ~metrics =
           prev = (if in_flight then e.Entry.prev else None);
           role_log;
           dirty = e.Entry.modified;
+          pre_dirty = true;
           node = None;
         }
       in
@@ -374,7 +407,7 @@ let insert_clean t blkno data =
   Pmem.persist t.pmem ~off ~len:t.cfg.block_size;
   let info =
     { disk_blkno = blkno; entry_idx; cur = nvm_blk; prev = None; role_log = false;
-      dirty = false; node = None }
+      dirty = false; pre_dirty = false; node = None }
   in
   write_entry t entry_idx (entry_of_info ~role:Entry.Buffer info);
   info.node <- Some (Lru.push_mru t.lru info);
@@ -435,6 +468,7 @@ module Txn = struct
         (* Write hit: COW block write (§4.3). *)
         t.write_hits <- t.write_hits + 1;
         Metrics.incr t.metrics "tinca.write_hits" ~by:1;
+        info.pre_dirty <- info.dirty;
         info.prev <- Some info.cur;
         info.cur <- new_blk;
         info.role_log <- true;
@@ -450,7 +484,7 @@ module Txn = struct
         let entry_idx = alloc_entry t in
         let info =
           { disk_blkno = blkno; entry_idx; cur = new_blk; prev = None; role_log = true;
-            dirty = false; node = None }
+            dirty = false; pre_dirty = false; node = None }
         in
         note_dirty t info true;
         t.pinned <- t.pinned + 1;
@@ -468,7 +502,6 @@ module Txn = struct
   let commit h =
     if h.state <> Running then invalid_arg "Tinca.Txn.commit: transaction not running";
     let t = h.cache in
-    h.state <- Committing;
     let blocks = List.rev h.order in
     let n = List.length blocks in
     if n = 0 then begin
@@ -476,11 +509,27 @@ module Txn = struct
       Metrics.incr t.metrics "tinca.commits" ~by:1
     end
     else begin
-      if n > t.cfg.ring_slots then raise Transaction_too_large;
+      (* Admission control.  A rejected transaction is terminal (the
+         handle moves to Finished) and leaves the cache untouched.
+
+         Capacity accounting: the commit needs [n] fresh NVM data blocks
+         (every staged block gets a COW copy) and one entry slot per
+         write miss.  Supply is the free pools plus evictions, each of
+         which frees exactly one data block and one entry slot — but the
+         transaction's own cached blocks must not be counted as victims:
+         every write hit pins its LRU node (and both its [cur] and
+         [prev] NVM blocks) once its turn in the commit loop comes. *)
+      let reject () =
+        h.state <- Finished;
+        raise Transaction_too_large
+      in
+      if n > t.cfg.ring_slots then reject ();
       let hits = List.fold_left (fun acc b -> if Hashtbl.mem t.index b then acc + 1 else acc) 0 blocks in
-      let evictable = Lru.length t.lru - t.pinned in
-      if n + hits > Free_monitor.free_count t.free_data + evictable then
-        raise Transaction_too_large;
+      let misses = n - hits in
+      let evictable = Lru.length t.lru - t.pinned - hits in
+      if n > Free_monitor.free_count t.free_data + evictable then reject ();
+      if misses > Free_monitor.free_count t.free_entries + evictable then reject ();
+      h.state <- Committing;
       t.committing <- true;
       charge_op t;
       let committed = ref [] in
@@ -493,7 +542,11 @@ module Txn = struct
        with e ->
          revoke_partial h !committed;
          h.state <- Finished;
-         raise e);
+         (* The admission check is exact for the states normal operation
+            produces, but if replacement still runs out of victims
+            mid-commit, surface the one documented exception type — the
+            partial commit has been fully rolled back. *)
+         (match e with Cache_exhausted -> raise Transaction_too_large | e -> raise e));
       (* §4.4 step 4: role switches for every block, batched under a
          single fence, which must complete BEFORE the Tail update so a
          crash cannot surface a half-switched committed transaction. *)
@@ -535,6 +588,21 @@ module Txn = struct
             write_entry t info.entry_idx (entry_of_info ~role:Entry.Buffer info))
           infos
     end
+
+  (* Failure injection for tests and the crash-space checker: run the
+     commit protocol for the first [k] staged blocks and stop, as an
+     injected mid-commit failure would.  [abort] then exercises the
+     production revocation path. *)
+  let commit_prefix h k =
+    if h.state <> Running then invalid_arg "Tinca.Txn.commit_prefix: transaction not running";
+    let t = h.cache in
+    let blocks = List.rev h.order in
+    if k < 0 || k > List.length blocks then invalid_arg "Tinca.Txn.commit_prefix: bad prefix";
+    h.state <- Committing;
+    t.committing <- true;
+    List.iteri
+      (fun i blkno -> if i < k then commit_block t blkno (Hashtbl.find h.staged blkno))
+      blocks
 
   let abort h =
     let t = h.cache in

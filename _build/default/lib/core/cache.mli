@@ -47,6 +47,13 @@ val default_config : config
 
 exception Transaction_too_large
 
+(** Raised by replacement when every cached block is pinned by the
+    in-flight transaction, i.e. there is no eviction victim.  Inside
+    {!Txn.commit} this is mapped to {!Transaction_too_large} after the
+    partial commit has been rolled back, so transaction callers only ever
+    see one exception type for capacity problems. *)
+exception Cache_exhausted
+
 (** [format ~config ~pmem ~disk ~clock ~metrics] initializes the NVM
     layout (superblock, zeroed pointers and entry table) and returns an
     empty cache. *)
@@ -97,13 +104,26 @@ module Txn : sig
 
   (** [tinca_commit]: run the commit protocol of §4.4.  On return the
       transaction is durable in NVM.  Raises {!Transaction_too_large} if
-      the ring or the evictable cache space cannot host it (nothing is
-      written in that case). *)
+      the ring, the NVM data region or the entry table cannot host it —
+      either up front (admission control; nothing is written) or, should
+      replacement still exhaust mid-commit, after the partial commit has
+      been revoked.  Either way the handle is finished and the cache is
+      exactly as before the call. *)
   val commit : handle -> unit
 
   (** [tinca_abort]: drop a running transaction, or revoke a partially
       committed one to its pre-transaction state. *)
   val abort : handle -> unit
+
+  (** {2 Failure injection (tests and the crash-space checker)} *)
+
+  (** [commit_prefix h k] runs the commit protocol (§4.4 steps 1–3) for
+      the first [k] staged blocks and then stops, exactly as an injected
+      mid-commit failure would, leaving the handle committing and the
+      ring non-quiescent.  Follow with {!abort} to exercise the
+      production revocation path deterministically.  Test-only: a handle
+      driven this way must not be [commit]ted. *)
+  val commit_prefix : handle -> int -> unit
 end
 
 (** {1 Maintenance} *)

@@ -13,11 +13,15 @@ type t = {
 
 let align_up v a = (v + a - 1) / a * a
 
+(* The superblock lives at a fixed bootstrap offset so it can be found
+   (and validated) before any layout is known. *)
+let superblock_off = 0
+
 let compute ~pmem_bytes ~block_size ~ring_slots =
   if block_size <= 0 || block_size mod 64 <> 0 then
     invalid_arg "Layout.compute: block_size must be a positive multiple of 64";
   if ring_slots <= 0 then invalid_arg "Layout.compute: ring_slots must be positive";
-  let super_off = 0 in
+  let super_off = superblock_off in
   let head_off = 64 in
   let tail_off = 128 in
   let ring_off = 192 in

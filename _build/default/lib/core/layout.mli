@@ -21,6 +21,11 @@ type t = {
   total_bytes : int;      (** pmem bytes consumed *)
 }
 
+(** Fixed bootstrap offset of the superblock — readable (and validated)
+    before any layout is known; [compute] always places [super_off]
+    here. *)
+val superblock_off : int
+
 (** [compute ~pmem_bytes ~block_size ~ring_slots] sizes the largest data
     region that fits.  Raises [Invalid_argument] if nothing fits. *)
 val compute : pmem_bytes:int -> block_size:int -> ring_slots:int -> t

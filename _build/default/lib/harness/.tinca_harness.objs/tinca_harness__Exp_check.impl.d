@@ -1,0 +1,1 @@
+lib/harness/exp_check.ml: Format List Tinca_checker Tinca_util

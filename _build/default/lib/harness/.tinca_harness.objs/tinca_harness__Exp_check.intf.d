@@ -1,0 +1,1 @@
+lib/harness/exp_check.mli: Tinca_util

@@ -1,1 +1,1 @@
-lib/harness/registry.ml: Buffer Exp_ablation Exp_cluster Exp_fio Exp_motivation Exp_recovery Exp_tpcc Exp_txn List Printf Tinca_sim Tinca_util Tinca_workloads
+lib/harness/registry.ml: Buffer Exp_ablation Exp_check Exp_cluster Exp_fio Exp_motivation Exp_recovery Exp_tpcc Exp_txn List Printf Tinca_sim Tinca_util Tinca_workloads

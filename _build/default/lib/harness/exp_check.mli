@@ -1,0 +1,6 @@
+(** Registry wrapper for the exhaustive crash-space model checker
+    (lib/check): a budgeted sweep of the default deterministic workload,
+    reporting crash points, explored/deduped post-crash states and any
+    consistency violations. *)
+
+val run : unit -> Tinca_util.Tabular.t list

@@ -98,6 +98,12 @@ let all : experiment list =
       run = Exp_recovery.run;
     };
     {
+      id = "crash_space";
+      title = "Exhaustive crash-space model check of the commit protocol";
+      paper_ref = "5.1 strengthened: every crash point x every torn-line survival subset";
+      run = Exp_check.run;
+    };
+    {
       id = "ubj_compare";
       title = "Tinca vs UBJ vs Classic";
       paper_ref = "5.4.4 (qualitative in the paper; quantified here)";

@@ -1,1 +1,1 @@
-lib/pmem/pmem.ml: Array Bytes Char Clock Hashtbl Int64 Latency List Metrics Printf Tinca_sim Tinca_util
+lib/pmem/pmem.ml: Array Bytes Char Clock Digest Hashtbl Int64 Latency List Metrics Printf Tinca_sim Tinca_util

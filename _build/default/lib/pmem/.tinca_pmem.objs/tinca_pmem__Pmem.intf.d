@@ -1,1 +1,1 @@
-lib/pmem/pmem.mli: Tinca_sim Tinca_util
+lib/pmem/pmem.mli: Digest Tinca_sim Tinca_util

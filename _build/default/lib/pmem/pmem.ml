@@ -159,15 +159,26 @@ let clflush t ~off ~len =
   event t;
   if len > 0 then begin
     let first, last = lines_of_range off len in
+    (* A flush of a clean (or already flush-pending) line is issued but
+       initiates no medium write-back, so it must not be charged the
+       medium's write latency — only the dirty lines whose write-back
+       this flush actually starts pay [write_ns]. *)
+    let dirtied = ref 0 in
     for idx = first to last do
       match Hashtbl.find_opt t.lines idx with
-      | Some line -> line.pending <- true
+      | Some line ->
+          if not line.pending then begin
+            line.pending <- true;
+            incr dirtied
+          end
       | None -> () (* clean line: the flush is issued but is a no-op *)
     done;
     let nlines = last - first + 1 in
     Metrics.incr t.metrics "pmem.clflush" ~by:nlines;
+    Metrics.incr t.metrics "pmem.clflush_writebacks" ~by:!dirtied;
     Clock.advance t.clock
-      ((t.lat.clflush_ns +. t.lat.write_ns) *. float_of_int nlines)
+      ((t.lat.clflush_ns *. float_of_int nlines)
+      +. (t.lat.write_ns *. float_of_int !dirtied))
   end
 
 let sfence t =
@@ -200,6 +211,68 @@ let crash ?seed ?(survival = 0.5) t =
     entries;
   Hashtbl.reset t.lines;
   t.countdown <- None
+
+(* --- crash-space exploration hooks (lib/check) ------------------------- *)
+
+(* Cache lines dirtied since the last fence, ascending.  At a crash each
+   of these may independently reach the medium or be lost, so they span
+   the survival-subset space the model checker enumerates. *)
+let unfenced_lines t =
+  List.sort compare (Hashtbl.fold (fun idx _ acc -> idx :: acc) t.lines [])
+
+(* Whether losing/keeping [idx] changes the medium: a line whose volatile
+   content equals its durable backup is unaffected by the crash outcome. *)
+let line_torn t idx =
+  match Hashtbl.find_opt t.lines idx with
+  | None -> false
+  | Some line ->
+      not (Bytes.equal line.backup (Bytes.sub t.media (idx * line_size) line_size))
+
+(* Resolve a crash with an explicit survival verdict per unfenced line
+   ([survive idx] = the line's newest content reached the medium), instead
+   of [crash]'s random sampling.  Leaves the device quiescent. *)
+let crash_select t ~survive =
+  let entries = Hashtbl.fold (fun idx line acc -> (idx, line) :: acc) t.lines [] in
+  List.iter
+    (fun (idx, line) ->
+      if survive idx then t.wear.(idx) <- t.wear.(idx) + 1
+      else Bytes.blit line.backup 0 t.media (idx * line_size) line_size)
+    entries;
+  Hashtbl.reset t.lines;
+  t.countdown <- None
+
+type snapshot = {
+  snap_media : Bytes.t;
+  snap_lines : (int * Bytes.t * bool) list; (* line idx, backup, pending *)
+  snap_wear : int array;
+}
+
+(* Capture / reinstate the full device state (medium + volatile line
+   layer), so the checker can re-enter the same pre-crash state once per
+   survival subset without replaying the workload.  [restore] disarms any
+   crash countdown; simulated time and metrics are left untouched. *)
+let snapshot t =
+  {
+    snap_media = Bytes.copy t.media;
+    snap_lines =
+      Hashtbl.fold (fun idx l acc -> (idx, Bytes.copy l.backup, l.pending) :: acc) t.lines [];
+    snap_wear = Array.copy t.wear;
+  }
+
+let restore t s =
+  if Bytes.length s.snap_media <> Bytes.length t.media then
+    invalid_arg "Pmem.restore: snapshot from a different-sized device";
+  Bytes.blit s.snap_media 0 t.media 0 (Bytes.length t.media);
+  Hashtbl.reset t.lines;
+  List.iter
+    (fun (idx, backup, pending) ->
+      Hashtbl.add t.lines idx { backup = Bytes.copy backup; pending })
+    s.snap_lines;
+  Array.blit s.snap_wear 0 t.wear 0 (Array.length t.wear);
+  t.countdown <- None
+
+(* Digest of the durable medium, for deduplicating post-crash images. *)
+let media_digest t = Digest.bytes t.media
 
 let set_crash_countdown t c =
   (match c with

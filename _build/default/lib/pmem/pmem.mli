@@ -81,7 +81,13 @@ val read_u64_int : t -> off:int -> int
 (** {1 Persistence primitives} *)
 
 (** [clflush t ~off ~len] issues clflush for every line intersecting the
-    range.  Lines become durable at the next {!sfence}. *)
+    range.  Lines become durable at the next {!sfence}.  Every issued
+    flush pays the instruction latency; only lines that are actually
+    dirty (and not already flush-pending) start a medium write-back and
+    pay the medium's write latency — a flush of a clean line is a no-op
+    and must not inflate the modelled NVM write traffic.
+    ["pmem.clflush"] counts issued flushes per line;
+    ["pmem.clflush_writebacks"] counts the write-backs they started. *)
 val clflush : t -> off:int -> len:int -> unit
 
 (** Ordering + durability point: all flush-pending lines reach the medium. *)
@@ -104,6 +110,42 @@ val crash : ?seed:int -> ?survival:float -> t -> unit
     clflush or sfence), leaving that event not performed.  [None] disables
     the hook.  Used by systematic crash-sweep tests. *)
 val set_crash_countdown : t -> int option -> unit
+
+(** {1 Crash-space exploration (lib/check)}
+
+    Hooks for the exhaustive crash-space model checker: instead of
+    sampling one random survival outcome per crash, it enumerates every
+    survival subset of the unfenced lines, re-entering the same pre-crash
+    device state via {!snapshot}/{!restore}. *)
+
+(** Indices of the cache lines dirtied since the last fence, ascending.
+    At a crash, each may independently reach the medium or be lost. *)
+val unfenced_lines : t -> int list
+
+(** [line_torn t idx] — does losing vs. keeping line [idx] change the
+    medium?  [false] when the line's volatile content equals its durable
+    backup (such lines need not be enumerated). *)
+val line_torn : t -> int -> bool
+
+(** [crash_select t ~survive] resolves a crash with an explicit verdict
+    per unfenced line: [survive idx] means the line's newest content
+    reached the medium.  Empties the volatile layer and disarms any
+    crash countdown. *)
+val crash_select : t -> survive:(int -> bool) -> unit
+
+type snapshot
+
+(** Capture the full device state (medium + volatile line layer). *)
+val snapshot : t -> snapshot
+
+(** Reinstate a {!snapshot} taken on this device (sizes must match):
+    medium, volatile line layer and wear counters return to the
+    snapshot's values; the crash countdown is disarmed.  Simulated time
+    and metrics are left untouched. *)
+val restore : t -> snapshot -> unit
+
+(** Digest of the durable medium, for deduplicating post-crash images. *)
+val media_digest : t -> Digest.t
 
 (** Number of mutation/persistence events so far (for sizing sweeps). *)
 val event_count : t -> int

@@ -1,0 +1,1 @@
+test/test_fixes.ml: Alcotest Bytes Clock Latency List Metrics Printexc Printf String Tinca_blockdev Tinca_checker Tinca_core Tinca_pmem Tinca_sim

@@ -211,6 +211,30 @@ let test_fifo_rotates () =
   done;
   Alcotest.(check int) "all 8 indices visited" 8 (Hashtbl.length seen)
 
+let test_fifo_rebuild_resorts_ascending () =
+  (* Pin the documented quirk (free_monitor.ml): when lazy deletion
+     forces an internal ring rebuild, the pool is re-sorted ascending by
+     index, so Fifo temporarily hands indices out in ascending order
+     rather than oldest-freed-first.  This trace fills the ring so the
+     last [free] triggers the rebuild. *)
+  let fm = Fm.create ~policy:Fm.Fifo ~n:3 () in
+  Fm.mark_used fm 1;
+  Alcotest.(check (option int)) "fifo pops oldest" (Some 0) (Fm.alloc fm);
+  Alcotest.(check (option int)) "stale entry for 1 skipped" (Some 2) (Fm.alloc fm);
+  Fm.free fm 2;
+  Fm.free fm 0;
+  Fm.free fm 1;
+  (* Age order is now 2, 0, 1.  Stale-ing 0's entry and re-freeing it
+     finds the ring full, which rebuilds the pool ascending. *)
+  Fm.mark_used fm 0;
+  Fm.free fm 0;
+  let a = Fm.alloc fm in
+  let b = Fm.alloc fm in
+  let c = Fm.alloc fm in
+  Alcotest.(check (list (option int)))
+    "post-rebuild order is ascending by index, not by age"
+    [ Some 0; Some 1; Some 2 ] [ a; b; c ]
+
 let test_lifo_reuses () =
   let fm = Fm.create ~policy:Fm.Lifo ~n:8 () in
   let first = Option.get (Fm.alloc fm) in
@@ -284,6 +308,8 @@ let policy_suite =
     ( "cachelib.alloc_policy",
       [
         Alcotest.test_case "fifo rotates" `Quick test_fifo_rotates;
+        Alcotest.test_case "fifo rebuild re-sorts ascending" `Quick
+          test_fifo_rebuild_resorts_ascending;
         Alcotest.test_case "lifo reuses" `Quick test_lifo_reuses;
         q prop_fifo_model;
         Alcotest.test_case "cache fifo spreads wear" `Quick test_cache_fifo_policy_spreads_wear;

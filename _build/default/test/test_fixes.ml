@@ -1,0 +1,210 @@
+(* Regression tests for the commit-path bugs flushed out by the
+   crash-space checker, plus a budgeted run of the checker itself.
+
+   Each test pins a specific fix and fails on the pre-fix code:
+   - a rejected (too-large) commit must be terminal: the handle moves to
+     Finished (so [abort] refuses it) and the cache is untouched, rather
+     than being left stuck in Committing;
+   - mid-commit revocation must restore the pre-transaction modified
+     bit, not leave a clean block marked dirty (which schedules a
+     spurious disk write-back at the next flush);
+   - a corrupt superblock must fail recovery with a clean diagnostic,
+     never [Division_by_zero] out of the layout arithmetic;
+   - flushing an already-persisted (clean) cache line must charge only
+     the instruction latency, not a medium write-back. *)
+
+module Cache = Tinca_core.Cache
+module Pmem = Tinca_pmem.Pmem
+module Disk = Tinca_blockdev.Disk
+module Check = Tinca_checker.Crash_check
+open Tinca_sim
+
+type env = { pmem : Pmem.t; disk : Disk.t; clock : Clock.t; metrics : Metrics.t }
+
+let mk_env ?(pmem_bytes = 160 * 1024) ?(nblocks = 64) () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:pmem_bytes () in
+  let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks ~block_size:4096 in
+  { pmem; disk; clock; metrics }
+
+let mk_cache ?(ring_slots = 64) env =
+  Cache.format
+    ~config:{ Cache.default_config with ring_slots }
+    ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+
+(* A commit rejected by admission control must be terminal and leave the
+   cache exactly as before: the handle is Finished (abort refuses it),
+   nothing was cached, and the cache still commits normal transactions. *)
+let test_too_large_rejection_is_terminal () =
+  let env = mk_env () in
+  let cache = mk_cache env in
+  let capacity = Cache.free_blocks cache in
+  let h = Cache.Txn.init cache in
+  for blk = 0 to capacity + 9 do
+    Cache.Txn.add h blk (Bytes.make 4096 'x')
+  done;
+  Alcotest.check_raises "oversized commit rejected" Cache.Transaction_too_large (fun () ->
+      Cache.Txn.commit h);
+  Alcotest.(check bool) "rejected handle is finished (abort refuses it)" true
+    (try
+       Cache.Txn.abort h;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "nothing was cached" 0 (Cache.cached_blocks cache);
+  Alcotest.(check int) "no NVM blocks consumed" capacity (Cache.free_blocks cache);
+  Cache.check_invariants cache;
+  (* The cache must not be stuck mid-commit: a normal commit still works. *)
+  Cache.write_direct cache 1 (Bytes.make 4096 'y');
+  Alcotest.(check (option bytes)) "subsequent commit lands"
+    (Some (Bytes.make 4096 'y'))
+    (Cache.peek cache 1);
+  Cache.check_invariants cache
+
+(* Revoking a COW write hit on a clean cached block must restore the
+   clean modified bit: the block's content rolls back AND no spurious
+   disk write-back is scheduled for it. *)
+let test_revocation_restores_clean_bit () =
+  let env = mk_env () in
+  let cache = mk_cache env in
+  Disk.write_block env.disk 7 (Bytes.make 4096 'a');
+  ignore (Cache.read cache 7);
+  (* Injected mid-commit failure after the block's COW step, then the
+     production revocation path. *)
+  let h = Cache.Txn.init cache in
+  Cache.Txn.add h 7 (Bytes.make 4096 'b');
+  Cache.Txn.commit_prefix h 1;
+  Cache.Txn.abort h;
+  Cache.check_invariants cache;
+  Alcotest.(check (option bytes)) "content rolled back"
+    (Some (Bytes.make 4096 'a'))
+    (Cache.peek cache 7);
+  let writes_before = Disk.writes env.disk in
+  Cache.flush_all cache;
+  Alcotest.(check int) "no spurious write-back of the clean block" writes_before
+    (Disk.writes env.disk)
+
+(* A dirty pre-state must stay dirty through revocation: the revoked
+   block's committed-but-unflushed data still needs its write-back. *)
+let test_revocation_keeps_dirty_bit () =
+  let env = mk_env () in
+  let cache = mk_cache env in
+  Cache.write_direct cache 3 (Bytes.make 4096 'a');
+  let h = Cache.Txn.init cache in
+  Cache.Txn.add h 3 (Bytes.make 4096 'b');
+  Cache.Txn.commit_prefix h 1;
+  Cache.Txn.abort h;
+  Cache.check_invariants cache;
+  let writes_before = Disk.writes env.disk in
+  Cache.flush_all cache;
+  Alcotest.(check int) "committed data still written back" (writes_before + 1)
+    (Disk.writes env.disk);
+  Alcotest.(check bytes) "disk carries the committed version" (Bytes.make 4096 'a')
+    (Disk.read_block env.disk 3)
+
+let contains_substring msg fragment =
+  let n = String.length msg and m = String.length fragment in
+  let rec at i = i + m <= n && (String.sub msg i m = fragment || at (i + 1)) in
+  at 0
+
+let recover_fails_with env fragment =
+  match
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+  with
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "diagnostic %S mentions %S" msg fragment)
+        true (contains_substring msg fragment)
+  | exception e ->
+      Alcotest.failf "expected a clean Failure, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "recovery accepted corrupt media"
+
+(* Zeroed geometry in an otherwise valid superblock must surface as a
+   clean "corrupt superblock" failure, not Division_by_zero out of
+   Layout.compute's alignment arithmetic. *)
+let test_corrupt_superblock_block_size () =
+  let env = mk_env () in
+  let cache = mk_cache env in
+  Cache.write_direct cache 1 (Bytes.make 4096 'x');
+  (* Zero the stored block_size (u32 at offset 8). *)
+  Pmem.write env.pmem ~off:8 (Bytes.make 4 '\000');
+  Pmem.persist env.pmem ~off:0 ~len:64;
+  recover_fails_with env "corrupt superblock"
+
+(* Geometry that cannot fit the device (huge ring) must also fail
+   cleanly, before any layout arithmetic runs off the device's end. *)
+let test_corrupt_superblock_geometry () =
+  let env = mk_env () in
+  let cache = mk_cache env in
+  Cache.write_direct cache 1 (Bytes.make 4096 'x');
+  (* Stored ring_slots (u32 at offset 12) := 2^24 slots = 128 MB ring. *)
+  let b = Bytes.make 4 '\000' in
+  Bytes.set b 3 '\001';
+  Pmem.write env.pmem ~off:12 b;
+  Pmem.persist env.pmem ~off:0 ~len:64;
+  recover_fails_with env "corrupt superblock"
+
+let test_unformatted_media () =
+  let env = mk_env () in
+  recover_fails_with env "unformatted"
+
+(* clflush of an already-persisted line: the instruction is issued (and
+   counted) but starts no medium write-back, so it must be cheaper than
+   flushing a dirty line and must not bump the write-back counter. *)
+let test_clean_clflush_charges_no_writeback () =
+  let env = mk_env () in
+  Pmem.write env.pmem ~off:0 (Bytes.make 64 'x');
+  let t0 = Clock.now_ns env.clock in
+  Pmem.persist env.pmem ~off:0 ~len:64;
+  let dirty_cost = Clock.now_ns env.clock -. t0 in
+  let flushes = Metrics.get env.metrics "pmem.clflush" in
+  let writebacks = Metrics.get env.metrics "pmem.clflush_writebacks" in
+  let t1 = Clock.now_ns env.clock in
+  Pmem.persist env.pmem ~off:0 ~len:64 (* the line is clean now *);
+  let clean_cost = Clock.now_ns env.clock -. t1 in
+  Alcotest.(check int) "flush still issued" (flushes + 1)
+    (Metrics.get env.metrics "pmem.clflush");
+  Alcotest.(check int) "no write-back started" writebacks
+    (Metrics.get env.metrics "pmem.clflush_writebacks");
+  Alcotest.(check bool)
+    (Printf.sprintf "clean flush (%.0f ns) cheaper than dirty flush (%.0f ns)" clean_cost
+       dirty_cost)
+    true (clean_cost < dirty_cost)
+
+(* Budgeted run of the exhaustive crash-space checker: every crash point
+   of a 2-commit workload, every survival subset of the torn lines up to
+   the cap.  The full 6-commit sweep is `make check-crash`. *)
+let test_crash_space_quick () =
+  let cfg = { Check.default_config with Check.ncommits = 2; Check.mask_cap = 48 } in
+  let r = Check.explore cfg in
+  Alcotest.(check bool) "workload produced events" true (r.Check.span > 0);
+  Alcotest.(check int) "every crash point explored" r.Check.span r.Check.crash_points;
+  Alcotest.(check bool) "multiple post-crash states per crash point" true
+    (r.Check.states_checked > r.Check.crash_points);
+  (match r.Check.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "crash-space violation (of %d): %a" (List.length r.Check.violations)
+        Check.pp_violation v);
+  Alcotest.(check int) "no violations" 0 (List.length r.Check.violations)
+
+let suite =
+  [
+    ( "core.commit_path_fixes",
+      [
+        Alcotest.test_case "too-large rejection is terminal" `Quick
+          test_too_large_rejection_is_terminal;
+        Alcotest.test_case "revocation restores clean bit" `Quick
+          test_revocation_restores_clean_bit;
+        Alcotest.test_case "revocation keeps dirty bit" `Quick test_revocation_keeps_dirty_bit;
+        Alcotest.test_case "corrupt superblock: zero block size" `Quick
+          test_corrupt_superblock_block_size;
+        Alcotest.test_case "corrupt superblock: oversized ring" `Quick
+          test_corrupt_superblock_geometry;
+        Alcotest.test_case "unformatted media" `Quick test_unformatted_media;
+        Alcotest.test_case "clean clflush charges no write-back" `Quick
+          test_clean_clflush_charges_no_writeback;
+      ] );
+    ( "check.crash_space",
+      [ Alcotest.test_case "budgeted exhaustive sweep" `Quick test_crash_space_quick ] );
+  ]
