@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check-crash bench experiments examples clean
+.PHONY: all build test check-crash check-psan ci bench experiments examples clean
 
 all: build
 
@@ -16,6 +16,18 @@ test:
 # (see `tinca_check --help` for budget/seed/workload flags).
 check-crash:
 	dune exec bin/tinca_check.exe
+
+# Persistence sanitizer: run the Tinca (incl. crash + recovery), Classic
+# (JBD2 + Flashcache) and raw-Flashcache stacks with the flush/fence
+# sanitizer attached; reports ordering violations and per-call-site
+# redundant-flush counts.
+check-psan:
+	dune exec bin/tinca_check.exe -- --psan --commits 200 --universe 160
+
+# Everything a gate should run: build, unit tests, a budgeted crash-space
+# sweep and the sanitizer pass.
+ci: build test check-psan
+	dune exec bin/tinca_check.exe -- -q --commits 3 --cap 64
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:

@@ -1,0 +1,350 @@
+(* Always-on persistence sanitizer (psan).
+
+   The crash-space model checker (crash_check.ml) proves the commit
+   protocol correct by brute force, but it is exponential in torn lines
+   and runs one small deterministic workload.  This module is the
+   complementary linear-time tool in the pmemcheck/PMTest tradition: it
+   attaches to a live {!Tinca_pmem.Pmem.t} through the event-observer
+   hook and shadows every store/flush/fence with a per-cache-line state
+   machine
+
+     Clean -> Dirty -> Flush_pending -> Persisted
+
+   (implemented sparsely: a hash table holds only the not-yet-durable
+   lines), plus a {!Tinca_core.Layout}-driven region classifier, and
+   flags protocol violations as they happen — on any workload, at a cost
+   linear in the number of pmem events.
+
+   Rules (see DESIGN.md §6.2):
+   1. missing-flush   — the commit-point write (ring Tail advance) is
+                        fenced while dependent data/entry/ring/head
+                        lines are still volatile; a crash just before
+                        that fence could persist Tail without them.
+   2. unfenced-ack    — a transaction is acknowledged (txn_end) while
+                        lines written inside it are not yet durable.
+   3. torn-metadata   — a non-atomic store (write/write_sub/fill)
+                        overlaps a metadata region the protocol updates
+                        only with atomic_write8/16.
+   4. persist-race    — a store lands in a flush-pending metadata line,
+                        making the in-flight write-back's outcome
+                        adversarial (see Pmem.dirty_line).
+   5. redundant-flush — clflush of a line that is clean or already
+                        flush-pending; not a correctness violation but a
+                        wasted medium round-trip, counted per call-site
+                        label as a performance diagnostic. *)
+
+module Pmem = Tinca_pmem.Pmem
+module Layout = Tinca_core.Layout
+module Entry = Tinca_core.Entry
+
+let log_src = Logs.Src.create "tinca.psan" ~doc:"Tinca persistence sanitizer"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type region = Superblock | Head | Tail | Ring | Entries | Data | Other
+
+let region_name = function
+  | Superblock -> "superblock"
+  | Head -> "head"
+  | Tail -> "tail"
+  | Ring -> "ring"
+  | Entries -> "entries"
+  | Data -> "data"
+  | Other -> "other"
+
+type rule = Missing_flush | Unfenced_ack | Torn_metadata | Persist_race
+
+let rule_name = function
+  | Missing_flush -> "missing-flush"
+  | Unfenced_ack -> "unfenced-ack"
+  | Torn_metadata -> "torn-metadata"
+  | Persist_race -> "persist-race"
+
+type violation = {
+  rule : rule;
+  line : int;  (** offending cache line *)
+  region : region;
+  site : string;  (** call-site label current when detected *)
+  event : int;  (** ordinal of the triggering pmem event *)
+  message : string;
+}
+
+exception Violation of violation
+
+type report = {
+  events : int;
+  stores : int;
+  atomic_writes : int;
+  flush_calls : int;
+  line_flushes : int;
+  redundant_flushes : int;
+  redundant_by_site : (string * int) list;  (* descending by count *)
+  fences : int;
+  crashes : int;
+  violations : violation list;  (* oldest first *)
+  violations_dropped : int;
+}
+
+type state = Dirty | Flush_pending
+
+type t = {
+  pmem : Pmem.t;
+  layout : Layout.t option;
+  strict : bool;
+  max_violations : int;
+  (* Lines that are not durable; absent = Clean/Persisted. *)
+  volatile : (int, state) Hashtbl.t;
+  (* Lines stored while inside txn_begin..txn_end. *)
+  txn_lines : (int, unit) Hashtbl.t;
+  mutable in_txn : bool;
+  redundant_by_site : (string, int ref) Hashtbl.t;
+  mutable events : int;
+  mutable stores : int;
+  mutable atomic_writes : int;
+  mutable flush_calls : int;
+  mutable line_flushes : int;
+  mutable redundant_flushes : int;
+  mutable fences : int;
+  mutable crashes : int;
+  mutable violations : violation list;  (* newest first *)
+  mutable dropped : int;  (* violations past max_violations *)
+}
+
+(* --- region classification --------------------------------------------- *)
+
+let region_of_line t idx =
+  match t.layout with
+  | None -> Data (* no layout: every line is payload; only rules 2+5 apply *)
+  | Some l ->
+      let off = idx * Pmem.line_size in
+      if off < l.Layout.head_off then Superblock
+      else if off < l.Layout.tail_off then Head
+      else if off < l.Layout.ring_off then Tail
+      else if off < l.Layout.entries_off then Ring
+      else if off < l.Layout.entries_off + (l.Layout.nblocks * Entry.size) then Entries
+      else if off < l.Layout.data_off then Other (* alignment padding *)
+      else if off < l.Layout.total_bytes then Data
+      else Other
+
+(* Regions whose torn or racing update breaks recovery.  Data blocks are
+   exempt: they are protected by COW, not by atomicity. *)
+let is_metadata = function
+  | Superblock | Head | Tail | Ring | Entries -> true
+  | Data | Other -> false
+
+let lines_of_range off len =
+  let first = off / Pmem.line_size in
+  let last = (off + len - 1) / Pmem.line_size in
+  (first, last)
+
+(* --- violation plumbing ------------------------------------------------- *)
+
+let violate t rule line fmt =
+  Printf.ksprintf
+    (fun message ->
+      let v =
+        { rule; line; region = region_of_line t line; site = Pmem.site t.pmem;
+          event = t.events; message }
+      in
+      if List.length t.violations >= t.max_violations then t.dropped <- t.dropped + 1
+      else begin
+        t.violations <- v :: t.violations;
+        Log.warn (fun m ->
+            m "%s: line %d (%s)%s: %s" (rule_name rule) v.line (region_name v.region)
+              (if v.site = "" then "" else " at " ^ v.site)
+              v.message)
+      end;
+      if t.strict then raise (Violation v))
+    fmt
+
+(* --- the shadow state machine ------------------------------------------- *)
+
+let note_store t ~off ~len ~atomic =
+  let first, last = lines_of_range off len in
+  for idx = first to last do
+    let region = region_of_line t idx in
+    if (not atomic) && is_metadata region then
+      violate t Torn_metadata idx
+        "non-atomic %d-byte store into the %s region (protocol requires atomic_write8/16)" len
+        (region_name region);
+    (match Hashtbl.find_opt t.volatile idx with
+    | Some Flush_pending ->
+        if is_metadata region then
+          violate t Persist_race idx
+            "store into a flush-pending %s line: the in-flight write-back's outcome becomes \
+             adversarial"
+            (region_name region);
+        Hashtbl.replace t.volatile idx Dirty
+    | Some Dirty -> ()
+    | None -> Hashtbl.replace t.volatile idx Dirty);
+    if t.in_txn then Hashtbl.replace t.txn_lines idx ()
+  done
+
+let note_clflush t ~off ~len =
+  t.flush_calls <- t.flush_calls + 1;
+  let first, last = lines_of_range off len in
+  for idx = first to last do
+    t.line_flushes <- t.line_flushes + 1;
+    match Hashtbl.find_opt t.volatile idx with
+    | Some Dirty -> Hashtbl.replace t.volatile idx Flush_pending
+    | Some Flush_pending | None ->
+        (* Clean, persisted or already pending: the flush is issued but
+           starts no write-back — pure overhead on the hot path. *)
+        t.redundant_flushes <- t.redundant_flushes + 1;
+        let site = Pmem.site t.pmem in
+        (match Hashtbl.find_opt t.redundant_by_site site with
+        | Some r -> incr r
+        | None -> Hashtbl.add t.redundant_by_site site (ref 1))
+  done
+
+let note_sfence t =
+  t.fences <- t.fences + 1;
+  (* Missing-flush: this fence makes the ring Tail advance durable (the
+     commit point).  Every line the committed transaction depends on —
+     data, entries, ring slots, Head — must already be durable; a line
+     still Dirty here was never flushed, and a line still Flush_pending
+     shares this fence's pre-fence crash window with Tail, so in either
+     case a crash can surface the commit point without its dependencies. *)
+  (match t.layout with
+  | None -> ()
+  | Some l ->
+      let tail_line = l.Layout.tail_off / Pmem.line_size in
+      if Hashtbl.find_opt t.volatile tail_line = Some Flush_pending then
+        Hashtbl.iter
+          (fun idx state ->
+            if idx <> tail_line then
+              match region_of_line t idx with
+              | (Data | Entries | Ring | Head) as region ->
+                  violate t Missing_flush idx
+                    "commit-point (Tail) fence while %s line is still %s" (region_name region)
+                    (match state with Dirty -> "dirty (never flushed)"
+                    | Flush_pending -> "flush-pending (same fence as Tail)")
+              | Superblock | Tail | Other -> ())
+          t.volatile);
+  (* All pending lines reach the medium: Flush_pending -> Persisted. *)
+  let persisted =
+    Hashtbl.fold (fun idx s acc -> if s = Flush_pending then idx :: acc else acc) t.volatile []
+  in
+  List.iter (Hashtbl.remove t.volatile) persisted
+
+let note_crash t =
+  t.crashes <- t.crashes + 1;
+  (* Power loss: the volatile layer is resolved (one way or the other);
+     whatever the medium now holds is the durable state. *)
+  Hashtbl.reset t.volatile;
+  Hashtbl.reset t.txn_lines;
+  t.in_txn <- false
+
+let on_event t ev =
+  t.events <- t.events + 1;
+  match (ev : Pmem.event) with
+  | Pmem.Store { off; len } ->
+      t.stores <- t.stores + 1;
+      note_store t ~off ~len ~atomic:false
+  | Pmem.Atomic_write { off; len } ->
+      t.atomic_writes <- t.atomic_writes + 1;
+      note_store t ~off ~len ~atomic:true
+  | Pmem.Clflush { off; len } -> note_clflush t ~off ~len
+  | Pmem.Sfence -> note_sfence t
+  | Pmem.Crash -> note_crash t
+
+(* --- public API ---------------------------------------------------------- *)
+
+let attach ?(strict = false) ?(max_violations = 1000) ?layout pmem =
+  let t =
+    {
+      pmem;
+      layout;
+      strict;
+      max_violations;
+      volatile = Hashtbl.create 256;
+      txn_lines = Hashtbl.create 64;
+      in_txn = false;
+      redundant_by_site = Hashtbl.create 16;
+      events = 0;
+      stores = 0;
+      atomic_writes = 0;
+      flush_calls = 0;
+      line_flushes = 0;
+      redundant_flushes = 0;
+      fences = 0;
+      crashes = 0;
+      violations = [];
+      dropped = 0;
+    }
+  in
+  Pmem.set_observer pmem (Some (on_event t));
+  t
+
+let detach t = Pmem.set_observer t.pmem None
+
+let txn_begin t =
+  t.in_txn <- true;
+  Hashtbl.reset t.txn_lines
+
+let txn_abort t =
+  t.in_txn <- false;
+  Hashtbl.reset t.txn_lines
+
+let txn_end t =
+  Hashtbl.iter
+    (fun idx () ->
+      match Hashtbl.find_opt t.volatile idx with
+      | None -> ()
+      | Some state ->
+          violate t Unfenced_ack idx
+            "transaction acknowledged while %s line written inside it is still %s"
+            (region_name (region_of_line t idx))
+            (match state with Dirty -> "dirty" | Flush_pending -> "flush-pending"))
+    t.txn_lines;
+  txn_abort t
+
+let violations t = List.rev t.violations
+let violation_count t = List.length t.violations + t.dropped
+
+let report t : report =
+  let by_site =
+    Hashtbl.fold (fun site r acc -> (site, !r) :: acc) t.redundant_by_site []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    events = t.events;
+    stores = t.stores;
+    atomic_writes = t.atomic_writes;
+    flush_calls = t.flush_calls;
+    line_flushes = t.line_flushes;
+    redundant_flushes = t.redundant_flushes;
+    redundant_by_site = by_site;
+    fences = t.fences;
+    crashes = t.crashes;
+    violations = List.rev t.violations;
+    violations_dropped = t.dropped;
+  }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] event %d, line %d (%s)%s: %s" (rule_name v.rule) v.event v.line
+    (region_name v.region)
+    (if v.site = "" then "" else ", site " ^ v.site)
+    v.message
+
+let report_table (r : report) =
+  let t = Tinca_util.Tabular.create ~title:"Persistence sanitizer (psan)" [ "metric"; "value" ] in
+  let add k v = Tinca_util.Tabular.add_row t [ k; v ] in
+  add "pmem events observed" (string_of_int r.events);
+  add "stores / atomic writes" (Printf.sprintf "%d / %d" r.stores r.atomic_writes);
+  add "clflush calls (line flushes)" (Printf.sprintf "%d (%d)" r.flush_calls r.line_flushes);
+  add "sfences" (string_of_int r.fences);
+  add "redundant line flushes"
+    (Printf.sprintf "%d (%.1f%% of line flushes)" r.redundant_flushes
+       (if r.line_flushes = 0 then 0.0
+        else 100.0 *. float_of_int r.redundant_flushes /. float_of_int r.line_flushes));
+  List.iter
+    (fun (site, n) ->
+      add (Printf.sprintf "  redundant @ %s" (if site = "" then "<unlabelled>" else site))
+        (string_of_int n))
+    r.redundant_by_site;
+  add "violations"
+    (string_of_int (List.length r.violations + r.violations_dropped)
+    ^ if r.violations_dropped > 0 then Printf.sprintf " (%d dropped)" r.violations_dropped
+      else "");
+  t

@@ -85,6 +85,7 @@ let config t = t.cfg
 let magic = 0x314143_4E49_54L (* "TINCA1" little-endian-ish tag *)
 
 let write_super t =
+  Pmem.set_site t.pmem "cache.super";
   let b = Bytes.make 64 '\000' in
   Bytes.set_int64_le b 0 magic;
   Tinca_util.Codec.set_u32 b 8 t.cfg.block_size;
@@ -120,14 +121,37 @@ let read_super pmem =
 
 (* --- entry I/O --------------------------------------------------------- *)
 
-(* Create or modify a cache entry with a 16 B atomic write + clflush, the
-   paper's fine-grained metadata update; [fence] is split out so role
-   switches can batch their clflushes under a single sfence. *)
-let write_entry ?(fence = true) t idx e =
+(* Create or modify a cache entry with a 16 B atomic write + clflush +
+   sfence, the paper's fine-grained metadata update. *)
+let write_entry t idx e =
   let off = Layout.entry_off t.layout idx in
   Pmem.atomic_write16 t.pmem ~off (Entry.encode e);
   Pmem.clflush t.pmem ~off ~len:Entry.size;
-  if fence then Pmem.sfence t.pmem
+  Pmem.sfence t.pmem
+
+(* Batched entry updates (role switches, background cleaning): write all
+   the 16 B entries atomically first, then flush each dirtied cache line
+   exactly once, then fence.  Four entries share a 64 B line, so
+   interleaving write/clflush per entry both stores into flush-pending
+   lines (adversarial write-back resolution) and starts up to four medium
+   write-backs per line where one suffices — the persistence sanitizer's
+   persist-race / redundant-flush finding on this path. *)
+let write_entries_batched t updates =
+  match updates with
+  | [] -> ()
+  | updates ->
+      let lines = Hashtbl.create 8 in
+      List.iter
+        (fun (idx, e) ->
+          let off = Layout.entry_off t.layout idx in
+          Pmem.atomic_write16 t.pmem ~off (Entry.encode e);
+          Hashtbl.replace lines (off / Pmem.line_size) ())
+        updates;
+      Hashtbl.iter
+        (fun line () ->
+          Pmem.clflush t.pmem ~off:(line * Pmem.line_size) ~len:Pmem.line_size)
+        lines;
+      Pmem.sfence t.pmem
 
 let entry_at t idx = Entry.decode (Pmem.read t.pmem ~off:(Layout.entry_off t.layout idx) ~len:Entry.size)
 
@@ -176,6 +200,7 @@ let evict_one t =
       end;
       (* Persistently invalidate the entry so recovery cannot resurrect
          a block whose NVM space is about to be reused. *)
+      Pmem.set_site t.pmem "cache.evict";
       write_entry t info.entry_idx
         { Entry.valid = false; role = Buffer; modified = false; disk_blkno = 0; prev = None; cur = 0 };
       Lru.remove t.lru node;
@@ -224,15 +249,18 @@ let maybe_clean t =
             collect (Lru.next node)
     in
     collect (Lru.lru t.lru);
+    Pmem.set_site t.pmem "cache.bg_clean";
     let sorted = List.sort (fun a b -> compare a.disk_blkno b.disk_blkno) !victims in
-    List.iter
-      (fun info ->
-        writeback ~background:true t info;
-        note_dirty t info false;
-        write_entry ~fence:false t info.entry_idx (entry_of_info ~role:Entry.Buffer info);
-        Metrics.incr t.metrics "tinca.cleaned" ~by:1)
-      sorted;
-    if sorted <> [] then Pmem.sfence t.pmem
+    let updates =
+      List.map
+        (fun info ->
+          writeback ~background:true t info;
+          note_dirty t info false;
+          Metrics.incr t.metrics "tinca.cleaned" ~by:1;
+          (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
+        sorted
+    in
+    write_entries_batched t updates
   end
 
 (* --- construction ------------------------------------------------------ *)
@@ -272,6 +300,7 @@ let format ~config:cfg ~pmem ~disk ~clock ~metrics =
     invalid_arg "Tinca.Cache.format: disk block size mismatch";
   let t = make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics in
   (* Zero the entry table persistently, then the pointers and superblock. *)
+  Pmem.set_site pmem "cache.format";
   Pmem.fill pmem ~off:layout.Layout.entries_off
     ~len:(layout.Layout.nblocks * Entry.size)
     '\000';
@@ -297,6 +326,7 @@ let revoke_block ?(force = false) t blkno =
   | None -> () (* entry write never became durable: nothing to undo *)
   | Some info ->
       if force || info.role_log then begin
+        Pmem.set_site t.pmem "cache.revoke";
         (match info.prev with
         | Some p ->
             (* Roll back to the previous version, restoring the dirty bit
@@ -402,6 +432,7 @@ let charge_lookup t = Clock.advance t.clock t.cpu.Latency.hash_lookup_ns
 let insert_clean t blkno data =
   let nvm_blk = alloc_data t in
   let entry_idx = alloc_entry t in
+  Pmem.set_site t.pmem "cache.read_fill";
   let off = Layout.data_block_off t.layout nvm_blk in
   Pmem.write t.pmem ~off data;
   Pmem.persist t.pmem ~off ~len:t.cfg.block_size;
@@ -460,9 +491,11 @@ module Txn = struct
      Head). *)
   let commit_block t blkno data =
     let new_blk = alloc_data t in
+    Pmem.set_site t.pmem "commit.data";
     let off = Layout.data_block_off t.layout new_blk in
     Pmem.write t.pmem ~off data;
     Pmem.persist t.pmem ~off ~len:t.cfg.block_size;
+    Pmem.set_site t.pmem "commit.entry";
     (match Hashtbl.find_opt t.index blkno with
     | Some info ->
         (* Write hit: COW block write (§4.3). *)
@@ -551,13 +584,14 @@ module Txn = struct
          single fence, which must complete BEFORE the Tail update so a
          crash cannot surface a half-switched committed transaction. *)
       let infos = List.map (fun blkno -> Hashtbl.find t.index blkno) blocks in
-      List.iter
-        (fun info ->
-          info.role_log <- false;
-          t.pinned <- t.pinned - 1;
-          write_entry ~fence:false t info.entry_idx (entry_of_info ~role:Entry.Buffer info))
-        infos;
-      Pmem.sfence t.pmem;
+      Pmem.set_site t.pmem "commit.role_switch";
+      write_entries_batched t
+        (List.map
+           (fun info ->
+             info.role_log <- false;
+             t.pinned <- t.pinned - 1;
+             (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
+           infos);
       (* §4.4 step 5: Tail := Head — the durable commit point. *)
       Ring.commit_point t.ring;
       (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
@@ -580,13 +614,15 @@ module Txn = struct
       Metrics.incr t.metrics "tinca.blocks_committed" ~by:n;
       (* Write-through: propagate to disk immediately (kept for the
          ablation study; write-back is the paper's default). *)
-      if t.cfg.mode = Write_through then
+      if t.cfg.mode = Write_through then begin
+        Pmem.set_site t.pmem "cache.writeback";
         List.iter
           (fun info ->
             writeback t info;
             note_dirty t info false;
             write_entry t info.entry_idx (entry_of_info ~role:Entry.Buffer info))
           infos
+      end
     end
 
   (* Failure injection for tests and the crash-space checker: run the
@@ -629,6 +665,7 @@ let write_direct t blkno data =
 (* --- maintenance -------------------------------------------------------- *)
 
 let flush_all t =
+  Pmem.set_site t.pmem "cache.writeback";
   Hashtbl.iter
     (fun _ info ->
       if info.dirty && not info.role_log then begin

@@ -50,12 +50,16 @@ let compute ~pmem_bytes ~block_size ~ring_slots =
     total_bytes = data_off + (nblocks * block_size);
   }
 
+(* Explicit bounds checks, not [assert]: these guard every entry/data
+   address computation and must survive [-noassert] release builds. *)
 let entry_off t i =
-  assert (i >= 0 && i < t.nblocks);
+  if i < 0 || i >= t.nblocks then
+    invalid_arg (Printf.sprintf "Layout.entry_off: index %d not in [0, %d)" i t.nblocks);
   t.entries_off + (i * Entry.size)
 
 let data_block_off t i =
-  assert (i >= 0 && i < t.nblocks);
+  if i < 0 || i >= t.nblocks then
+    invalid_arg (Printf.sprintf "Layout.data_block_off: index %d not in [0, %d)" i t.nblocks);
   t.data_off + (i * t.block_size)
 
 let ring_slot_off t counter = t.ring_off + (counter mod t.ring_slots * 8)

@@ -30,8 +30,12 @@ val superblock_off : int
     region that fits.  Raises [Invalid_argument] if nothing fits. *)
 val compute : pmem_bytes:int -> block_size:int -> ring_slots:int -> t
 
+(** Byte offset of entry slot [i].  Raises [Invalid_argument] when [i]
+    is outside [0, nblocks). *)
 val entry_off : t -> int -> int
 
+(** Byte offset of data block [i].  Raises [Invalid_argument] when [i]
+    is outside [0, nblocks). *)
 val data_block_off : t -> int -> int
 
 val ring_slot_off : t -> int -> int

@@ -24,6 +24,7 @@ let write_ptr t ~off v =
 
 let record t blkno =
   if in_flight t >= slots t then invalid_arg "Ring.record: ring buffer full";
+  Pmem.set_site t.pmem "ring.record";
   let slot_off = Layout.ring_slot_off t.layout t.head in
   Pmem.atomic_write8_int t.pmem ~off:slot_off blkno;
   Pmem.persist t.pmem ~off:slot_off ~len:8;
@@ -31,10 +32,12 @@ let record t blkno =
   write_ptr t ~off:t.layout.Layout.head_off t.head
 
 let commit_point t =
+  Pmem.set_site t.pmem "ring.commit_point";
   t.tail <- t.head;
   write_ptr t ~off:t.layout.Layout.tail_off t.tail
 
 let rewind_head t =
+  Pmem.set_site t.pmem "ring.rewind";
   t.head <- t.tail;
   write_ptr t ~off:t.layout.Layout.head_off t.head
 
@@ -51,6 +54,7 @@ let reload t =
   t.tail <- Pmem.read_u64_int t.pmem ~off:t.layout.Layout.tail_off
 
 let format t =
+  Pmem.set_site t.pmem "ring.format";
   t.head <- 0;
   t.tail <- 0;
   write_ptr t ~off:t.layout.Layout.head_off 0;

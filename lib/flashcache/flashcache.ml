@@ -90,6 +90,7 @@ let mk ~config:cfg ~pmem ~disk ~clock ~metrics =
 let create ~config ~pmem ~disk ~clock ~metrics =
   let t = mk ~config ~pmem ~disk ~clock ~metrics in
   (* Zero (invalidate) the persistent metadata region. *)
+  Pmem.set_site pmem "fc.format";
   Pmem.fill pmem ~off:t.md_off ~len:(Bytes.length t.md_shadow) '\000';
   if config.flush_writes then Pmem.persist pmem ~off:t.md_off ~len:(Bytes.length t.md_shadow);
   t
@@ -120,6 +121,7 @@ let update_slot_metadata t slot =
   in
   Codec.set_u8 t.md_shadow (off + 7) flags;
   if t.cfg.metadata_sync then begin
+    Pmem.set_site t.pmem "fc.metadata";
     let md_block = off / t.cfg.block_size in
     let md_block_off = t.md_off + (md_block * t.cfg.block_size) in
     Pmem.write_sub t.pmem ~off:md_block_off t.md_shadow ~pos:(md_block * t.cfg.block_size)
@@ -204,7 +206,8 @@ let clean_set t set =
         Codec.set_u8 t.md_shadow (off + 7) flag_valid;
         Hashtbl.replace touched_md (off / t.cfg.block_size) ())
       in_dbn_order;
-    if t.cfg.metadata_sync then
+    if t.cfg.metadata_sync then begin
+      Pmem.set_site t.pmem "fc.clean_md";
       Hashtbl.iter
         (fun md_block () ->
           let md_block_off = t.md_off + (md_block * t.cfg.block_size) in
@@ -214,6 +217,7 @@ let clean_set t set =
             Pmem.persist t.pmem ~off:md_block_off ~len:t.cfg.block_size;
           Metrics.incr t.metrics "flashcache.md_writes" ~by:1)
         touched_md
+    end
   end
 
 (* Pick a victim in [set]: an invalid slot if any, else the set's LRU. *)
@@ -254,6 +258,7 @@ let allocate_slot t new_blkno =
   slot
 
 let write_data_block t slot data =
+  Pmem.set_site t.pmem "fc.data";
   let off = slot_data_off t slot in
   Pmem.write t.pmem ~off data;
   if t.cfg.flush_writes then Pmem.persist t.pmem ~off ~len:t.cfg.block_size

@@ -6,6 +6,13 @@ let line_size = 64
 
 type line = { backup : Bytes.t; mutable pending : bool }
 
+type event =
+  | Store of { off : int; len : int }
+  | Atomic_write of { off : int; len : int }
+  | Clflush of { off : int; len : int }
+  | Sfence
+  | Crash
+
 type t = {
   media : Bytes.t;
   lines : (int, line) Hashtbl.t;
@@ -17,6 +24,8 @@ type t = {
   wear : int array;
   mutable countdown : int option;
   mutable events : int;
+  mutable observer : (event -> unit) option;
+  mutable site : string;
 }
 
 let create ?(seed = 42) ?(flush_instr = Latency.Clflush) ~clock ~metrics ~tech ~size () =
@@ -33,10 +42,18 @@ let create ?(seed = 42) ?(flush_instr = Latency.Clflush) ~clock ~metrics ~tech ~
     wear = Array.make (size / line_size) 0;
     countdown = None;
     events = 0;
+    observer = None;
+    site = "";
   }
 
 let size t = Bytes.length t.media
 let tech t = t.tech
+
+(* --- event observation (lib/check's persistence sanitizer) -------------- *)
+
+let set_observer t obs = t.observer <- obs
+let set_site t s = t.site <- s
+let site t = t.site
 
 let event t =
   t.events <- t.events + 1;
@@ -90,24 +107,29 @@ let write_sub t ~off src ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length src then
     invalid_arg "Pmem.write_sub: bad source range";
   store_range t off len;
-  Bytes.blit src pos t.media off len
+  Bytes.blit src pos t.media off len;
+  if len > 0 then
+    match t.observer with Some f -> f (Store { off; len }) | None -> ()
 
 let write t ~off src = write_sub t ~off src ~pos:0 ~len:(Bytes.length src)
 
 let fill t ~off ~len c =
   check_range t off len;
   store_range t off len;
-  Bytes.fill t.media off len c
+  Bytes.fill t.media off len c;
+  if len > 0 then
+    match t.observer with Some f -> f (Store { off; len }) | None -> ()
 
 let atomic_write8 t ~off v =
   check_range t off 8;
   if off mod 8 <> 0 then invalid_arg "Pmem.atomic_write8: misaligned";
   store_range t off 8;
   Metrics.incr t.metrics "pmem.atomic_writes" ~by:1;
-  Bytes.set_int64_le t.media off v
+  Bytes.set_int64_le t.media off v;
+  match t.observer with Some f -> f (Atomic_write { off; len = 8 }) | None -> ()
 
 let atomic_write8_int t ~off v =
-  assert (v >= 0);
+  if v < 0 then invalid_arg "Pmem.atomic_write8_int: negative value";
   atomic_write8 t ~off (Int64.of_int v)
 
 let atomic_write16 t ~off v =
@@ -116,7 +138,8 @@ let atomic_write16 t ~off v =
   if Bytes.length v <> 16 then invalid_arg "Pmem.atomic_write16: value must be 16 bytes";
   store_range t off 16;
   Metrics.incr t.metrics "pmem.atomic_writes" ~by:1;
-  Bytes.blit v 0 t.media off 16
+  Bytes.blit v 0 t.media off 16;
+  match t.observer with Some f -> f (Atomic_write { off; len = 16 }) | None -> ()
 
 let charge_read t off len =
   if len > 0 then begin
@@ -178,7 +201,8 @@ let clflush t ~off ~len =
     Metrics.incr t.metrics "pmem.clflush_writebacks" ~by:!dirtied;
     Clock.advance t.clock
       ((t.lat.clflush_ns *. float_of_int nlines)
-      +. (t.lat.write_ns *. float_of_int !dirtied))
+      +. (t.lat.write_ns *. float_of_int !dirtied));
+    match t.observer with Some f -> f (Clflush { off; len }) | None -> ()
   end
 
 let sfence t =
@@ -192,7 +216,8 @@ let sfence t =
       Hashtbl.remove t.lines idx;
       t.wear.(idx) <- t.wear.(idx) + 1;
       Metrics.incr t.metrics "pmem.lines_persisted" ~by:1)
-    !persisted
+    !persisted;
+  match t.observer with Some f -> f Sfence | None -> ()
 
 let persist t ~off ~len =
   clflush t ~off ~len;
@@ -210,7 +235,8 @@ let crash ?seed ?(survival = 0.5) t =
       else Bytes.blit line.backup 0 t.media (idx * line_size) line_size)
     entries;
   Hashtbl.reset t.lines;
-  t.countdown <- None
+  t.countdown <- None;
+  match t.observer with Some f -> f Crash | None -> ()
 
 (* --- crash-space exploration hooks (lib/check) ------------------------- *)
 
@@ -239,7 +265,8 @@ let crash_select t ~survive =
       else Bytes.blit line.backup 0 t.media (idx * line_size) line_size)
     entries;
   Hashtbl.reset t.lines;
-  t.countdown <- None
+  t.countdown <- None;
+  match t.observer with Some f -> f Crash | None -> ()
 
 type snapshot = {
   snap_media : Bytes.t;

@@ -63,7 +63,8 @@ val fill : t -> off:int -> len:int -> char -> unit
 (** [atomic_write8 t ~off v] — 8 B aligned atomic store. *)
 val atomic_write8 : t -> off:int -> int64 -> unit
 
-(** [atomic_write8_int t ~off v] — non-negative [int] convenience. *)
+(** [atomic_write8_int t ~off v] — non-negative [int] convenience.
+    Raises [Invalid_argument] when [v] is negative. *)
 val atomic_write8_int : t -> off:int -> int -> unit
 
 (** [atomic_write16 t ~off v] — 16 B aligned atomic store ([cmpxchg16b]
@@ -146,6 +147,41 @@ val restore : t -> snapshot -> unit
 
 (** Digest of the durable medium, for deduplicating post-crash images. *)
 val media_digest : t -> Digest.t
+
+(** {1 Event observation (lib/check's persistence sanitizer)}
+
+    A lightweight hook called after every mutation/persistence operation
+    completes, so an external checker can shadow the device's
+    flush/fence state without the device knowing about it.  Exactly one
+    event is emitted per public operation ([write] = one [Store] for the
+    whole range; [persist] = [Clflush] then [Sfence]); zero-length
+    stores and flushes emit nothing.  When no observer is attached
+    there is no allocation and no behaviour change. *)
+
+type event =
+  | Store of { off : int; len : int }  (** non-atomic store: [write]/[write_sub]/[fill] *)
+  | Atomic_write of { off : int; len : int }  (** [atomic_write8]/[atomic_write16] *)
+  | Clflush of { off : int; len : int }  (** one [clflush] call, whole issued range *)
+  | Sfence  (** ordering + durability point *)
+  | Crash  (** power loss resolved ([crash] or [crash_select]) *)
+
+(** [set_observer t (Some f)] attaches [f]; [None] detaches.  An
+    exception raised by [f] propagates out of the triggering operation
+    (strict sanitizer mode relies on this). *)
+val set_observer : t -> (event -> unit) option -> unit
+
+(** {2 Call-site labels}
+
+    A free-form label the instrumented client (cache, ring, Flashcache)
+    sets before issuing pmem operations, so observers can attribute
+    events — e.g. per-call-site redundant-flush counts — without stack
+    inspection.  Purely advisory: one mutable field, no effect on
+    behaviour or timing. *)
+
+val set_site : t -> string -> unit
+
+(** The most recently set call-site label ([""] initially). *)
+val site : t -> string
 
 (** Number of mutation/persistence events so far (for sizing sweeps). *)
 val event_count : t -> int

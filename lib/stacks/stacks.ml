@@ -21,6 +21,9 @@ type t = {
   label : string;
   env : env;
   backend : Backend.t;
+  layout : Tinca_core.Layout.t option;
+      (* NVM space partition, for the persistence sanitizer's region
+         classifier (Tinca stacks only). *)
   cache_write_hit_rate : unit -> float;
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;
   peak_cow_blocks : unit -> int;
@@ -49,6 +52,7 @@ let tinca_of_cache env cache =
     label = "Tinca";
     env;
     backend;
+    layout = Some (Cache.layout cache);
     cache_write_hit_rate = (fun () -> Cache.write_hit_rate cache);
     txn_size_histogram = (fun () -> Some (Cache.txn_size_histogram cache));
     peak_cow_blocks = (fun () -> Cache.peak_cow_blocks cache);
@@ -104,6 +108,7 @@ let classic_of ~label env fc journal =
     label;
     env;
     backend;
+    layout = None;
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -164,6 +169,7 @@ let ubj ?(ubj_config = Tinca_ubj.Ubj.default_config) env =
     label = "UBJ";
     env;
     backend;
+    layout = None;
     cache_write_hit_rate = (fun () -> 0.0);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -192,7 +198,30 @@ let nojournal ?(fc_config = Fc.default_config) env =
     label = "NoJournal";
     env;
     backend;
+    layout = None;
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
   }
+
+(* --- persistence sanitizer wiring ---------------------------------------- *)
+
+module Psan = Tinca_checker.Psan
+
+let instrument ?strict ?max_violations stack =
+  let psan =
+    Psan.attach ?strict ?max_violations ?layout:stack.layout stack.env.pmem
+  in
+  (* Bracket every acknowledged commit so psan can enforce unfenced-ack:
+     at commit return, all lines the transaction stored must be durable.
+     A commit that raises acknowledged nothing, so the scope is dropped
+     without the durability check. *)
+  let commit_blocks blocks =
+    Psan.txn_begin psan;
+    match stack.backend.Backend.commit_blocks blocks with
+    | () -> Psan.txn_end psan
+    | exception e ->
+        Psan.txn_abort psan;
+        raise e
+  in
+  ({ stack with backend = { stack.backend with Backend.commit_blocks } }, psan)

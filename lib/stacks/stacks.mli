@@ -35,14 +35,17 @@ type t = {
   label : string;
   env : env;
   backend : Tinca_fs.Backend.t;
-  (** Write hit rate of the cache layer (paper Fig 12c). *)
+  layout : Tinca_core.Layout.t option;
+      (** NVM space partition for the persistence sanitizer's region
+          classifier (Tinca stacks only; [None] elsewhere). *)
   cache_write_hit_rate : unit -> float;
-  (** Blocks-per-transaction histogram where the stack tracks one
-      (Tinca only; Fig 13). *)
+      (** Write hit rate of the cache layer (paper Fig 12c). *)
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;
-  (** Peak NVM blocks pinned as COW previous versions (Tinca only;
-      paper §5.4.3); 0 for other stacks. *)
+      (** Blocks-per-transaction histogram where the stack tracks one
+          (Tinca only; Fig 13). *)
   peak_cow_blocks : unit -> int;
+      (** Peak NVM blocks pinned as COW previous versions (Tinca only;
+          paper §5.4.3); 0 for other stacks. *)
 }
 
 (** Build a Tinca stack (formats the cache). *)
@@ -72,3 +75,12 @@ val nojournal : ?fc_config:Tinca_flashcache.Flashcache.config -> env -> t
 (** UBJ-style union of buffer cache and journal (paper §5.4.4
     comparison). *)
 val ubj : ?ubj_config:Tinca_ubj.Ubj.config -> env -> t
+
+(** [instrument stack] attaches the persistence sanitizer
+    ({!Tinca_checker.Psan}) to the stack's pmem — with the region
+    classifier when the stack carries a {!t.layout} — and returns the
+    stack with [commit_blocks] bracketed by the sanitizer's transaction
+    scope, so acknowledged commits are checked for unfenced writes.
+    Call on a freshly built stack (after format, before the workload).
+    [strict]/[max_violations] are passed to {!Tinca_checker.Psan.attach}. *)
+val instrument : ?strict:bool -> ?max_violations:int -> t -> t * Tinca_checker.Psan.t

@@ -182,6 +182,132 @@ let test_dirty_tracking () =
   Pmem.persist p ~off:0 ~len:1;
   Alcotest.(check bool) "clean after persist" false (Pmem.is_dirty p ~off:0)
 
+(* --- crash-space exploration hooks (lib/check's model checker) ----------- *)
+
+let test_unfenced_lines_ordering () =
+  let p, _, _ = mk ~size:4096 () in
+  Alcotest.(check (list int)) "clean device" [] (Pmem.unfenced_lines p);
+  (* Dirty lines 5, 1 and 3 in that order: the listing is ascending. *)
+  Pmem.write p ~off:(5 * 64) (bytes_of "e");
+  Pmem.write p ~off:(1 * 64) (bytes_of "a");
+  Pmem.write p ~off:(3 * 64) (bytes_of "c");
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5 ] (Pmem.unfenced_lines p);
+  (* A flush-pending line is still unfenced. *)
+  Pmem.clflush p ~off:(3 * 64) ~len:64;
+  Alcotest.(check (list int)) "pending still listed" [ 1; 3; 5 ] (Pmem.unfenced_lines p);
+  Pmem.sfence p;
+  (* The fence persisted line 3 only; 1 and 5 were never flushed. *)
+  Alcotest.(check (list int)) "fence clears pending only" [ 1; 5 ] (Pmem.unfenced_lines p)
+
+let test_line_torn () =
+  let p, _, _ = mk ~size:4096 () in
+  Pmem.write p ~off:0 (bytes_of "version1");
+  Pmem.persist p ~off:0 ~len:8;
+  (* Rewriting the identical bytes dirties the line without changing it:
+     losing vs. keeping it is indistinguishable, so it is not torn. *)
+  Pmem.write p ~off:0 (bytes_of "version1");
+  Alcotest.(check (list int)) "line is unfenced" [ 0 ] (Pmem.unfenced_lines p);
+  Alcotest.(check bool) "identical rewrite is not torn" false (Pmem.line_torn p 0);
+  (* A genuine change is torn. *)
+  Pmem.write p ~off:0 (bytes_of "version2");
+  Alcotest.(check bool) "changed line is torn" true (Pmem.line_torn p 0)
+
+let test_crash_select_verdicts () =
+  let p, _, _ = mk ~size:4096 () in
+  Pmem.write p ~off:0 (bytes_of "AAAAAAAA");
+  Pmem.write p ~off:64 (bytes_of "BBBBBBBB");
+  (* Line 0 survives, line 1 is lost — deterministically. *)
+  Pmem.crash_select p ~survive:(fun idx -> idx = 0);
+  Alcotest.(check string) "survivor kept" "AAAAAAAA" (Bytes.to_string (Pmem.read p ~off:0 ~len:8));
+  Alcotest.(check string) "loser reverted" (String.make 8 '\000')
+    (Bytes.to_string (Pmem.read p ~off:64 ~len:8));
+  Alcotest.(check int) "volatile layer emptied" 0 (Pmem.dirty_line_count p)
+
+let test_snapshot_restore_roundtrip () =
+  let p, _, _ = mk ~size:4096 () in
+  (* Build mixed state: a persisted line (wear), a flush-pending line and
+     a dirty line. *)
+  Pmem.write p ~off:0 (bytes_of "durable!");
+  Pmem.persist p ~off:0 ~len:8;
+  Pmem.write p ~off:64 (bytes_of "pending!");
+  Pmem.clflush p ~off:64 ~len:8;
+  Pmem.write p ~off:128 (bytes_of "volatile");
+  let snap = Pmem.snapshot p in
+  let digest0 = Pmem.media_digest p in
+  let dirty0 = Pmem.dirty_line_count p in
+  let unfenced0 = Pmem.unfenced_lines p in
+  let wear0 = Pmem.wear_total p in
+  (* Diverge: lose everything volatile, then overwrite the durable line. *)
+  Pmem.crash ~seed:3 ~survival:0.0 p;
+  Pmem.write p ~off:0 (bytes_of "other!!!");
+  Pmem.persist p ~off:0 ~len:8;
+  Alcotest.(check bool) "diverged" false (Digest.equal digest0 (Pmem.media_digest p));
+  (* Restore: medium, volatile layer and wear all return. *)
+  Pmem.restore p snap;
+  Alcotest.(check bool) "media digest restored" true (Digest.equal digest0 (Pmem.media_digest p));
+  Alcotest.(check int) "dirty lines restored" dirty0 (Pmem.dirty_line_count p);
+  Alcotest.(check (list int)) "unfenced set restored" unfenced0 (Pmem.unfenced_lines p);
+  Alcotest.(check int) "wear restored" wear0 (Pmem.wear_total p);
+  Alcotest.(check string) "newest store visible again" "volatile"
+    (Bytes.to_string (Pmem.read p ~off:128 ~len:8));
+  (* The pending flag survived the round-trip: a fence persists line 1,
+     after which survival-0 crash keeps it but loses line 2. *)
+  Pmem.sfence p;
+  Pmem.crash ~seed:4 ~survival:0.0 p;
+  Alcotest.(check string) "restored pending line fenced durable" "pending!"
+    (Bytes.to_string (Pmem.read p ~off:64 ~len:8));
+  Alcotest.(check string) "restored dirty line lost" (String.make 8 '\000')
+    (Bytes.to_string (Pmem.read p ~off:128 ~len:8))
+
+let test_wear_max_in_ranges () =
+  let p, _, _ = mk ~size:4096 () in
+  (* Line 0: 5 write-backs; line 2: 2 write-backs. *)
+  for _ = 1 to 5 do
+    Pmem.write p ~off:0 (Bytes.make 64 'x');
+    Pmem.persist p ~off:0 ~len:64
+  done;
+  for _ = 1 to 2 do
+    Pmem.write p ~off:128 (Bytes.make 64 'y');
+    Pmem.persist p ~off:128 ~len:64
+  done;
+  Alcotest.(check int) "whole device" 5 (Pmem.wear_max_in p ~off:0 ~len:4096);
+  Alcotest.(check int) "hot line only" 5 (Pmem.wear_max_in p ~off:0 ~len:64);
+  Alcotest.(check int) "excluding the hot line" 2 (Pmem.wear_max_in p ~off:64 ~len:(4096 - 64));
+  Alcotest.(check int) "untouched range" 0 (Pmem.wear_max_in p ~off:1024 ~len:1024);
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Pmem.wear_max_in p ~off:4032 ~len:128);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- event observation (lib/check's persistence sanitizer) --------------- *)
+
+let test_observer_event_sequence () =
+  let p, _, _ = mk ~size:4096 () in
+  let seen = ref [] in
+  Pmem.set_observer p (Some (fun ev -> seen := ev :: !seen));
+  Pmem.write p ~off:0 (bytes_of "hello");
+  Pmem.persist p ~off:0 ~len:5;
+  Pmem.atomic_write8 p ~off:64 1L;
+  Pmem.write p ~off:0 Bytes.empty;
+  (* zero-length: no event *)
+  Pmem.set_observer p None;
+  Pmem.write p ~off:0 (bytes_of "unobserved");
+  Alcotest.(check bool) "exactly one event per op, none after detach" true
+    (List.rev !seen
+    = [
+        Pmem.Store { off = 0; len = 5 };
+        Pmem.Clflush { off = 0; len = 5 };
+        Pmem.Sfence;
+        Pmem.Atomic_write { off = 64; len = 8 };
+      ])
+
+let test_atomic8_int_rejects_negative () =
+  let p, _, _ = mk () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Pmem.atomic_write8_int: negative value") (fun () ->
+      Pmem.atomic_write8_int p ~off:0 (-1))
+
 (* Property: any prefix of (write; persist) operations followed by a crash
    preserves every persisted write. *)
 let prop_persisted_prefix_survives =
@@ -250,5 +376,18 @@ let suite =
         Alcotest.test_case "crash countdown hook" `Quick test_crash_countdown;
         Alcotest.test_case "wear accounting" `Quick test_wear_accounting;
         Alcotest.test_case "dirty tracking" `Quick test_dirty_tracking;
+      ] );
+    ( "pmem.exploration",
+      [
+        Alcotest.test_case "unfenced_lines ascending" `Quick test_unfenced_lines_ordering;
+        Alcotest.test_case "line_torn clean vs torn" `Quick test_line_torn;
+        Alcotest.test_case "crash_select verdicts" `Quick test_crash_select_verdicts;
+        Alcotest.test_case "snapshot/restore roundtrip" `Quick test_snapshot_restore_roundtrip;
+        Alcotest.test_case "wear_max_in ranges" `Quick test_wear_max_in_ranges;
+      ] );
+    ( "pmem.observer",
+      [
+        Alcotest.test_case "event per operation" `Quick test_observer_event_sequence;
+        Alcotest.test_case "atomic8_int rejects negative" `Quick test_atomic8_int_rejects_negative;
       ] );
   ]

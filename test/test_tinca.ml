@@ -66,6 +66,19 @@ let test_layout_too_small () =
        false
      with Invalid_argument _ -> true)
 
+let test_layout_index_bounds () =
+  (* Out-of-range indices must fail loudly even under -noassert, so the
+     checks are invalid_arg, not assert. *)
+  let l = Layout.compute ~pmem_bytes:(1 lsl 20) ~block_size:4096 ~ring_slots:128 in
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "entry_off -1" true (rejects (fun () -> Layout.entry_off l (-1)));
+  Alcotest.(check bool) "entry_off nblocks" true
+    (rejects (fun () -> Layout.entry_off l l.Layout.nblocks));
+  Alcotest.(check bool) "data_block_off -1" true
+    (rejects (fun () -> Layout.data_block_off l (-1)));
+  Alcotest.(check bool) "data_block_off nblocks" true
+    (rejects (fun () -> Layout.data_block_off l l.Layout.nblocks))
+
 let test_layout_metadata_fraction () =
   (* With a 1 MB ring on a large cache, metadata should be a small
      fraction (paper: ~0.4 % for entries alone on 8 GB). *)
@@ -407,6 +420,7 @@ let suite =
       [
         Alcotest.test_case "geometry" `Quick test_layout_geometry;
         Alcotest.test_case "too small rejected" `Quick test_layout_too_small;
+        Alcotest.test_case "index bounds rejected" `Quick test_layout_index_bounds;
         Alcotest.test_case "metadata fraction" `Quick test_layout_metadata_fraction;
         q prop_layout_regions_disjoint;
       ] );
