@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check-crash check-psan ci bench experiments examples clean
+.PHONY: all build test check-crash check-psan ci bench bench-json experiments examples clean
 
 all: build
 
@@ -25,13 +25,19 @@ check-psan:
 	dune exec bin/tinca_check.exe -- --psan --commits 200 --universe 160
 
 # Everything a gate should run: build, unit tests, a budgeted crash-space
-# sweep and the sanitizer pass.
-ci: build test check-psan
+# sweep, the sanitizer pass and the commit-protocol benchmark artifact.
+ci: build test check-psan bench-json
 	dune exec bin/tinca_check.exe -- -q --commits 3 --cap 64
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable commit-protocol benchmark (sfences, flush write-backs
+# and simulated ns per commit across pipeline x flush instruction x txn
+# size, plus trace-replay throughput per stack).
+bench-json:
+	dune exec bin/tinca_bench.exe -- bench-json --out BENCH_commit.json
 
 # Just the paper's tables and figures (see `tinca_bench list`).
 experiments:

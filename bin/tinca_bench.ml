@@ -62,7 +62,7 @@ let run_cmd =
 
 (* `trace` subcommand: replay a block trace (from a file, or synthesized)
    over a chosen stack and report the evaluation metrics. *)
-let run_trace stack_name trace_file synth_ops read_pct verbose =
+let run_trace stack_name trace_file synth_ops read_pct tech flush_instr verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -84,7 +84,7 @@ let run_trace stack_name trace_file synth_ops read_pct verbose =
         Trace.synthesize ~seed:7 ~nblocks:4096 ~ops:synth_ops ~read_pct ~zipf_theta:0.9
           ~fsync_every:8
   in
-  let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
+  let env = Stacks.make_env ~tech ~flush_instr ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
   let stack =
     match stack_name with
     | "tinca" -> Stacks.tinca env
@@ -134,10 +134,52 @@ let trace_cmd =
     Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P"
            ~doc:"Synthesized read fraction in [0,1].")
   in
+  let tech =
+    let module Latency = Tinca_sim.Latency in
+    Arg.(value
+         & opt
+             (enum
+                [ ("pcm", Latency.Pcm); ("nvdimm", Latency.Nvdimm); ("stt-ram", Latency.Stt_ram);
+                  ("reram", Latency.Reram) ])
+             Latency.Pcm
+         & info [ "tech" ] ~docv:"TECH"
+             ~doc:"NVM technology latency model: pcm, nvdimm, stt-ram or reram.")
+  in
+  let flush_instr =
+    let module Latency = Tinca_sim.Latency in
+    Arg.(value
+         & opt
+             (enum
+                [ ("clflush", Latency.Clflush); ("clflushopt", Latency.Clflushopt);
+                  ("clwb", Latency.Clwb) ])
+             Latency.Clflush
+         & info [ "flush-instr" ] ~docv:"INSTR"
+             ~doc:"Cache-line flush instruction: clflush (serializing), clflushopt or clwb \
+                   (pipelined write-back).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log recovery/commit activity.") in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run_trace $ stack $ file $ ops $ read_pct $ verbose)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ stack $ file $ ops $ read_pct $ tech $ flush_instr $ verbose)
+
+(* `bench-json` subcommand: emit the commit-protocol micro-benchmark and
+   trace-replay throughput as a machine-readable artifact for CI. *)
+let bench_json_cmd =
+  let doc = "Write the commit-protocol benchmark results as JSON (CI artifact)." in
+  let out =
+    Arg.(value & opt string "BENCH_commit.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output path for the JSON document.")
+  in
+  let run out =
+    let t0 = Unix.gettimeofday () in
+    let json = Tinca_harness.Exp_commit.bench_json () in
+    let oc = open_out out in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s (wall time %.1fs)\n" out (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v (Cmd.info "bench-json" ~doc) Term.(const run $ out)
 
 let () =
   let doc = "Tinca (SC'17) reproduction: regenerate the paper's tables and figures." in
   let info = Cmd.info "tinca_bench" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; bench_json_cmd ]))

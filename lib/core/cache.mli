@@ -26,6 +26,17 @@ type t
 
 type mode = Write_back | Write_through
 
+(** Shape of the commit protocol's persistence traffic (same ordering
+    guarantees and crash semantics either way; see {!Txn.commit}).
+
+    [Batched] (default) is the staged group commit: all COW data blocks
+    and swung entries flushed under a single fence, all ring slots under
+    one more, then one Head persist — a constant number of fences per
+    commit however many blocks it carries.  [Per_block] is the paper's
+    literal per-block protocol (~4 fences per block), kept as the
+    baseline of the [fig_commit_batch] ablation. *)
+type pipeline = Per_block | Batched
+
 type config = {
   block_size : int;   (** default 4096 *)
   ring_slots : int;   (** default 131072 = 1 MB of 8 B slots *)
@@ -41,6 +52,9 @@ type config = {
           most recently freed block; [Fifo] rotates through the whole
           region, spreading write wear evenly — a wear-leveling extension
           for endurance-limited NVM (the paper's §1 PCM concern). *)
+  commit_pipeline : pipeline;
+      (** How {!Txn.commit} shapes its flushes and fences; default
+          [Batched]. *)
 }
 
 val default_config : config
@@ -107,8 +121,22 @@ module Txn : sig
       the ring, the NVM data region or the entry table cannot host it —
       either up front (admission control; nothing is written) or, should
       replacement still exhaust mid-commit, after the partial commit has
-      been revoked.  Either way the handle is finished and the cache is
-      exactly as before the call. *)
+      been revoked (with the [Batched] pipeline the failure is confined
+      to the volatile allocation pass, so nothing was ever written).
+      Either way the handle is finished and the cache is exactly as
+      before the call.
+
+      With the default [Batched] pipeline the protocol runs as a staged
+      group commit with a constant fence count (≤ 6 for any transaction
+      size, vs ~4n+2 per-block): (A) all COW data blocks written
+      (vectored) and all entries swung atomically, every dirtied line
+      flushed once, one fence; (B) all ring slots staged and fenced, then
+      Head advanced once with a single persist — entries and slots are
+      durable strictly before Head covers them; (C) batched role switch,
+      fenced before (D) the Tail persist.  Crash atomicity is unchanged:
+      before the Head advance a crash leaves the ring quiescent and
+      recovery revokes whatever subset of entries became durable via the
+      log-role scan; after it, the ring range covers the whole batch. *)
   val commit : handle -> unit
 
   (** [tinca_abort]: drop a running transaction, or revoke a partially
@@ -120,9 +148,11 @@ module Txn : sig
   (** [commit_prefix h k] runs the commit protocol (§4.4 steps 1–3) for
       the first [k] staged blocks and then stops, exactly as an injected
       mid-commit failure would, leaving the handle committing and the
-      ring non-quiescent.  Follow with {!abort} to exercise the
-      production revocation path deterministically.  Test-only: a handle
-      driven this way must not be [commit]ted. *)
+      ring non-quiescent (with [k] published slots; under the [Batched]
+      pipeline the prefix runs stages A–B for those [k] blocks).  Follow
+      with {!abort} to exercise the production revocation path
+      deterministically.  Test-only: a handle driven this way must not
+      be [commit]ted. *)
   val commit_prefix : handle -> int -> unit
 end
 

@@ -25,6 +25,19 @@ val in_flight : t -> int
     the commit protocol.  Raises [Invalid_argument] if the ring is full. *)
 val record : t -> int -> unit
 
+(** [record_batch t blknos] — group-commit variant of {!record}, step 2
+    for a whole transaction: stage one slot per block starting at Head
+    (atomic 8 B writes), flush each dirtied slot line once, fence.  The
+    slots are durable but Head does not cover them yet, so they stay
+    invisible to {!pending_blknos} and to recovery until {!publish}.
+    Raises [Invalid_argument] if the batch does not fit. *)
+val record_batch : t -> int list -> unit
+
+(** [publish t n] — advance Head over [n] staged slots with a single
+    atomic write + persist (step 3 for the whole batch).  Must follow a
+    {!record_batch} of at least [n] slots; no-op when [n = 0]. *)
+val publish : t -> int -> unit
+
 (** Persistently set Tail := Head (the commit point, step 5). *)
 val commit_point : t -> unit
 

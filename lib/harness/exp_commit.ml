@@ -1,0 +1,175 @@
+(* fig_commit_batch: the fence-coalesced group commit quantified.
+
+   A commit-path micro-benchmark drives Cache.Txn directly (no file
+   system above it, so the numbers isolate the protocol itself) and
+   sweeps transaction size x flush instruction x pipeline, reporting the
+   paper's §5.1-style normalized quantities: sfences per commit, clflush
+   write-backs per commit, and simulated nanoseconds per commit.  The
+   per-block pipeline is the paper's literal §4.4 protocol (~4n + 2
+   fences for an n-block transaction); the batched pipeline is the
+   staged group commit (constant fences).  clflushopt/clwb give the
+   batched pipeline a second lever: overlapping write-backs make the one
+   big flush burst cheap, where serializing clflush pays full latency
+   per line either way. *)
+
+module Cache = Tinca_core.Cache
+module Pmem = Tinca_pmem.Pmem
+module Disk = Tinca_blockdev.Disk
+module Tabular = Tinca_util.Tabular
+open Tinca_sim
+
+type sample = {
+  sfences_per_commit : float;
+  writebacks_per_commit : float;
+  ns_per_commit : float;
+}
+
+let txn_sizes = [ 1; 8; 64 ]
+let instrs = [ Latency.Clflush; Latency.Clflushopt; Latency.Clwb ]
+
+(* 4 warm-up commits walk the whole 256-block universe once (at n = 64),
+   so measured commits mix COW write hits with misses like a steady-state
+   workload; 32 measured commits keep the sweep fast. *)
+let micro ~pipeline ~instr ~n =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem =
+    Pmem.create ~flush_instr:instr ~clock ~metrics ~tech:Latency.Pcm ~size:(8 * 1024 * 1024) ()
+  in
+  let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:4096 ~block_size:4096 in
+  let cache =
+    Cache.format
+      ~config:{ Cache.default_config with ring_slots = 4096; commit_pipeline = pipeline }
+      ~pmem ~disk ~clock ~metrics
+  in
+  let universe = 256 in
+  let payload = Bytes.make 4096 'c' in
+  let commit c =
+    let h = Cache.Txn.init cache in
+    for b = 0 to n - 1 do
+      Cache.Txn.add h (((c * n) + b) mod universe) payload
+    done;
+    Cache.Txn.commit h
+  in
+  let warmup = 4 and measured = 32 in
+  for c = 0 to warmup - 1 do
+    commit c
+  done;
+  let t0 = Clock.now_ns clock in
+  let sf0 = Metrics.get metrics "pmem.sfence" in
+  let wb0 = Metrics.get metrics "pmem.clflush_writebacks" in
+  for c = warmup to warmup + measured - 1 do
+    commit c
+  done;
+  let per x = float_of_int x /. float_of_int measured in
+  {
+    sfences_per_commit = per (Metrics.get metrics "pmem.sfence" - sf0);
+    writebacks_per_commit = per (Metrics.get metrics "pmem.clflush_writebacks" - wb0);
+    ns_per_commit = (Clock.now_ns clock -. t0) /. float_of_int measured;
+  }
+
+let fig_commit_batch () =
+  let table =
+    Tabular.create
+      ~title:
+        "Ablation: fence-coalesced group commit vs per-block protocol (commit micro-benchmark)"
+      [
+        "txn blocks"; "flush instr"; "sfences/commit"; "flush WB/commit"; "ns/commit per-block";
+        "ns/commit batched"; "speedup";
+      ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun instr ->
+          let pb = micro ~pipeline:Cache.Per_block ~instr ~n in
+          let b = micro ~pipeline:Cache.Batched ~instr ~n in
+          Tabular.add_row table
+            [
+              Tabular.cell_i n;
+              Latency.flush_instr_name instr;
+              Printf.sprintf "%.0f -> %.0f" pb.sfences_per_commit b.sfences_per_commit;
+              Printf.sprintf "%.0f -> %.0f" pb.writebacks_per_commit b.writebacks_per_commit;
+              Tabular.cell_f ~decimals:0 pb.ns_per_commit;
+              Tabular.cell_f ~decimals:0 b.ns_per_commit;
+              Printf.sprintf "%.2fx" (pb.ns_per_commit /. b.ns_per_commit);
+            ])
+        instrs)
+    txn_sizes;
+  [ table ]
+
+(* --- machine-readable benchmark dump (make bench-json) ------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let trace_throughput () =
+  let module Stacks = Tinca_stacks.Stacks in
+  let module Trace = Tinca_workloads.Trace in
+  let trace =
+    Trace.synthesize ~seed:7 ~nblocks:4096 ~ops:8000 ~read_pct:0.5 ~zipf_theta:0.9 ~fsync_every:8
+  in
+  let run ?(journaled = true) spec =
+    let m =
+      Runner.run_local ~spec ~journaled
+        ~prealloc:(fun ops -> Trace.prealloc ~block_size:4096 trace ops)
+        ~work:(fun ops -> Trace.run ~block_size:4096 trace ops)
+        ()
+    in
+    m.Runner.throughput
+  in
+  [
+    ("tinca", run (fun env -> Stacks.tinca env));
+    ("classic", run (fun env -> Stacks.classic ~journal_len:4096 env));
+    ("ubj", run (fun env -> Stacks.ubj env));
+    ("nojournal", run ~journaled:false (fun env -> Stacks.nojournal env));
+  ]
+
+(* The CI benchmark artifact: commit-protocol cost for every (pipeline,
+   flush instruction, transaction size) point, plus end-to-end
+   trace-replay throughput per stack so a regression anywhere in the
+   write path shows up in the JSON diff. *)
+let bench_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"commit\": [\n";
+  let first = ref true in
+  List.iter
+    (fun pipeline ->
+      let pname = match pipeline with Cache.Per_block -> "per_block" | Cache.Batched -> "batched" in
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun n ->
+              let s = micro ~pipeline ~instr ~n in
+              if not !first then Buffer.add_string buf ",\n";
+              first := false;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "    {\"pipeline\": \"%s\", \"flush_instr\": \"%s\", \"txn_blocks\": %d, \
+                    \"sim_ns_per_commit\": %.1f, \"sfences_per_commit\": %.2f, \
+                    \"flush_writebacks_per_commit\": %.2f}"
+                   pname
+                   (json_escape (Latency.flush_instr_name instr))
+                   n s.ns_per_commit s.sfences_per_commit s.writebacks_per_commit))
+            txn_sizes)
+        instrs)
+    [ Cache.Per_block; Cache.Batched ];
+  Buffer.add_string buf "\n  ],\n  \"trace_replay\": [\n";
+  let tput = trace_throughput () in
+  List.iteri
+    (fun i (stack, ops_per_s) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"stack\": \"%s\", \"throughput_ops_per_s\": %.0f}"
+           (json_escape stack) ops_per_s))
+    tput;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

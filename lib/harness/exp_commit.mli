@@ -1,0 +1,13 @@
+(** Commit-protocol micro-benchmark: the fence-coalesced group commit
+    ablation and the machine-readable benchmark dump behind
+    [make bench-json]. *)
+
+(** Sweep transaction size x flush instruction x pipeline over
+    [Cache.Txn.commit] and report sfences/commit, flush write-backs per
+    commit and simulated ns/commit for the per-block baseline vs the
+    batched group commit. *)
+val fig_commit_batch : unit -> Tinca_util.Tabular.t list
+
+(** Render the same sweep (plus trace-replay throughput per stack) as a
+    JSON document — the [BENCH_commit.json] CI artifact. *)
+val bench_json : unit -> string

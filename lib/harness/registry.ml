@@ -140,6 +140,12 @@ let all : experiment list =
       run = Exp_ablation.flush_instr;
     };
     {
+      id = "fig_commit_batch";
+      title = "Fence-coalesced group commit vs per-block protocol";
+      paper_ref = "extension (4.4 commit protocol, O(1) fences per txn)";
+      run = Exp_commit.fig_commit_batch;
+    };
+    {
       id = "wear_leveling";
       title = "FIFO vs LIFO NVM allocation (wear leveling)";
       paper_ref = "extension (endurance; beyond the paper)";

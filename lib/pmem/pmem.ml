@@ -19,6 +19,7 @@ type t = {
   clock : Clock.t;
   metrics : Metrics.t;
   tech : Latency.nvm_tech;
+  flush_instr : Latency.flush_instr;
   lat : Latency.nvm;
   rng : Tinca_util.Rng.t;
   wear : int array;
@@ -37,6 +38,7 @@ let create ?(seed = 42) ?(flush_instr = Latency.Clflush) ~clock ~metrics ~tech ~
     clock;
     metrics;
     tech;
+    flush_instr;
     lat = Latency.nvm_of_tech ~flush_instr tech;
     rng = Tinca_util.Rng.create seed;
     wear = Array.make (size / line_size) 0;
@@ -48,6 +50,7 @@ let create ?(seed = 42) ?(flush_instr = Latency.Clflush) ~clock ~metrics ~tech ~
 
 let size t = Bytes.length t.media
 let tech t = t.tech
+let flush_instr t = t.flush_instr
 
 (* --- event observation (lib/check's persistence sanitizer) -------------- *)
 
@@ -112,6 +115,12 @@ let write_sub t ~off src ~pos ~len =
     match t.observer with Some f -> f (Store { off; len }) | None -> ()
 
 let write t ~off src = write_sub t ~off src ~pos:0 ~len:(Bytes.length src)
+
+(* Vectored write: all ranges are validated before any byte is stored, so
+   a bad chunk cannot leave a partial scatter behind. *)
+let writev t chunks =
+  List.iter (fun (off, src) -> check_range t off (Bytes.length src)) chunks;
+  List.iter (fun (off, src) -> write t ~off src) chunks
 
 let fill t ~off ~len c =
   check_range t off len;
@@ -199,10 +208,49 @@ let clflush t ~off ~len =
     let nlines = last - first + 1 in
     Metrics.incr t.metrics "pmem.clflush" ~by:nlines;
     Metrics.incr t.metrics "pmem.clflush_writebacks" ~by:!dirtied;
+    (* One call = one back-to-back flush burst over the range: clflush
+       serializes (full latency per line), clflushopt/clwb pipeline. *)
     Clock.advance t.clock
-      ((t.lat.clflush_ns *. float_of_int nlines)
+      (Latency.flush_batch_ns t.flush_instr nlines
       +. (t.lat.write_ns *. float_of_int !dirtied));
     match t.observer with Some f -> f (Clflush { off; len }) | None -> ()
+  end
+
+(* Scatter-gather flush: one back-to-back burst of per-line flushes over
+   an arbitrary (deduplicated) line set, so batched callers stop paying
+   a separate serialized [clflush] call per line.  Each line is its own
+   instruction — its own crash-countdown event and observer event — but
+   the burst is charged with the pipelined batch cost. *)
+let flush_lines t lines =
+  let lines = List.sort_uniq compare lines in
+  let total = Bytes.length t.media / line_size in
+  List.iter
+    (fun idx ->
+      if idx < 0 || idx >= total then
+        invalid_arg (Printf.sprintf "Pmem.flush_lines: line %d out of bounds (device has %d)" idx total))
+    lines;
+  let dirtied = ref 0 and issued = ref 0 in
+  List.iter
+    (fun idx ->
+      event t;
+      incr issued;
+      (match Hashtbl.find_opt t.lines idx with
+      | Some line ->
+          if not line.pending then begin
+            line.pending <- true;
+            incr dirtied
+          end
+      | None -> () (* clean line: the flush is issued but is a no-op *));
+      match t.observer with
+      | Some f -> f (Clflush { off = idx * line_size; len = line_size })
+      | None -> ())
+    lines;
+  if !issued > 0 then begin
+    Metrics.incr t.metrics "pmem.clflush" ~by:!issued;
+    Metrics.incr t.metrics "pmem.clflush_writebacks" ~by:!dirtied;
+    Clock.advance t.clock
+      (Latency.flush_batch_ns t.flush_instr !issued
+      +. (t.lat.write_ns *. float_of_int !dirtied))
   end
 
 let sfence t =

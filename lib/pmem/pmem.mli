@@ -48,6 +48,9 @@ val create :
 val size : t -> int
 val tech : t -> Tinca_sim.Latency.nvm_tech
 
+(** The modelled cache-line flush instruction (fixed at {!create}). *)
+val flush_instr : t -> Tinca_sim.Latency.flush_instr
+
 (** {1 Volatile stores} *)
 
 (** [write t ~off src] stores all of [src] at [off]. *)
@@ -56,6 +59,12 @@ val write : t -> off:int -> bytes -> unit
 (** [write_sub t ~off src ~pos ~len] stores [len] bytes of [src] starting
     at [pos]. *)
 val write_sub : t -> off:int -> bytes -> pos:int -> len:int -> unit
+
+(** [writev t chunks] — vectored store: each [(off, src)] chunk as one
+    {!write}, in list order.  All ranges are validated before any byte is
+    stored, so a bad chunk raises [Invalid_argument] without a partial
+    scatter.  One [Store] event per non-empty chunk. *)
+val writev : t -> (int * bytes) list -> unit
 
 (** [fill t ~off ~len c] stores [len] copies of [c]. *)
 val fill : t -> off:int -> len:int -> char -> unit
@@ -88,8 +97,23 @@ val read_u64_int : t -> off:int -> int
     pay the medium's write latency — a flush of a clean line is a no-op
     and must not inflate the modelled NVM write traffic.
     ["pmem.clflush"] counts issued flushes per line;
-    ["pmem.clflush_writebacks"] counts the write-backs they started. *)
+    ["pmem.clflush_writebacks"] counts the write-backs they started.
+
+    One call is charged as one back-to-back flush burst: serializing
+    [Clflush] pays the full instruction latency per line, while
+    [Clflushopt]/[Clwb] pipeline (first line full, each further line only
+    the issue slot — {!Tinca_sim.Latency.flush_batch_ns}). *)
 val clflush : t -> off:int -> len:int -> unit
+
+(** [flush_lines t lines] — scatter-gather flush: one pipelined burst of
+    per-line flushes over an arbitrary line-index set (deduplicated and
+    sorted internally).  Semantically identical to one [clflush] per
+    line — each line is its own instruction, crash-countdown event and
+    observer [Clflush] event — but the burst is charged with the batch
+    cost, so [Clflushopt]/[Clwb] callers stop paying the serialized
+    per-call latency.  Raises [Invalid_argument] on an out-of-bounds
+    line index (before issuing anything). *)
+val flush_lines : t -> int list -> unit
 
 (** Ordering + durability point: all flush-pending lines reach the medium. *)
 val sfence : t -> unit

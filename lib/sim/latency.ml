@@ -38,6 +38,17 @@ let flush_instr_name = function
    clflushopt without the invalidation (~30 ns). *)
 let flush_instr_ns = function Clflush -> 100.0 | Clflushopt -> 40.0 | Clwb -> 30.0
 
+(* Incremental cost of each additional line in a back-to-back flush
+   sequence.  clflush is implicitly ordered against other clflushes, so
+   every line pays the full end-to-end latency; clflushopt/clwb overlap —
+   after the first line only the issue slot (~5 ns, one store-port uop)
+   is exposed, the write-backs drain concurrently. *)
+let flush_issue_ns = function Clflush -> 100.0 | Clflushopt -> 5.0 | Clwb -> 5.0
+
+let flush_batch_ns instr n =
+  if n <= 0 then 0.0
+  else flush_instr_ns instr +. (flush_issue_ns instr *. float_of_int (n - 1))
+
 let added_delays = function
   | Nvdimm -> (0.0, 0.0) (* read, write *)
   | Stt_ram -> (50.0, 50.0)

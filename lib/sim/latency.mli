@@ -34,6 +34,17 @@ val flush_instr_name : flush_instr -> string
 (** Per-line instruction overhead of a flush instruction. *)
 val flush_instr_ns : flush_instr -> float
 
+(** Incremental cost of each additional line in a back-to-back flush
+    sequence.  [Clflush] is implicitly serializing, so this equals
+    {!flush_instr_ns}; [Clflushopt]/[Clwb] pipeline and expose only the
+    issue slot (~5 ns) per extra line. *)
+val flush_issue_ns : flush_instr -> float
+
+(** [flush_batch_ns instr n] — instruction time of [n] back-to-back
+    flushes: [flush_instr_ns + (n-1) * flush_issue_ns] (0 for [n <= 0]).
+    For [Clflush] this degenerates to [n * flush_instr_ns]. *)
+val flush_batch_ns : flush_instr -> int -> float
+
 (** Cache-line latencies for a technology (with [Clflush] overhead by
     default; pass [flush_instr] to model the newer instructions). *)
 val nvm_of_tech : ?flush_instr:flush_instr -> nvm_tech -> nvm
