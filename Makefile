@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check-crash check-psan ci bench bench-json experiments examples clean
+.PHONY: all build test check-crash check-psan check-obs ci bench bench-json experiments examples clean
 
 all: build
 
@@ -24,9 +24,18 @@ check-crash:
 check-psan:
 	dune exec bin/tinca_check.exe -- --psan --commits 200 --universe 160
 
+# Observability gate: export a span trace of an 8-block-commit workload,
+# validate the Chrome trace_event JSON (monotonic timestamps, balanced
+# B/E nesting), pin the per-span fence attribution to the persistence
+# budget (stage B = 1 sfence, commit <= 6) and bound the disabled-mode
+# tracing overhead at 2% of commit wall time.
+check-obs:
+	dune exec bin/tinca_bench.exe -- check-obs
+
 # Everything a gate should run: build, unit tests, a budgeted crash-space
-# sweep, the sanitizer pass and the commit-protocol benchmark artifact.
-ci: build test check-psan bench-json
+# sweep, the sanitizer pass, the observability gate and the
+# commit-protocol benchmark artifact.
+ci: build test check-psan check-obs bench-json
 	dune exec bin/tinca_check.exe -- -q --commits 3 --cap 64
 
 # Full paper reproduction + Bechamel micro-benchmarks.

@@ -58,7 +58,7 @@ let bench_classic_commit =
   in
   let j =
     Journal.format ~config:{ Journal.start = 61440; len = 4096; checkpoint_threshold = 0.25 }
-      ~io ~metrics
+      ~io ~metrics ()
   in
   let n = ref 0 in
   Test.make ~name:"fig3/4: classic journalled commit (2 blocks)"

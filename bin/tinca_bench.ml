@@ -62,7 +62,7 @@ let run_cmd =
 
 (* `trace` subcommand: replay a block trace (from a file, or synthesized)
    over a chosen stack and report the evaluation metrics. *)
-let run_trace stack_name trace_file synth_ops read_pct tech flush_instr verbose =
+let run_trace stack_name trace_file synth_ops read_pct tech flush_instr trace_out verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -72,6 +72,7 @@ let run_trace stack_name trace_file synth_ops read_pct tech flush_instr verbose 
   let module Trace = Tinca_workloads.Trace in
   let module Ops = Tinca_workloads.Ops in
   let open Tinca_sim in
+  if trace_out <> None then Tinca_obs.Trace.enable ();
   let trace =
     match trace_file with
     | Some path ->
@@ -115,7 +116,14 @@ let run_trace stack_name trace_file synth_ops read_pct tech flush_instr verbose 
   Printf.printf "clflush/op        %10.1f\n" (per_op "pmem.clflush");
   Printf.printf "disk writes/op    %10.2f\n" (per_op "disk.writes");
   Printf.printf "disk reads/op     %10.2f\n" (per_op "disk.reads");
-  Printf.printf "cache write hit   %10.1f%%\n" (100.0 *. stack.Stacks.cache_write_hit_rate ())
+  Printf.printf "cache write hit   %10.1f%%\n" (100.0 *. stack.Stacks.cache_write_hit_rate ());
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Tinca_obs.Trace.export_to_file path;
+      Printf.printf "\n%s\n" (Tinca_obs.Trace.flame ());
+      Printf.printf "wrote %s (open in chrome://tracing or ui.perfetto.dev)\n" path;
+      Tinca_obs.Trace.disable ()
 
 let trace_cmd =
   let doc = "Replay a block trace (R/W/F text format) over a stack." in
@@ -157,9 +165,14 @@ let trace_cmd =
              ~doc:"Cache-line flush instruction: clflush (serializing), clflushopt or clwb \
                    (pipelined write-back).")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record a transaction-lifecycle span trace of the replay and write it as Chrome \
+                 trace_event JSON to $(docv).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log recovery/commit activity.") in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run_trace $ stack $ file $ ops $ read_pct $ tech $ flush_instr $ verbose)
+    Term.(const run_trace $ stack $ file $ ops $ read_pct $ tech $ flush_instr $ trace_out $ verbose)
 
 (* `bench-json` subcommand: emit the commit-protocol micro-benchmark and
    trace-replay throughput as a machine-readable artifact for CI. *)
@@ -179,7 +192,218 @@ let bench_json_cmd =
   in
   Cmd.v (Cmd.info "bench-json" ~doc) Term.(const run $ out)
 
+(* `stats` subcommand: run a synthetic workload over a psan-instrumented
+   stack and print the /proc/tinca-style health snapshot. *)
+let run_stats stack_name synth_ops read_pct =
+  let module Stacks = Tinca_stacks.Stacks in
+  let module Fs = Tinca_fs.Fs in
+  let module Workload = Tinca_workloads.Trace in
+  let module Ops = Tinca_workloads.Ops in
+  let module Psan = Tinca_checker.Psan in
+  let module Procfs = Tinca_obs.Procfs in
+  let open Tinca_sim in
+  let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
+  let stack =
+    match stack_name with
+    | "tinca" -> Stacks.tinca env
+    | "classic" -> Stacks.classic ~journal_len:4096 env
+    | "ubj" -> Stacks.ubj env
+    | "nojournal" -> Stacks.nojournal env
+    | other ->
+        Printf.eprintf "unknown stack %S (tinca|classic|ubj|nojournal)\n" other;
+        exit 1
+  in
+  let stack, psan = Stacks.instrument stack in
+  let fs =
+    Fs.format
+      ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
+      stack.Stacks.backend
+  in
+  let trace =
+    Workload.synthesize ~seed:7 ~nblocks:4096 ~ops:synth_ops ~read_pct ~zipf_theta:0.9
+      ~fsync_every:8
+  in
+  let ops =
+    Tinca_harness.Runner.instrument_ops ~clock:env.Stacks.clock ~metrics:env.Stacks.metrics
+      (Ops.of_fs ~compute:(Clock.advance env.Stacks.clock) fs)
+  in
+  Workload.prealloc ~block_size:4096 trace ops;
+  Fs.fsync fs;
+  ignore (Workload.run ~block_size:4096 trace ops);
+  Fs.fsync fs;
+  let r = Psan.report psan in
+  let sections =
+    [
+      Procfs.section "cache" (stack.Stacks.proc_stats ());
+      Procfs.section "psan"
+        ([
+           ("events", string_of_int r.Psan.events);
+           ("stores", string_of_int r.Psan.stores);
+           ("flush_calls", string_of_int r.Psan.flush_calls);
+           ("line_flushes", string_of_int r.Psan.line_flushes);
+           ("fences", string_of_int r.Psan.fences);
+           ("violations", string_of_int (List.length r.Psan.violations));
+           ("redundant_flushes", string_of_int r.Psan.redundant_flushes);
+         ]
+        @ List.map
+            (fun (site, n) -> ("redundant." ^ site, string_of_int n))
+            r.Psan.redundant_by_site);
+      Procfs.section "latency"
+        (List.map (fun (name, h) -> (name, Hist.to_string h)) (Metrics.hists env.Stacks.metrics));
+      Procfs.section "counters"
+        (List.map (fun (k, v) -> (k, string_of_int v)) (Metrics.to_list env.Stacks.metrics));
+    ]
+  in
+  print_string (Procfs.render sections)
+
+let stats_cmd =
+  let doc = "Print a /proc/tinca-style stats snapshot after a synthetic workload." in
+  let stack =
+    Arg.(value & opt string "tinca" & info [ "stack" ] ~docv:"STACK"
+           ~doc:"Stack to snapshot: tinca, classic, ubj or nojournal.")
+  in
+  let ops =
+    Arg.(value & opt int 4_000 & info [ "ops" ] ~docv:"N" ~doc:"Synthesized trace length.")
+  in
+  let read_pct =
+    Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P"
+           ~doc:"Synthesized read fraction in [0,1].")
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ stack $ ops $ read_pct)
+
+(* `check-obs` subcommand: CI gate for the observability layer.  Runs a
+   traced 8-block-commit workload, validates the exported Chrome JSON
+   against the trace_event schema, pins the per-span fence attribution
+   to the persistence budget (stage B = 1 sfence, whole commit <= 6),
+   checks that tracing does not perturb the simulation (identical
+   simulated end time), and bounds the disabled-mode overhead at 2% of
+   commit wall time. *)
+let run_check_obs out =
+  let module Cache = Tinca_core.Cache in
+  let module Pmem = Tinca_pmem.Pmem in
+  let module Disk = Tinca_blockdev.Disk in
+  let module Trace = Tinca_obs.Trace in
+  let module Jsonv = Tinca_obs.Jsonv in
+  let open Tinca_sim in
+  let failures = ref [] in
+  let check name ok detail =
+    if ok then Printf.printf "ok    %-42s %s\n" name detail
+    else begin
+      Printf.printf "FAIL  %-42s %s\n" name detail;
+      failures := name :: !failures
+    end
+  in
+  let commits = 16 and blocks = 8 in
+  (* The test_budget environment: 1 MB device keeps 16 x 8-block commits
+     free of evictions, so the budget is the pipeline's own fences. *)
+  let run_commits ~traced =
+    let clock = Clock.create () in
+    let metrics = Metrics.create () in
+    let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:(1024 * 1024) () in
+    let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:256 ~block_size:4096 in
+    if traced then begin
+      Trace.enable ();
+      Trace.name_track clock "tinca"
+    end;
+    let cache =
+      Cache.format
+        ~config:{ Cache.default_config with ring_slots = 128 }
+        ~pmem ~disk ~clock ~metrics
+    in
+    let payload = Bytes.make 4096 'o' in
+    for c = 0 to commits - 1 do
+      let h = Cache.Txn.init cache in
+      for b = 0 to blocks - 1 do
+        Cache.Txn.add h ((c * blocks) + b) payload
+      done;
+      Cache.Txn.commit h
+    done;
+    (clock, Clock.now_ns clock)
+  in
+  (* 1. Simulated time must be identical with and without tracing. *)
+  let _, ns_disabled = run_commits ~traced:false in
+  let clock, ns_traced = run_commits ~traced:true in
+  check "tracing preserves simulated time"
+    (ns_traced = ns_disabled)
+    (Printf.sprintf "%.0f ns vs %.0f ns" ns_traced ns_disabled);
+  (* 2. Per-span fence attribution matches the persistence budget. *)
+  let stage_b = Trace.find_spans "tinca.commit.stage_b" in
+  check "stage-B spans recorded" (List.length stage_b = commits)
+    (Printf.sprintf "%d spans" (List.length stage_b));
+  check "stage B pays exactly 1 sfence"
+    (stage_b <> [] && List.for_all (fun s -> Trace.counter s "pmem.sfence" = 1) stage_b)
+    (String.concat " "
+       (List.map (fun s -> string_of_int (Trace.counter s "pmem.sfence")) stage_b));
+  let commits_spans = Trace.find_spans "tinca.commit" in
+  check "whole commit within 6-sfence budget"
+    (commits_spans <> []
+    && List.for_all (fun s -> Trace.counter s "pmem.sfence" <= 6) commits_spans)
+    (String.concat " "
+       (List.map (fun s -> string_of_int (Trace.counter s "pmem.sfence")) commits_spans));
+  check "all spans closed, none unbalanced"
+    (Trace.open_spans () = 0 && Trace.unbalanced () = 0)
+    (Printf.sprintf "open=%d unbalanced=%d" (Trace.open_spans ()) (Trace.unbalanced ()));
+  let spans_per_commit =
+    float_of_int (List.length (Trace.completed ())) /. float_of_int commits
+  in
+  (* 3. The export is well-formed Chrome trace JSON. *)
+  Trace.export_to_file out;
+  (match Jsonv.validate_trace_file out with
+  | Ok st ->
+      check "exported trace validates" true
+        (Printf.sprintf "%s: %d events, %d track(s), depth %d" out st.Jsonv.events
+           st.Jsonv.tracks st.Jsonv.max_depth)
+  | Error errs ->
+      check "exported trace validates" false
+        (String.concat "; " (if List.length errs > 3 then [ List.nth errs 0; "..." ] else errs)));
+  Trace.disable ();
+  (* 4. Disabled-mode overhead gate.  Wall-clock benchmarks are flaky in
+     CI, so the gate is derived: (measured cost of a disabled
+     begin/end pair) x (pairs a commit executes) must be <= 2% of the
+     measured wall time of one untraced commit.  Both sides are medians
+     of repeated runs of tight loops, which is as deterministic as
+     wall-clock gets. *)
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  let pair_cost_ns =
+    let iters = 200_000 in
+    median
+      (List.init 5 (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           for _ = 1 to iters do
+             Trace.begin_span ~clock "x";
+             Trace.end_span "x"
+           done;
+           (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters))
+  in
+  let commit_wall_ns =
+    median
+      (List.init 5 (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           let _, _ = run_commits ~traced:false in
+           (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int commits))
+  in
+  let overhead = pair_cost_ns *. spans_per_commit /. commit_wall_ns in
+  check "disabled overhead <= 2% of commit cost"
+    (overhead <= 0.02)
+    (Printf.sprintf "pair %.1f ns x %.1f spans/commit / %.0f ns/commit = %.3f%%" pair_cost_ns
+       spans_per_commit commit_wall_ns (100.0 *. overhead));
+  if !failures <> [] then begin
+    Printf.printf "check-obs: %d check(s) FAILED\n" (List.length !failures);
+    exit 1
+  end;
+  Printf.printf "check-obs: all checks passed\n"
+
+let check_obs_cmd =
+  let doc = "Validate the observability layer (trace export, fence attribution, overhead)." in
+  let out =
+    Arg.(value & opt string "/tmp/tinca_check_obs.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the validated trace export.")
+  in
+  Cmd.v (Cmd.info "check-obs" ~doc) Term.(const run_check_obs $ out)
+
 let () =
   let doc = "Tinca (SC'17) reproduction: regenerate the paper's tables and figures." in
   let info = Cmd.info "tinca_bench" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; bench_json_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; bench_json_cmd; stats_cmd; check_obs_cmd ]))

@@ -42,7 +42,9 @@ let on_replicas t name ~req_bytes f =
   Array.iter
     (fun node ->
       Clock.advance_to (Node.clock node) arrival;
+      Tinca_obs.Trace.begin_span ~clock:(Node.clock node) "gluster.replica_op";
       f node;
+      Tinca_obs.Trace.end_span "gluster.replica_op";
       let completion = Node.now_ns node in
       if completion > !slowest then slowest := completion)
     (replica_set t name);
@@ -85,7 +87,9 @@ let ops t : Tinca_workloads.Ops.t =
         Array.iter
           (fun node ->
             Clock.advance_to (Node.clock node) t.client_ns;
+            Tinca_obs.Trace.begin_span ~clock:(Node.clock node) "gluster.fsync_node";
             Fs.fsync node.Node.fs;
+            Tinca_obs.Trace.end_span "gluster.fsync_node";
             let completion = Node.now_ns node in
             if completion > !slowest then slowest := completion)
           t.nodes;

@@ -37,6 +37,7 @@ let create ?(net = Latency.default_network) ?(iosize = 64 * 1024)
 let local_write t node name size iosize =
   let fs = node.Node.fs in
   let t0 = Node.now_ns node in
+  Tinca_obs.Trace.begin_span ~clock:(Node.clock node) "hdfs.local_write";
   let module Fs = Tinca_fs.Fs in
   if Fs.exists fs name then Fs.delete fs name;
   Fs.create fs name;
@@ -51,6 +52,7 @@ let local_write t node name size iosize =
   Fs.fsync fs;
   Tinca_sim.Clock.advance (Node.clock node)
     (t.datanode_cpu_per_mb_ns *. float_of_int size /. 1048576.0);
+  Tinca_obs.Trace.end_span "hdfs.local_write";
   Node.now_ns node -. t0
 
 let write_chunk t name size =

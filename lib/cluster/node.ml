@@ -46,6 +46,7 @@ let make ~id ~config kind =
   in
   let fs = Fs.format ~config:config.fs_config stack.Stacks.backend in
   let clock = stack.Stacks.env.Stacks.clock in
+  Tinca_obs.Trace.name_track clock (Printf.sprintf "node%d-%s" id (kind_label kind));
   let compute ns = Tinca_sim.Clock.advance clock ns in
   { id; kind; stack; fs; ops = Tinca_workloads.Ops.of_fs ~compute fs }
 

@@ -8,6 +8,7 @@ module Disk = Tinca_blockdev.Disk
 module Lru = Tinca_cachelib.Lru
 module Free_monitor = Tinca_cachelib.Free_monitor
 module Histogram = Tinca_util.Histogram
+module Trace = Tinca_obs.Trace
 
 type mode = Write_back | Write_through
 
@@ -247,6 +248,7 @@ let maybe_clean t =
     int_of_float (t.cfg.clean_threshold *. float_of_int t.layout.Layout.nblocks)
   in
   if t.dirty_count > high then begin
+    Trace.begin_span ~clock:t.clock "tinca.bg_clean";
     let low = max 0 (high * 7 / 8) in
     let budget = ref (t.dirty_count - low) in
     let victims = ref [] in
@@ -274,7 +276,8 @@ let maybe_clean t =
           (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
         sorted
     in
-    write_entries_batched t updates
+    write_entries_batched t updates;
+    Trace.end_span "tinca.bg_clean"
   end
 
 (* --- construction ------------------------------------------------------ *)
@@ -384,12 +387,16 @@ let recover ~pmem ~disk ~clock ~metrics =
     failwith "Tinca.Cache.recover: disk block size mismatch";
   let cfg = { default_config with block_size; ring_slots } in
   let t = make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics in
+  Trace.begin_span ~clock "tinca.recover";
   (* Blocks named by the ring range are the in-flight transaction's; their
      entries must be interpreted as in-flight even when a role-switch
      flush leaked to the medium before the crash (see revoke_block). *)
+  Trace.begin_span ~clock "tinca.recover.ring_scan";
   let in_ring = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace in_ring b ()) (Ring.pending_blknos t.ring);
+  Trace.end_span "tinca.recover.ring_scan";
   (* Rebuild the DRAM index from the persistent entry table. *)
+  Trace.begin_span ~clock "tinca.recover.entry_scan";
   for i = 0 to layout.Layout.nblocks - 1 do
     let e = entry_at t i in
     if e.Entry.valid then begin
@@ -422,16 +429,20 @@ let recover ~pmem ~disk ~clock ~metrics =
       if info.prev <> None then t.cow_pinned <- t.cow_pinned + 1
     end
   done;
+  Trace.end_span "tinca.recover.entry_scan";
   (* Revoke set = ring range [Tail, Head) ∪ all log-role entries.  The
      union is required: an entry can be persisted before its ring slot
      (commit step 1 precedes step 2), and a role-switched (buffer)
      entry of the in-flight transaction is only named by the ring. *)
   let before = Metrics.get t.metrics "tinca.revoked" in
+  Trace.begin_span ~clock "tinca.recover.revoke";
   Hashtbl.iter (fun blkno () -> revoke_block ~force:true t blkno) in_ring;
   Hashtbl.iter
     (fun blkno info -> if info.role_log then revoke_block ~force:true t blkno)
     (Hashtbl.copy t.index);
   Ring.commit_point t.ring;
+  Trace.end_span "tinca.recover.revoke";
+  Trace.end_span "tinca.recover";
   Metrics.incr t.metrics "tinca.recoveries" ~by:1;
   Log.info (fun m ->
       m "recovered: %d cached blocks, %d in-flight blocks revoked (%d named by ring)"
@@ -490,6 +501,7 @@ module Txn = struct
   }
 
   let init cache =
+    Trace.instant ~clock:cache.clock "tinca.txn.init";
     { cache; staged = Hashtbl.create 16; order = []; state = Running }
 
   let add h blkno data =
@@ -586,6 +598,7 @@ module Txn = struct
           blocks;
         (* (disk blkno, COW data block, entry slot for misses), reversed *)
         let allocs = ref [] in
+        Trace.begin_span ~clock:t.clock "tinca.commit.alloc";
         (try
            List.iter
              (fun blkno ->
@@ -608,8 +621,11 @@ module Txn = struct
                | Some info -> info.txn_pinned <- false
                | None -> ())
              blocks;
+           Trace.end_span "tinca.commit.alloc";
            raise e);
+        Trace.end_span "tinca.commit.alloc";
         let allocs = List.rev !allocs in
+        Trace.begin_span ~clock:t.clock "tinca.commit.stage_a";
         Pmem.set_site t.pmem "commit.data";
         Pmem.writev t.pmem
           (List.map
@@ -663,9 +679,14 @@ module Txn = struct
         Pmem.set_site t.pmem "commit.flush";
         Pmem.flush_lines t.pmem (Hashtbl.fold (fun l () acc -> l :: acc) lines []);
         Pmem.sfence t.pmem;
+        Trace.end_span "tinca.commit.stage_a";
         (* Stage B: slots durable (one fence), then Head (one persist). *)
+        Trace.begin_span ~clock:t.clock "tinca.commit.stage_b";
         Ring.record_batch t.ring blocks;
-        Ring.publish t.ring (List.length blocks)
+        Trace.end_span "tinca.commit.stage_b";
+        Trace.begin_span ~clock:t.clock "tinca.commit.head";
+        Ring.publish t.ring (List.length blocks);
+        Trace.end_span "tinca.commit.head"
 
   let revoke_partial h blocks_done =
     let t = h.cache in
@@ -706,6 +727,8 @@ module Txn = struct
       h.state <- Committing;
       t.committing <- true;
       charge_op t;
+      Trace.begin_span ~clock:t.clock "tinca.commit";
+      Trace.attr "blocks" (string_of_int n);
       (match t.cfg.commit_pipeline with
       | Batched -> (
           (* Stages A–B under two fences + one Head persist.  A pass-1
@@ -715,6 +738,7 @@ module Txn = struct
           with Cache_exhausted ->
             t.committing <- false;
             h.state <- Finished;
+            Trace.end_span "tinca.commit";
             raise Transaction_too_large)
       | Per_block ->
           (* The paper's literal per-block protocol (ablation baseline):
@@ -729,6 +753,7 @@ module Txn = struct
            with e ->
              revoke_partial h !committed;
              h.state <- Finished;
+             Trace.end_span "tinca.commit";
              (* The admission check is exact for the states normal
                 operation produces, but if replacement still runs out of
                 victims mid-commit, surface the one documented exception
@@ -739,6 +764,7 @@ module Txn = struct
          crash cannot surface a half-switched committed transaction. *)
       let infos = List.map (fun blkno -> Hashtbl.find t.index blkno) blocks in
       Pmem.set_site t.pmem "commit.role_switch";
+      Trace.begin_span ~clock:t.clock "tinca.commit.role_switch";
       write_entries_batched t
         (List.map
            (fun info ->
@@ -747,8 +773,11 @@ module Txn = struct
              t.pinned <- t.pinned - 1;
              (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
            infos);
+      Trace.end_span "tinca.commit.role_switch";
       (* §4.4 step 5: Tail := Head — the durable commit point. *)
+      Trace.begin_span ~clock:t.clock "tinca.commit.tail";
       Ring.commit_point t.ring;
+      Trace.end_span "tinca.commit.tail";
       (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
       List.iter
         (fun info ->
@@ -762,17 +791,17 @@ module Txn = struct
         infos;
       t.committing <- false;
       h.state <- Finished;
-      maybe_clean t;
       Log.debug (fun m -> m "committed transaction of %d blocks (ring head %d)" n (Ring.head t.ring));
       Histogram.add t.txn_sizes (float_of_int n);
       Metrics.incr t.metrics "tinca.commits" ~by:1;
-      Metrics.incr t.metrics "tinca.blocks_committed" ~by:n;
+      Metrics.incr t.metrics "tinca.commit.blocks" ~by:n;
       (* Write-through: propagate to disk immediately (kept for the
          ablation study; write-back is the paper's default).  The clean
          marks ride one batched entry update — one fence, not one per
          block. *)
       if t.cfg.mode = Write_through then begin
         Pmem.set_site t.pmem "cache.writeback";
+        Trace.begin_span ~clock:t.clock "tinca.commit.writeback";
         write_entries_batched t
           (List.map
              (fun info ->
@@ -780,7 +809,13 @@ module Txn = struct
                note_dirty t info false;
                (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
              infos)
-      end
+        ;
+        Trace.end_span "tinca.commit.writeback"
+      end;
+      Trace.end_span "tinca.commit";
+      (* Background pre-cleaning runs outside the commit span: it is
+         deferred maintenance the commit merely triggers. *)
+      maybe_clean t
     end
 
   (* Failure injection for tests and the crash-space checker: run the
@@ -855,6 +890,97 @@ let peek t blkno =
   match Hashtbl.find_opt t.index blkno with
   | Some info -> Some (read_data_block t info.cur)
   | None -> None
+
+(* --- /proc-style stats snapshot ---------------------------------------- *)
+
+type stats = {
+  capacity_blocks : int;
+  cached : int;
+  free_data : int;
+  free_entries : int;
+  dirty : int;
+  dirty_ratio : float;
+  pinned : int;
+  cow_pinned : int;
+  peak_cow : int;
+  read_hits : int;
+  read_misses : int;
+  read_hit_ratio : float;
+  write_hits : int;
+  write_misses : int;
+  write_hit_ratio : float;
+  commits : int;
+  aborts : int;
+  revoked : int;
+  recoveries : int;
+  ring_slots : int;
+  ring_in_flight : int;
+  ring_high_water : int;
+  wear_max : int;
+  wear_mean : float;
+}
+
+let stats t =
+  let nblocks = t.layout.Layout.nblocks in
+  let nlines = Pmem.size t.pmem / Pmem.line_size in
+  {
+    capacity_blocks = nblocks;
+    cached = Hashtbl.length t.index;
+    free_data = Free_monitor.free_count t.free_data;
+    free_entries = Free_monitor.free_count t.free_entries;
+    dirty = t.dirty_count;
+    dirty_ratio =
+      (if nblocks = 0 then 0.0 else float_of_int t.dirty_count /. float_of_int nblocks);
+    pinned = t.pinned;
+    cow_pinned = t.cow_pinned;
+    peak_cow = t.peak_cow;
+    read_hits = t.read_hits;
+    read_misses = t.read_misses;
+    read_hit_ratio = ratio t.read_hits t.read_misses;
+    write_hits = t.write_hits;
+    write_misses = t.write_misses;
+    write_hit_ratio = ratio t.write_hits t.write_misses;
+    commits = Metrics.get t.metrics "tinca.commits";
+    aborts = Metrics.get t.metrics "tinca.aborts";
+    revoked = Metrics.get t.metrics "tinca.revoked";
+    recoveries = Metrics.get t.metrics "tinca.recoveries";
+    ring_slots = Ring.slots t.ring;
+    ring_in_flight = Ring.in_flight t.ring;
+    ring_high_water = Ring.high_water t.ring;
+    wear_max = Pmem.wear_max t.pmem;
+    wear_mean =
+      (if nlines = 0 then 0.0
+       else float_of_int (Pmem.wear_total t.pmem) /. float_of_int nlines);
+  }
+
+let stats_kv s =
+  let i = string_of_int and f = Printf.sprintf "%.3f" in
+  [
+    ("capacity_blocks", i s.capacity_blocks);
+    ("cached_blocks", i s.cached);
+    ("free_data_blocks", i s.free_data);
+    ("free_entry_slots", i s.free_entries);
+    ("dirty_blocks", i s.dirty);
+    ("dirty_ratio", f s.dirty_ratio);
+    ("pinned_entries", i s.pinned);
+    ("cow_pinned_blocks", i s.cow_pinned);
+    ("peak_cow_blocks", i s.peak_cow);
+    ("read_hits", i s.read_hits);
+    ("read_misses", i s.read_misses);
+    ("read_hit_ratio", f s.read_hit_ratio);
+    ("write_hits", i s.write_hits);
+    ("write_misses", i s.write_misses);
+    ("write_hit_ratio", f s.write_hit_ratio);
+    ("commits", i s.commits);
+    ("aborts", i s.aborts);
+    ("revoked_blocks", i s.revoked);
+    ("recoveries", i s.recoveries);
+    ("ring_slots", i s.ring_slots);
+    ("ring_in_flight", i s.ring_in_flight);
+    ("ring_high_water", i s.ring_high_water);
+    ("nvm_wear_max", i s.wear_max);
+    ("nvm_wear_mean", f s.wear_mean);
+  ]
 
 (* --- invariant audit ----------------------------------------------------- *)
 

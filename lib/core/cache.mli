@@ -185,6 +185,46 @@ val txn_size_histogram : t -> Tinca_util.Histogram.t
     versions (paper §5.4.3 spatial overhead). *)
 val peak_cow_blocks : t -> int
 
+(** {1 Stats surface}
+
+    One coherent [/proc/tinca]-style snapshot of the cache's health:
+    occupancy, dirty/pinned state, hit ratios, commit/abort/recovery
+    totals, ring occupancy high-water mark and NVM wear.  Cheap (no
+    media scan) and side-effect free. *)
+
+type stats = {
+  capacity_blocks : int;
+  cached : int;
+  free_data : int;
+  free_entries : int;
+  dirty : int;
+  dirty_ratio : float;  (** dirty / capacity *)
+  pinned : int;  (** entries in log role (in-flight transaction) *)
+  cow_pinned : int;  (** NVM blocks held as COW previous versions *)
+  peak_cow : int;
+  read_hits : int;
+  read_misses : int;
+  read_hit_ratio : float;
+  write_hits : int;
+  write_misses : int;
+  write_hit_ratio : float;
+  commits : int;
+  aborts : int;
+  revoked : int;
+  recoveries : int;
+  ring_slots : int;
+  ring_in_flight : int;
+  ring_high_water : int;  (** peak ring occupancy since attach *)
+  wear_max : int;  (** max per-line NVM write-backs *)
+  wear_mean : float;
+}
+
+val stats : t -> stats
+
+(** Render as ordered [(key, value)] strings, ready for
+    {!Tinca_obs.Procfs.render}. *)
+val stats_kv : stats -> (string * string) list
+
 (** {1 Introspection for tests} *)
 
 (** Decode entry slot [i] from media. *)

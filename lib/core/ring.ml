@@ -6,17 +6,22 @@ type t = {
   (* DRAM mirrors of the persistent pointers, kept in sync. *)
   mutable head : int;
   mutable tail : int;
+  (* Peak in-flight occupancy since attach/format (volatile stat). *)
+  mutable hwm : int;
 }
 
 let attach ~pmem ~layout =
   let head = Pmem.read_u64_int pmem ~off:layout.Layout.head_off in
   let tail = Pmem.read_u64_int pmem ~off:layout.Layout.tail_off in
-  { pmem; layout; head; tail }
+  { pmem; layout; head; tail; hwm = head - tail }
 
 let slots t = t.layout.Layout.ring_slots
 let head t = t.head
 let tail t = t.tail
 let in_flight t = t.head - t.tail
+let high_water t = t.hwm
+
+let bump_hwm t = if in_flight t > t.hwm then t.hwm <- in_flight t
 
 let write_ptr t ~off v =
   Pmem.atomic_write8_int t.pmem ~off v;
@@ -29,7 +34,8 @@ let record t blkno =
   Pmem.atomic_write8_int t.pmem ~off:slot_off blkno;
   Pmem.persist t.pmem ~off:slot_off ~len:8;
   t.head <- t.head + 1;
-  write_ptr t ~off:t.layout.Layout.head_off t.head
+  write_ptr t ~off:t.layout.Layout.head_off t.head;
+  bump_hwm t
 
 (* Batched variant of [record] (group commit): stage every slot of the
    transaction, flush each dirtied slot line once and fence — the slots
@@ -65,7 +71,8 @@ let publish t n =
   if n > 0 then begin
     Pmem.set_site t.pmem "ring.record";
     t.head <- t.head + n;
-    write_ptr t ~off:t.layout.Layout.head_off t.head
+    write_ptr t ~off:t.layout.Layout.head_off t.head;
+    bump_hwm t
   end
 
 let commit_point t =
@@ -94,5 +101,6 @@ let format t =
   Pmem.set_site t.pmem "ring.format";
   t.head <- 0;
   t.tail <- 0;
+  t.hwm <- 0;
   write_ptr t ~off:t.layout.Layout.head_off 0;
   write_ptr t ~off:t.layout.Layout.tail_off 0

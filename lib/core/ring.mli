@@ -20,6 +20,11 @@ val tail : t -> int
 (** Blocks recorded in the in-flight transaction. *)
 val in_flight : t -> int
 
+(** Peak {!in_flight} occupancy observed since attach/format — the ring
+    sizing signal surfaced by [Cache.stats].  Volatile: resets on
+    re-attach. *)
+val high_water : t -> int
+
 (** [record t blkno] writes [blkno] at the Head slot (atomic 8 B +
     persist) and then advances Head (atomic 8 B + persist) — steps 2–3 of
     the commit protocol.  Raises [Invalid_argument] if the ring is full. *)

@@ -122,12 +122,14 @@ let update_slot_metadata t slot =
   Codec.set_u8 t.md_shadow (off + 7) flags;
   if t.cfg.metadata_sync then begin
     Pmem.set_site t.pmem "fc.metadata";
+    Tinca_obs.Trace.begin_span ~clock:t.clock "fc.md_sync";
     let md_block = off / t.cfg.block_size in
     let md_block_off = t.md_off + (md_block * t.cfg.block_size) in
     Pmem.write_sub t.pmem ~off:md_block_off t.md_shadow ~pos:(md_block * t.cfg.block_size)
       ~len:t.cfg.block_size;
     if t.cfg.flush_writes then Pmem.persist t.pmem ~off:md_block_off ~len:t.cfg.block_size;
-    Metrics.incr t.metrics "flashcache.md_writes" ~by:1
+    Metrics.incr t.metrics "flashcache.md_writes" ~by:1;
+    Tinca_obs.Trace.end_span "fc.md_sync"
   end
 
 let recover ~config ~pmem ~disk ~clock ~metrics =
@@ -208,6 +210,7 @@ let clean_set t set =
       in_dbn_order;
     if t.cfg.metadata_sync then begin
       Pmem.set_site t.pmem "fc.clean_md";
+      Tinca_obs.Trace.begin_span ~clock:t.clock "fc.clean_md";
       Hashtbl.iter
         (fun md_block () ->
           let md_block_off = t.md_off + (md_block * t.cfg.block_size) in
@@ -216,7 +219,8 @@ let clean_set t set =
           if t.cfg.flush_writes then
             Pmem.persist t.pmem ~off:md_block_off ~len:t.cfg.block_size;
           Metrics.incr t.metrics "flashcache.md_writes" ~by:1)
-        touched_md
+        touched_md;
+      Tinca_obs.Trace.end_span "fc.clean_md"
     end
   end
 

@@ -22,6 +22,9 @@ type sample = {
   sfences_per_commit : float;
   writebacks_per_commit : float;
   ns_per_commit : float;
+  p50_ns : float;
+  p99_ns : float;
+  max_ns : float;
 }
 
 let txn_sizes = [ 1; 8; 64 ]
@@ -58,14 +61,21 @@ let micro ~pipeline ~instr ~n =
   let t0 = Clock.now_ns clock in
   let sf0 = Metrics.get metrics "pmem.sfence" in
   let wb0 = Metrics.get metrics "pmem.clflush_writebacks" in
+  let lat = Hist.create () in
   for c = warmup to warmup + measured - 1 do
-    commit c
+    let c0 = Clock.now_ns clock in
+    commit c;
+    Hist.add lat (Clock.now_ns clock -. c0)
   done;
   let per x = float_of_int x /. float_of_int measured in
+  let s = Hist.summary lat in
   {
     sfences_per_commit = per (Metrics.get metrics "pmem.sfence" - sf0);
     writebacks_per_commit = per (Metrics.get metrics "pmem.clflush_writebacks" - wb0);
     ns_per_commit = (Clock.now_ns clock -. t0) /. float_of_int measured;
+    p50_ns = s.Hist.p50;
+    p99_ns = s.Hist.p99;
+    max_ns = s.Hist.max;
   }
 
 let fig_commit_batch () =
@@ -124,7 +134,7 @@ let trace_throughput () =
         ~work:(fun ops -> Trace.run ~block_size:4096 trace ops)
         ()
     in
-    m.Runner.throughput
+    (m.Runner.throughput, Runner.lat_summary m "lat.fsync")
   in
   [
     ("tinca", run (fun env -> Stacks.tinca env));
@@ -155,21 +165,30 @@ let bench_json () =
                 (Printf.sprintf
                    "    {\"pipeline\": \"%s\", \"flush_instr\": \"%s\", \"txn_blocks\": %d, \
                     \"sim_ns_per_commit\": %.1f, \"sfences_per_commit\": %.2f, \
-                    \"flush_writebacks_per_commit\": %.2f}"
+                    \"flush_writebacks_per_commit\": %.2f, \"p50_ns\": %.1f, \"p99_ns\": %.1f, \
+                    \"max_ns\": %.1f}"
                    pname
                    (json_escape (Latency.flush_instr_name instr))
-                   n s.ns_per_commit s.sfences_per_commit s.writebacks_per_commit))
+                   n s.ns_per_commit s.sfences_per_commit s.writebacks_per_commit s.p50_ns s.p99_ns
+                   s.max_ns))
             txn_sizes)
         instrs)
     [ Cache.Per_block; Cache.Batched ];
   Buffer.add_string buf "\n  ],\n  \"trace_replay\": [\n";
   let tput = trace_throughput () in
   List.iteri
-    (fun i (stack, ops_per_s) ->
+    (fun i (stack, (ops_per_s, lat)) ->
       if i > 0 then Buffer.add_string buf ",\n";
+      let lat_fields =
+        match lat with
+        | None -> ""
+        | Some s ->
+            Printf.sprintf ", \"fsync_p50_ns\": %.1f, \"fsync_p99_ns\": %.1f, \"fsync_max_ns\": %.1f"
+              s.Hist.p50 s.Hist.p99 s.Hist.max
+      in
       Buffer.add_string buf
-        (Printf.sprintf "    {\"stack\": \"%s\", \"throughput_ops_per_s\": %.0f}"
-           (json_escape stack) ops_per_s))
+        (Printf.sprintf "    {\"stack\": \"%s\", \"throughput_ops_per_s\": %.0f%s}"
+           (json_escape stack) ops_per_s lat_fields))
     tput;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf

@@ -1,0 +1,6 @@
+(** fig_obs: the observability surface exercised end to end — a
+    /proc-style health snapshot of an instrumented Tinca stack, latency
+    percentile ladders per stack and op type, and a flame summary of a
+    traced run with per-span fence attribution. *)
+
+val run : unit -> Tinca_util.Tabular.t list

@@ -146,6 +146,12 @@ let all : experiment list =
       run = Exp_commit.fig_commit_batch;
     };
     {
+      id = "fig_obs";
+      title = "Observability surface: /proc snapshot, latency ladders, span flame";
+      paper_ref = "extension (observability; beyond the paper)";
+      run = Exp_obs.run;
+    };
+    {
       id = "wear_leveling";
       title = "FIFO vs LIFO NVM allocation (wear leveling)";
       paper_ref = "extension (endurance; beyond the paper)";

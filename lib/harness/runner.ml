@@ -30,6 +30,23 @@ type stack_spec = Stacks.env -> Stacks.t
 
 let default_fs_config = { Fs.default_config with ninodes = 4096; journal_len = 4096 }
 
+(* Observe per-file-op simulated latency into the env's histograms, the
+   FS-level counterpart of [Stacks.with_latency]'s block-level timing. *)
+let instrument_ops ~clock ~metrics (ops : Ops.t) =
+  let timed name f =
+    let t0 = Clock.now_ns clock in
+    let r = f () in
+    Metrics.observe metrics name (Clock.now_ns clock -. t0);
+    r
+  in
+  {
+    ops with
+    Ops.create = (fun name -> timed "lat.create" (fun () -> ops.Ops.create name));
+    pwrite = (fun name ~off ~len -> timed "lat.pwrite" (fun () -> ops.Ops.pwrite name ~off ~len));
+    pread = (fun name ~off ~len -> timed "lat.pread" (fun () -> ops.Ops.pread name ~off ~len));
+    fsync = (fun () -> timed "lat.fsync" ops.Ops.fsync);
+  }
+
 (** [run_local ~spec ~prealloc ~work ()] builds one stack, runs the two
     phases and measures the second. *)
 let run_local ?(nvm_bytes = 8 * 1024 * 1024) ?(disk_blocks = 65536)
@@ -38,7 +55,10 @@ let run_local ?(nvm_bytes = 8 * 1024 * 1024) ?(disk_blocks = 65536)
   let env = Stacks.make_env ~seed ~tech ~disk_kind ~flush_instr ~nvm_bytes ~disk_blocks () in
   let stack = spec env in
   let fs = Fs.format ~config:{ fs_config with Fs.journaled } stack.Stacks.backend in
-  let ops = Ops.of_fs ~compute:(Clock.advance env.Stacks.clock) fs in
+  let ops =
+    instrument_ops ~clock:env.Stacks.clock ~metrics:env.Stacks.metrics
+      (Ops.of_fs ~compute:(Clock.advance env.Stacks.clock) fs)
+  in
   prealloc ops;
   Fs.fsync fs;
   let t0 = Clock.now_ns env.Stacks.clock in
@@ -78,3 +98,8 @@ let per_write m =
 let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
 
 let ratio_str a b = Printf.sprintf "%.2fx" (a /. b)
+
+(** Latency distribution of one op type recorded during the run
+    (["lat.commit"], ["lat.pwrite"], ...). *)
+let lat_summary m name =
+  Option.map Hist.summary (Metrics.hist m.stack.Stacks.env.Stacks.metrics name)

@@ -49,3 +49,16 @@ val per_write : measurement -> float * float * float
 
 val mb : int -> float
 val ratio_str : float -> float -> string
+
+(** Wrap an {!Tinca_workloads.Ops.t} so create/pwrite/pread/fsync
+    latencies land in ["lat.*"] histograms of [metrics].  [run_local]
+    applies this automatically. *)
+val instrument_ops :
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  Tinca_workloads.Ops.t ->
+  Tinca_workloads.Ops.t
+
+(** [lat_summary m "lat.commit"] — latency distribution of one op type
+    recorded during the run, if any was observed. *)
+val lat_summary : measurement -> string -> Tinca_sim.Hist.summary option

@@ -5,6 +5,7 @@ let log_src = Logs.Src.create "tinca.jbd2" ~doc:"JBD2-style journal"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module Codec = Tinca_util.Codec
+module Trace = Tinca_obs.Trace
 
 type config = { start : int; len : int; checkpoint_threshold : float }
 
@@ -21,6 +22,7 @@ type t = {
   cfg : config;
   io : Block_io.t;
   metrics : Metrics.t;
+  clock : Clock.t option; (* tracing track; None = untraceable journal *)
   cap : int; (* log positions: len - 1 (superblock excluded) *)
   mutable head : int; (* monotonic next-write position *)
   mutable tail : int; (* monotonic oldest live position *)
@@ -54,9 +56,19 @@ let check_config ~config ~io =
   if config.start < 0 || config.start + config.len > io.Block_io.nblocks then
     invalid_arg "Jbd2.Journal: journal area out of device range"
 
-let format ~config ~io ~metrics =
+(* Wrap [f] in a traced span when the journal has a clock. *)
+let span t name f =
+  match t.clock with
+  | None -> f ()
+  | Some clock ->
+      Trace.begin_span ~clock name;
+      let r = f () in
+      Trace.end_span name;
+      r
+
+let format ?clock ~config ~io ~metrics () =
   check_config ~config ~io;
-  let t = { cfg = config; io; metrics; cap = config.len - 1; head = 0; tail = 0;
+  let t = { cfg = config; io; metrics; clock; cap = config.len - 1; head = 0; tail = 0;
             next_seq = 1; pending = []; overlay = Hashtbl.create 256 } in
   write_super t;
   t
@@ -83,30 +95,30 @@ let parse_tagged t block =
 (* --- checkpoint (the second write of the double write) --- *)
 
 let checkpoint t =
-  if t.pending <> [] then begin
-    (* Newest version per home block wins; each is written once. *)
-    let latest = Hashtbl.create 64 in
-    let order = ref [] in
-    List.iter
-      (fun txn ->
+  if t.pending <> [] then
+    span t "jbd2.checkpoint" (fun () ->
+        (* Newest version per home block wins; each is written once. *)
+        let latest = Hashtbl.create 64 in
+        let order = ref [] in
         List.iter
-          (fun (blkno, data) ->
-            if not (Hashtbl.mem latest blkno) then order := blkno :: !order;
-            Hashtbl.replace latest blkno data)
-          txn.blocks)
-      t.pending;
-    (* Checkpoint in home-block order (the block layer's elevator). *)
-    List.iter
-      (fun blkno ->
-        t.io.Block_io.write_block blkno (Hashtbl.find latest blkno);
-        Metrics.incr t.metrics "jbd2.checkpoint_writes" ~by:1)
-      (List.sort compare !order);
-    t.pending <- [];
-    Hashtbl.reset t.overlay;
-    t.tail <- t.head;
-    write_super t;
-    Metrics.incr t.metrics "jbd2.checkpoints" ~by:1
-  end
+          (fun txn ->
+            List.iter
+              (fun (blkno, data) ->
+                if not (Hashtbl.mem latest blkno) then order := blkno :: !order;
+                Hashtbl.replace latest blkno data)
+              txn.blocks)
+          t.pending;
+        (* Checkpoint in home-block order (the block layer's elevator). *)
+        List.iter
+          (fun blkno ->
+            t.io.Block_io.write_block blkno (Hashtbl.find latest blkno);
+            Metrics.incr t.metrics "jbd2.checkpoint_writes" ~by:1)
+          (List.sort compare !order);
+        t.pending <- [];
+        Hashtbl.reset t.overlay;
+        t.tail <- t.head;
+        write_super t;
+        Metrics.incr t.metrics "jbd2.checkpoints" ~by:1)
 
 (* Newest committed-but-not-checkpointed version of a home block, if any
    (the page-cache read path). *)
@@ -159,41 +171,42 @@ let commit h =
     let revoke_chunks = chunks (per_desc t) h.revoked in
     let needed = n + List.length desc_chunks + List.length revoke_chunks + 1 in
     if needed > t.cap then invalid_arg "Jbd2.commit: transaction larger than journal";
-    if used_blocks t + needed > t.cap then checkpoint t;
-    let seq = t.next_seq in
-    let pos = ref t.head in
-    let emit block =
-      write_at t !pos block;
-      incr pos
-    in
-    (* Descriptor block followed by its log blocks, repeated. *)
-    List.iter
-      (fun chunk ->
-        let d = make_tagged t magic_desc seq (List.length chunk) in
-        List.iteri (fun i blkno -> Codec.set_u64_int d (24 + (i * 8)) blkno) chunk;
-        emit d;
+    span t "jbd2.commit" (fun () ->
+        if used_blocks t + needed > t.cap then checkpoint t;
+        let seq = t.next_seq in
+        let pos = ref t.head in
+        let emit block =
+          write_at t !pos block;
+          incr pos
+        in
+        (* Descriptor block followed by its log blocks, repeated. *)
         List.iter
-          (fun blkno ->
-            emit (Hashtbl.find h.staged blkno);
-            Metrics.incr t.metrics "jbd2.blocks_logged" ~by:1)
-          chunk)
-      desc_chunks;
-    List.iter
-      (fun chunk ->
-        let r = make_tagged t magic_revoke seq (List.length chunk) in
-        List.iteri (fun i blkno -> Codec.set_u64_int r (24 + (i * 8)) blkno) chunk;
-        emit r)
-      revoke_chunks;
-    emit (make_tagged t magic_commit seq n);
-    t.head <- !pos;
-    t.next_seq <- seq + 1;
-    let blocks = List.map (fun blkno -> (blkno, Hashtbl.find h.staged blkno)) ids in
-    t.pending <- t.pending @ [ { seq; blocks } ];
-    List.iter (fun (blkno, data) -> Hashtbl.replace t.overlay blkno data) blocks;
-    Metrics.incr t.metrics "jbd2.commits" ~by:1;
-    if
-      float_of_int (used_blocks t) > t.cfg.checkpoint_threshold *. float_of_int t.cap
-    then checkpoint t
+          (fun chunk ->
+            let d = make_tagged t magic_desc seq (List.length chunk) in
+            List.iteri (fun i blkno -> Codec.set_u64_int d (24 + (i * 8)) blkno) chunk;
+            emit d;
+            List.iter
+              (fun blkno ->
+                emit (Hashtbl.find h.staged blkno);
+                Metrics.incr t.metrics "jbd2.blocks_logged" ~by:1)
+              chunk)
+          desc_chunks;
+        List.iter
+          (fun chunk ->
+            let r = make_tagged t magic_revoke seq (List.length chunk) in
+            List.iteri (fun i blkno -> Codec.set_u64_int r (24 + (i * 8)) blkno) chunk;
+            emit r)
+          revoke_chunks;
+        emit (make_tagged t magic_commit seq n);
+        t.head <- !pos;
+        t.next_seq <- seq + 1;
+        let blocks = List.map (fun blkno -> (blkno, Hashtbl.find h.staged blkno)) ids in
+        t.pending <- t.pending @ [ { seq; blocks } ];
+        List.iter (fun (blkno, data) -> Hashtbl.replace t.overlay blkno data) blocks;
+        Metrics.incr t.metrics "jbd2.commits" ~by:1;
+        if
+          float_of_int (used_blocks t) > t.cfg.checkpoint_threshold *. float_of_int t.cap
+        then checkpoint t)
   end
 
 (* --- recovery --- *)
@@ -213,11 +226,12 @@ let read_super ~config ~(io : Block_io.t) =
     failwith "Jbd2.Journal: corrupt journal superblock";
   (Codec.get_u64_int b 8, Codec.get_u64_int b 16)
 
-let recover ~config ~io ~metrics =
+let recover ?clock ~config ~io ~metrics () =
   check_config ~config ~io;
   let s_seq, s_tail = read_super ~config ~io in
-  let t = { cfg = config; io; metrics; cap = config.len - 1; head = s_tail; tail = s_tail;
-            next_seq = s_seq; pending = []; overlay = Hashtbl.create 256 } in
+  let t = { cfg = config; io; metrics; clock; cap = config.len - 1; head = s_tail;
+            tail = s_tail; next_seq = s_seq; pending = []; overlay = Hashtbl.create 256 } in
+  span t "jbd2.recover" (fun () ->
   let read_at pos = io.Block_io.read_block (pos_block t pos) in
   (* Pass 1: scan forward collecting fully committed transactions. *)
   let txns = ref [] in
@@ -300,4 +314,4 @@ let recover ~config ~io ~metrics =
   Log.info (fun m ->
       m "journal recovery: %d committed transactions replayed up to sequence %d"
         (List.length txns) (!seq - 1));
-  t
+  t)

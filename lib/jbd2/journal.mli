@@ -28,14 +28,19 @@ type config = {
 
 val default_threshold : float
 
-(** [format ~config ~io ~metrics] initializes an empty journal. *)
-val format : config:config -> io:Tinca_blockdev.Block_io.t -> metrics:Tinca_sim.Metrics.t -> t
+(** [format ?clock ~config ~io ~metrics] initializes an empty journal.
+    [clock] names the tracing track journal spans land on. *)
+val format :
+  ?clock:Tinca_sim.Clock.t ->
+  config:config -> io:Tinca_blockdev.Block_io.t -> metrics:Tinca_sim.Metrics.t -> unit -> t
 
 (** [recover ~config ~io ~metrics] replays every fully committed
     transaction found after the superblock's start position into its home
     blocks (redo), discards any trailing partial transaction, and returns
     a clean journal. *)
-val recover : config:config -> io:Tinca_blockdev.Block_io.t -> metrics:Tinca_sim.Metrics.t -> t
+val recover :
+  ?clock:Tinca_sim.Clock.t ->
+  config:config -> io:Tinca_blockdev.Block_io.t -> metrics:Tinca_sim.Metrics.t -> unit -> t
 
 (** {1 Transactions} *)
 

@@ -1,0 +1,245 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* Recursive-descent parser over the input string; [pos] is the cursor. *)
+type parser_state = { src : string; mutable pos : int }
+
+let error p fmt = Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" p.pos m))) fmt
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance p;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> error p "expected %c, found %c" c c'
+  | None -> error p "expected %c, found end of input" c
+
+let parse_literal p lit value =
+  if
+    p.pos + String.length lit <= String.length p.src
+    && String.sub p.src p.pos (String.length lit) = lit
+  then begin
+    p.pos <- p.pos + String.length lit;
+    value
+  end
+  else error p "bad literal (expected %s)" lit
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> error p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some '"' -> advance p; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance p; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance p; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance p; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance p; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance p; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance p; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance p; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then error p "truncated \\u escape";
+            let hex = String.sub p.src p.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> error p "bad \\u escape %S" hex
+            in
+            p.pos <- p.pos + 4;
+            (* Encode the BMP code point as UTF-8 (surrogates land as-is;
+               good enough for validation). *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> error p "bad escape")
+    | Some c ->
+        advance p;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  match float_of_string_opt s with Some f -> f | None -> error p "bad number %S" s
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> error p "unexpected end of input"
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec go () =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          members := (k, v) :: !members;
+          skip_ws p;
+          match peek p with
+          | Some ',' -> advance p; go ()
+          | Some '}' -> advance p
+          | _ -> error p "expected , or } in object"
+        in
+        go ();
+        Obj (List.rev !members)
+      end
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          let v = parse_value p in
+          items := v :: !items;
+          skip_ws p;
+          match peek p with
+          | Some ',' -> advance p; go ()
+          | Some ']' -> advance p
+          | _ -> error p "expected , or ] in array"
+        in
+        go ();
+        Arr (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string p)
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some 'n' -> parse_literal p "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number p)
+  | Some c -> error p "unexpected character %c" c
+
+let parse src =
+  let p = { src; pos = 0 } in
+  match parse_value p with
+  | v ->
+      skip_ws p;
+      if p.pos <> String.length src then Error (Printf.sprintf "trailing garbage at %d" p.pos)
+      else Ok v
+  | exception Parse_error m -> Error m
+
+let member k = function Obj members -> List.assoc_opt k members | _ -> None
+
+(* --- Chrome trace_event validation -------------------------------------- *)
+
+type trace_stats = { events : int; tracks : int; max_depth : int }
+
+let validate_trace doc =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let nevents = ref 0 and max_depth = ref 0 in
+  (match member "traceEvents" doc with
+  | None -> err "missing traceEvents array"
+  | Some (Arr events) ->
+      List.iteri
+        (fun i ev ->
+          let str k = match member k ev with Some (Str s) -> Some s | _ -> None in
+          let num k = match member k ev with Some (Num n) -> Some n | _ -> None in
+          match str "ph" with
+          | None -> err "event %d: missing ph" i
+          | Some "M" -> () (* metadata: no ts/pairing requirements *)
+          | Some (("B" | "E" | "i") as ph) -> (
+              incr nevents;
+              match (str "name", num "tid", num "ts", num "pid") with
+              | None, _, _, _ -> err "event %d: missing name" i
+              | _, None, _, _ -> err "event %d: missing tid" i
+              | _, _, None, _ -> err "event %d: missing ts" i
+              | _, _, _, None -> err "event %d: missing pid" i
+              | Some name, Some tid, Some ts, Some _ -> (
+                  let tid = int_of_float tid in
+                  (match Hashtbl.find_opt last_ts tid with
+                  | Some prev when ts < prev ->
+                      err "event %d (%s): ts %.3f < previous %.3f on tid %d" i name ts prev tid
+                  | _ -> ());
+                  Hashtbl.replace last_ts tid ts;
+                  let stack =
+                    match Hashtbl.find_opt stacks tid with
+                    | Some s -> s
+                    | None ->
+                        let s = ref [] in
+                        Hashtbl.add stacks tid s;
+                        s
+                  in
+                  match ph with
+                  | "B" ->
+                      stack := name :: !stack;
+                      if List.length !stack > !max_depth then max_depth := List.length !stack
+                  | "E" -> (
+                      match !stack with
+                      | top :: rest when String.equal top name -> stack := rest
+                      | top :: _ ->
+                          err "event %d: E %S does not match open span %S on tid %d" i name top
+                            tid
+                      | [] -> err "event %d: E %S with no open span on tid %d" i name tid)
+                  | _ -> ()))
+          | Some ph -> err "event %d: unknown ph %S" i ph)
+        events;
+      Hashtbl.iter
+        (fun tid stack ->
+          List.iter (fun name -> err "unclosed span %S on tid %d" name tid) !stack)
+        stacks
+  | Some _ -> err "traceEvents is not an array");
+  match !errors with
+  | [] -> Ok { events = !nevents; tracks = Hashtbl.length last_ts; max_depth = !max_depth }
+  | errs -> Error (List.rev errs)
+
+let validate_trace_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match parse text with Ok doc -> validate_trace doc | Error m -> Error [ "parse error: " ^ m ]

@@ -1,0 +1,36 @@
+(** Minimal JSON parser + Chrome [trace_event] schema validator.
+
+    The toolchain has no JSON dependency, so [make check-obs] carries
+    its own strict little parser: full JSON values (objects, arrays,
+    strings with the common escapes, numbers, booleans, null), rejecting
+    trailing garbage.  Built for validating the artifacts this repo
+    emits (trace exports, BENCH_commit.json), not as a general library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+(** Object member lookup ([None] on non-objects too). *)
+val member : string -> t -> t option
+
+type trace_stats = {
+  events : int;  (** B/E/i events (metadata excluded) *)
+  tracks : int;
+  max_depth : int;  (** deepest B/E nesting seen on any track *)
+}
+
+(** Validate a parsed document against the Chrome [trace_event] schema
+    subset the tracer emits: a ["traceEvents"] array whose events carry
+    [ph]/[name]/[pid]/[tid]/[ts]; per track, timestamps must be
+    monotonically non-decreasing and B/E pairs properly nested and
+    balanced.  Returns all problems found, not just the first. *)
+val validate_trace : t -> (trace_stats, string list) result
+
+(** [parse] + [validate_trace] over a file's contents. *)
+val validate_trace_file : string -> (trace_stats, string list) result

@@ -1,0 +1,21 @@
+type section = { title : string; entries : (string * string) list }
+
+let section title entries = { title; entries }
+
+let render sections =
+  let buf = Buffer.create 512 in
+  let width =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc (k, _) -> max acc (String.length k)) acc s.entries)
+      0 sections
+  in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (Printf.sprintf "[%s]\n" s.title);
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s : %s\n" width k v))
+        s.entries)
+    sections;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** /proc-style text rendering for stats snapshots.
+
+    The [tinca_bench stats] command and [fig_obs] experiment print
+    sectioned key/value dumps modeled on Linux's [/proc] files:
+
+    {v
+    [cache]
+    cached_blocks        : 412
+    dirty_ratio          : 0.37
+    v} *)
+
+type section = { title : string; entries : (string * string) list }
+
+val section : string -> (string * string) list -> section
+
+(** Render sections as ["[title]"] headers followed by aligned
+    [key : value] lines. *)
+val render : section list -> string

@@ -92,6 +92,25 @@ let lines_of_range off len =
   let last = (off + len - 1) / line_size in
   (first, last)
 
+(* Every hardware event fans out to the attached observer (the
+   persistence sanitizer keeps sole ownership of [set_observer]) and,
+   when span tracing is on, to the tracer as per-span counters.
+   Write-back attribution is noted separately at the flush sites, where
+   the dirty-line count is known. *)
+let emit t ev =
+  (match t.observer with Some f -> f ev | None -> ());
+  if Tinca_obs.Trace.enabled () then
+    match ev with
+    | Store { off; len } ->
+        let first, last = lines_of_range off len in
+        Tinca_obs.Trace.note "pmem.store_lines" ~by:(last - first + 1)
+    | Atomic_write _ -> Tinca_obs.Trace.note "pmem.atomic_writes" ~by:1
+    | Clflush { off; len } ->
+        let first, last = lines_of_range off len in
+        Tinca_obs.Trace.note "pmem.clflush" ~by:(last - first + 1)
+    | Sfence -> Tinca_obs.Trace.note "pmem.sfence" ~by:1
+    | Crash -> ()
+
 let store_range t off len =
   event t;
   if len > 0 then begin
@@ -111,8 +130,7 @@ let write_sub t ~off src ~pos ~len =
     invalid_arg "Pmem.write_sub: bad source range";
   store_range t off len;
   Bytes.blit src pos t.media off len;
-  if len > 0 then
-    match t.observer with Some f -> f (Store { off; len }) | None -> ()
+  if len > 0 then emit t (Store { off; len })
 
 let write t ~off src = write_sub t ~off src ~pos:0 ~len:(Bytes.length src)
 
@@ -126,8 +144,7 @@ let fill t ~off ~len c =
   check_range t off len;
   store_range t off len;
   Bytes.fill t.media off len c;
-  if len > 0 then
-    match t.observer with Some f -> f (Store { off; len }) | None -> ()
+  if len > 0 then emit t (Store { off; len })
 
 let atomic_write8 t ~off v =
   check_range t off 8;
@@ -135,7 +152,7 @@ let atomic_write8 t ~off v =
   store_range t off 8;
   Metrics.incr t.metrics "pmem.atomic_writes" ~by:1;
   Bytes.set_int64_le t.media off v;
-  match t.observer with Some f -> f (Atomic_write { off; len = 8 }) | None -> ()
+  emit t (Atomic_write { off; len = 8 })
 
 let atomic_write8_int t ~off v =
   if v < 0 then invalid_arg "Pmem.atomic_write8_int: negative value";
@@ -148,7 +165,7 @@ let atomic_write16 t ~off v =
   store_range t off 16;
   Metrics.incr t.metrics "pmem.atomic_writes" ~by:1;
   Bytes.blit v 0 t.media off 16;
-  match t.observer with Some f -> f (Atomic_write { off; len = 16 }) | None -> ()
+  emit t (Atomic_write { off; len = 16 })
 
 let charge_read t off len =
   if len > 0 then begin
@@ -213,7 +230,8 @@ let clflush t ~off ~len =
     Clock.advance t.clock
       (Latency.flush_batch_ns t.flush_instr nlines
       +. (t.lat.write_ns *. float_of_int !dirtied));
-    match t.observer with Some f -> f (Clflush { off; len }) | None -> ()
+    if !dirtied > 0 then Tinca_obs.Trace.note "pmem.clflush_writebacks" ~by:!dirtied;
+    emit t (Clflush { off; len })
   end
 
 (* Scatter-gather flush: one back-to-back burst of per-line flushes over
@@ -241,16 +259,15 @@ let flush_lines t lines =
             incr dirtied
           end
       | None -> () (* clean line: the flush is issued but is a no-op *));
-      match t.observer with
-      | Some f -> f (Clflush { off = idx * line_size; len = line_size })
-      | None -> ())
+      emit t (Clflush { off = idx * line_size; len = line_size }))
     lines;
   if !issued > 0 then begin
     Metrics.incr t.metrics "pmem.clflush" ~by:!issued;
     Metrics.incr t.metrics "pmem.clflush_writebacks" ~by:!dirtied;
     Clock.advance t.clock
       (Latency.flush_batch_ns t.flush_instr !issued
-      +. (t.lat.write_ns *. float_of_int !dirtied))
+      +. (t.lat.write_ns *. float_of_int !dirtied));
+    if !dirtied > 0 then Tinca_obs.Trace.note "pmem.clflush_writebacks" ~by:!dirtied
   end
 
 let sfence t =
@@ -265,7 +282,7 @@ let sfence t =
       t.wear.(idx) <- t.wear.(idx) + 1;
       Metrics.incr t.metrics "pmem.lines_persisted" ~by:1)
     !persisted;
-  match t.observer with Some f -> f Sfence | None -> ()
+  emit t Sfence
 
 let persist t ~off ~len =
   clflush t ~off ~len;
@@ -284,7 +301,7 @@ let crash ?seed ?(survival = 0.5) t =
     entries;
   Hashtbl.reset t.lines;
   t.countdown <- None;
-  match t.observer with Some f -> f Crash | None -> ()
+  emit t Crash
 
 (* --- crash-space exploration hooks (lib/check) ------------------------- *)
 
@@ -314,7 +331,7 @@ let crash_select t ~survive =
     entries;
   Hashtbl.reset t.lines;
   t.countdown <- None;
-  match t.observer with Some f -> f Crash | None -> ()
+  emit t Crash
 
 type snapshot = {
   snap_media : Bytes.t;

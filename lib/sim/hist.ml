@@ -1,0 +1,116 @@
+(* HDR-style log-bucketed histogram: SUB sub-buckets per power of two.
+   A value v = m * 2^e (m in [1,2)) lands in bucket
+   (e + EXP_MIN_NEG) * SUB + floor((m - 1) * SUB); exponents are clamped
+   to [-EXP_MIN_NEG, EXP_MAX], which spans ~1.5e-5 ns to ~9e18 ns —
+   far beyond anything the simulation produces — so recording never
+   fails and never allocates. *)
+
+let sub = 16
+let exp_min_neg = 16 (* smallest representable exponent = -16 *)
+let exp_max = 63
+let nbuckets = (exp_min_neg + exp_max + 1) * sub
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable max : float;
+  mutable min : float;
+}
+
+let create () = { counts = Array.make nbuckets 0; total = 0; sum = 0.0; max = 0.0; min = infinity }
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* frexp: v = m * 2^e, m in [0.5, 1) -> normalize to [1, 2). *)
+    let exp = e - 1 and m = m *. 2.0 in
+    let exp = if exp < -exp_min_neg then -exp_min_neg else if exp > exp_max then exp_max else exp in
+    let s = int_of_float ((m -. 1.0) *. float_of_int sub) in
+    let s = if s < 0 then 0 else if s >= sub then sub - 1 else s in
+    ((exp + exp_min_neg) * sub) + s
+  end
+
+(* Geometric midpoint of a bucket, the value {!percentile} reports. *)
+let rep_of idx =
+  let exp = (idx / sub) - exp_min_neg and s = idx mod sub in
+  let base = Float.ldexp 1.0 exp in
+  let width = base /. float_of_int sub in
+  (base +. (float_of_int s *. width)) +. (width /. 2.0)
+
+let add t v =
+  let v = if v < 0.0 then 0.0 else v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max then t.max <- v;
+  if v < t.min then t.min <- v
+
+let count t = t.total
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let max_value t = t.max
+let min_value t = if t.total = 0 then 0.0 else t.min
+
+let percentile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+    let rank = if rank < 1 then 1 else rank in
+    let cum = ref 0 and idx = ref 0 and found = ref (nbuckets - 1) in
+    (try
+       while !idx < nbuckets do
+         cum := !cum + t.counts.(!idx);
+         if !cum >= rank then begin
+           found := !idx;
+           raise Exit
+         end;
+         incr idx
+       done
+     with Exit -> ());
+    let v = rep_of !found in
+    if v > t.max then t.max else if v < t.min then t.min else v
+  end
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
+
+let summary t =
+  {
+    count = t.total;
+    mean = mean t;
+    p50 = percentile t 50.0;
+    p90 = percentile t 90.0;
+    p99 = percentile t 99.0;
+    p999 = percentile t 99.9;
+    max = t.max;
+  }
+
+let merge ~dst ~src =
+  Array.iteri (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max > dst.max then dst.max <- src.max;
+  if src.min < dst.min then dst.min <- src.min
+
+let reset t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.max <- 0.0;
+  t.min <- infinity
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f p999=%.0f max=%.0f" t.total
+    (mean t) (percentile t 50.0) (percentile t 90.0) (percentile t 99.0) (percentile t 99.9)
+    t.max
+
+let to_string t = Format.asprintf "%a" pp t

@@ -20,6 +20,8 @@ val to_list : t -> (string * int) list
 
 type snapshot
 
+(** O(counters); the snapshot is hashtable-backed, so {!since} is O(1)
+    per counter and {!diff} is linear in the current registry. *)
 val snapshot : t -> snapshot
 
 (** [diff t snap] — per-counter increments since [snap]. *)
@@ -28,5 +30,28 @@ val diff : t -> snapshot -> (string * int) list
 (** [since t snap name] — increment of one counter since [snap]. *)
 val since : t -> snapshot -> string -> int
 
+(** {1 Latency histograms}
+
+    Log-bucketed distributions (see {!Hist}) live in the same registry
+    so per-op-type latencies ride the same snapshot/report plumbing as
+    the counters.  By convention names are ["lat.<op>"] in simulated
+    nanoseconds. *)
+
+(** [observe t name v] records [v] into the named histogram, creating
+    it on first use. *)
+val observe : t -> string -> float -> unit
+
+val hist : t -> string -> Hist.t option
+
+(** All histograms, sorted by name. *)
+val hists : t -> (string * Hist.t) list
+
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
+
+(** The dotted naming convention every counter and histogram a library
+    emits must satisfy: two or more [.]-separated segments, each
+    matching [[a-z][a-z0-9_]*] — e.g. ["pmem.clflush"],
+    ["tinca.commit.blocks"].  Checked by the test suite over the
+    registries real workloads populate. *)
+val valid_name : string -> bool

@@ -6,6 +6,7 @@ module Cache = Tinca_core.Cache
 module Fc = Tinca_flashcache.Flashcache
 module Journal = Tinca_jbd2.Journal
 module Backend = Tinca_fs.Backend
+module Trace = Tinca_obs.Trace
 
 type env = { clock : Clock.t; metrics : Metrics.t; pmem : Pmem.t; disk : Disk.t }
 
@@ -27,7 +28,27 @@ type t = {
   cache_write_hit_rate : unit -> float;
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;
   peak_cow_blocks : unit -> int;
+  proc_stats : unit -> (string * string) list;
 }
+
+(* Observe the simulated latency of every backend operation into per-op
+   histograms ("lat.commit", ...), so each stack reports percentile
+   latencies through the same Metrics registry the counters use. *)
+let with_latency env (b : Backend.t) =
+  let timed name f =
+    let t0 = Clock.now_ns env.clock in
+    let r = f () in
+    Metrics.observe env.metrics name (Clock.now_ns env.clock -. t0);
+    r
+  in
+  {
+    b with
+    Backend.read_block =
+      (fun blkno -> timed "lat.read_block" (fun () -> b.Backend.read_block blkno));
+    commit_blocks = (fun blocks -> timed "lat.commit" (fun () -> b.Backend.commit_blocks blocks));
+    write_blocks = (fun blocks -> timed "lat.write" (fun () -> b.Backend.write_blocks blocks));
+    sync = (fun () -> timed "lat.sync" b.Backend.sync);
+  }
 
 (* --- Tinca stack --------------------------------------------------------- *)
 
@@ -48,14 +69,16 @@ let tinca_of_cache env cache =
       sync = (fun () -> Cache.flush_all cache);
     }
   in
+  Trace.name_track env.clock "tinca";
   {
     label = "Tinca";
     env;
-    backend;
+    backend = with_latency env backend;
     layout = Some (Cache.layout cache);
     cache_write_hit_rate = (fun () -> Cache.write_hit_rate cache);
     txn_size_histogram = (fun () -> Some (Cache.txn_size_histogram cache));
     peak_cow_blocks = (fun () -> Cache.peak_cow_blocks cache);
+    proc_stats = (fun () -> Cache.stats_kv (Cache.stats cache));
   }
 
 let tinca ?(cache_config = Cache.default_config) env =
@@ -104,14 +127,23 @@ let classic_of ~label env fc journal =
           Fc.flush_all fc);
     }
   in
+  Trace.name_track env.clock "classic";
   {
     label;
     env;
-    backend;
+    backend = with_latency env backend;
     layout = None;
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
+    proc_stats =
+      (fun () ->
+        [
+          ("fc_write_hit_ratio", Printf.sprintf "%.3f" (Fc.write_hit_rate fc));
+          ("journal_used_blocks", string_of_int (Journal.used_blocks journal));
+          ("journal_capacity_blocks", string_of_int (Journal.capacity_blocks journal));
+          ("journal_pending_txns", string_of_int (Journal.pending_txns journal));
+        ]);
   }
 
 let journal_config ~journal_len ~disk_blocks =
@@ -128,7 +160,7 @@ let classic ?(fc_config = Fc.default_config) ?(journal_len = 1024) env =
   in
   let io = io_of_fc fc ~nblocks:(Disk.nblocks env.disk) in
   let config = journal_config ~journal_len ~disk_blocks:(Disk.nblocks env.disk) in
-  let journal = Journal.format ~config ~io ~metrics:env.metrics in
+  let journal = Journal.format ~clock:env.clock ~config ~io ~metrics:env.metrics () in
   classic_of ~label:"Classic" env fc journal
 
 let classic_recover ?(fc_config = Fc.default_config) ?(journal_len = 1024) env =
@@ -138,7 +170,7 @@ let classic_recover ?(fc_config = Fc.default_config) ?(journal_len = 1024) env =
   in
   let io = io_of_fc fc ~nblocks:(Disk.nblocks env.disk) in
   let config = journal_config ~journal_len ~disk_blocks:(Disk.nblocks env.disk) in
-  let journal = Journal.recover ~config ~io ~metrics:env.metrics in
+  let journal = Journal.recover ~clock:env.clock ~config ~io ~metrics:env.metrics () in
   classic_of ~label:"Classic" env fc journal
 
 (* --- UBJ stack -------------------------------------------------------------- *)
@@ -165,14 +197,16 @@ let ubj ?(ubj_config = Tinca_ubj.Ubj.default_config) env =
       sync = (fun () -> Ubj.flush_all u);
     }
   in
+  Trace.name_track env.clock "ubj";
   {
     label = "UBJ";
     env;
-    backend;
+    backend = with_latency env backend;
     layout = None;
     cache_write_hit_rate = (fun () -> 0.0);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
+    proc_stats = (fun () -> []);
   }
 
 (* --- No-journal stack ------------------------------------------------------ *)
@@ -194,14 +228,17 @@ let nojournal ?(fc_config = Fc.default_config) env =
       sync = (fun () -> Fc.flush_all fc);
     }
   in
+  Trace.name_track env.clock "nojournal";
   {
     label = "NoJournal";
     env;
-    backend;
+    backend = with_latency env backend;
     layout = None;
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
+    proc_stats =
+      (fun () -> [ ("fc_write_hit_ratio", Printf.sprintf "%.3f" (Fc.write_hit_rate fc)) ]);
   }
 
 (* --- persistence sanitizer wiring ---------------------------------------- *)

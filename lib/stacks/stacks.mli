@@ -46,6 +46,11 @@ type t = {
   peak_cow_blocks : unit -> int;
       (** Peak NVM blocks pinned as COW previous versions (Tinca only;
           paper §5.4.3); 0 for other stacks. *)
+  proc_stats : unit -> (string * string) list;
+      (** /proc-style health snapshot of the stack's cache layer:
+          [Cache.stats_kv] for Tinca, Flashcache/journal occupancy for
+          the classic stacks, empty where nothing applies.  Render with
+          {!Tinca_obs.Procfs.render}. *)
 }
 
 (** Build a Tinca stack (formats the cache). *)

@@ -12,7 +12,7 @@ let mk ?(len = 64) ?(threshold = Journal.default_threshold) () =
   let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:4096 ~block_size:4096 in
   let io = Block_io.of_disk disk in
   let config = { Journal.start = 1024; len; checkpoint_threshold = threshold } in
-  let j = Journal.format ~config ~io ~metrics in
+  let j = Journal.format ~config ~io ~metrics () in
   (j, config, io, disk, metrics)
 
 let block c = Bytes.make 4096 c
@@ -94,7 +94,7 @@ let test_recovery_replays_committed () =
   commit_blocks j [ (5, 'p'); (6, 'q') ];
   (* No checkpoint: home locations still empty.  "Crash": recover from
      the journal alone. *)
-  let _j2 = Journal.recover ~config ~io ~metrics:m in
+  let _j2 = Journal.recover ~config ~io ~metrics:m () in
   Alcotest.(check char) "5 replayed" 'p' (Bytes.get (Disk.read_block disk 5) 0);
   Alcotest.(check char) "6 replayed" 'q' (Bytes.get (Disk.read_block disk 6) 0);
   Alcotest.(check int) "replay count" 2 (Metrics.get m "jbd2.replayed")
@@ -109,7 +109,7 @@ let test_recovery_ignores_uncommitted () =
      commit block: emulate by staging and never committing; instead write
      garbage where the next descriptor would go. *)
   ignore h;
-  let _j2 = Journal.recover ~config ~io ~metrics:m in
+  let _j2 = Journal.recover ~config ~io ~metrics:m () in
   Alcotest.(check char) "committed replayed" 'p' (Bytes.get (Disk.read_block disk 5) 0);
   Alcotest.(check char) "uncommitted ignored" '\000' (Bytes.get (Disk.read_block disk 9) 0)
 
@@ -118,7 +118,7 @@ let test_recovery_sequences () =
   commit_blocks j [ (1, 'a') ];
   commit_blocks j [ (2, 'b') ];
   commit_blocks j [ (1, 'c') ];
-  let _j2 = Journal.recover ~config ~io ~metrics:m in
+  let _j2 = Journal.recover ~config ~io ~metrics:m () in
   Alcotest.(check char) "later txn wins" 'c' (Bytes.get (Disk.read_block disk 1) 0);
   Alcotest.(check char) "middle txn applied" 'b' (Bytes.get (Disk.read_block disk 2) 0)
 
@@ -127,7 +127,7 @@ let test_recovery_after_checkpoint_is_noop () =
   commit_blocks j [ (1, 'a') ];
   Journal.checkpoint j;
   let before = Metrics.get m "jbd2.replayed" in
-  let _j2 = Journal.recover ~config ~io ~metrics:m in
+  let _j2 = Journal.recover ~config ~io ~metrics:m () in
   Alcotest.(check int) "nothing replayed" before (Metrics.get m "jbd2.replayed")
 
 let test_revoke_suppresses_replay () =
@@ -138,7 +138,7 @@ let test_revoke_suppresses_replay () =
   Journal.revoke h 4;
   Journal.stage h 8 (block 'n');
   Journal.commit h;
-  let _j2 = Journal.recover ~config ~io ~metrics:m in
+  let _j2 = Journal.recover ~config ~io ~metrics:m () in
   Alcotest.(check char) "revoked block not replayed" '\000' (Bytes.get (Disk.read_block disk 4) 0);
   Alcotest.(check char) "other block replayed" 'n' (Bytes.get (Disk.read_block disk 8) 0)
 
@@ -150,7 +150,7 @@ let test_large_txn_multiple_descriptors () =
     Journal.stage h i (block (Char.chr (i mod 256)))
   done;
   Journal.commit h;
-  let _j2 = Journal.recover ~config ~io ~metrics:m in
+  let _j2 = Journal.recover ~config ~io ~metrics:m () in
   let ok = ref true in
   for i = 0 to 599 do
     if Bytes.get (Disk.read_block disk i) 0 <> Char.chr (i mod 256) then ok := false

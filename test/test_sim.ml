@@ -72,6 +72,116 @@ let test_metrics_reset () =
   Metrics.reset m;
   Alcotest.(check int) "cleared" 0 (Metrics.get m "x")
 
+let test_metrics_diff_after_reset () =
+  let m = Metrics.create () in
+  Metrics.incr m "x" ~by:10;
+  let snap = Metrics.snapshot m in
+  Metrics.reset m;
+  (* A reset drops the counters; a stale snapshot must not report
+     phantom negative increments for counters that no longer exist. *)
+  Alcotest.(check (list (pair string int))) "diff after reset is empty" [] (Metrics.diff m snap);
+  Metrics.incr m "x" ~by:2;
+  Alcotest.(check int) "since sees the reborn counter" (2 - 10) (Metrics.since m snap "x");
+  Metrics.observe m "lat.x" 5.0;
+  Metrics.reset m;
+  Alcotest.(check bool) "histograms cleared too" true (Metrics.hists m = [])
+
+let test_metrics_pp () =
+  let m = Metrics.create () in
+  Metrics.incr m "pmem.sfence" ~by:3;
+  Metrics.observe m "lat.commit" 100.0;
+  let s = Format.asprintf "%a" Metrics.pp m in
+  Alcotest.(check bool) "pp names the counter" true (contains_substring s "pmem.sfence");
+  Alcotest.(check bool) "pp shows the count" true (contains_substring s "3");
+  Alcotest.(check bool) "pp names the histogram" true (contains_substring s "lat.commit")
+
+let test_metrics_observe_hist () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "missing hist" true (Metrics.hist m "lat.z" = None);
+  Metrics.observe m "lat.z" 10.0;
+  Metrics.observe m "lat.z" 20.0;
+  (match Metrics.hist m "lat.z" with
+  | None -> Alcotest.fail "histogram not created"
+  | Some h ->
+      Alcotest.(check int) "count" 2 (Hist.count h);
+      Alcotest.(check (float 1.0)) "mean" 15.0 (Hist.mean h));
+  Alcotest.(check (list string)) "hists sorted by name" [ "lat.z" ]
+    (List.map fst (Metrics.hists m))
+
+(* The snapshot is hashtable-backed: since/diff over a 10k-counter
+   registry must be far from the old O(n*m) assoc-list scan.  50 full
+   diffs + 10k sinces over 10k counters in well under a second. *)
+let test_metrics_snapshot_scale () =
+  let m = Metrics.create () in
+  for i = 0 to 9_999 do
+    Metrics.incr m (Printf.sprintf "scale.c%04d" i) ~by:i
+  done;
+  let snap = Metrics.snapshot m in
+  for i = 0 to 9_999 do
+    Metrics.incr m (Printf.sprintf "scale.c%04d" i) ~by:1
+  done;
+  let t0 = Sys.time () in
+  for _ = 1 to 50 do
+    let d = Metrics.diff m snap in
+    assert (List.length d = 10_000)
+  done;
+  for i = 0 to 9_999 do
+    assert (Metrics.since m snap (Printf.sprintf "scale.c%04d" i) = 1)
+  done;
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "50 diffs + 10k sinces over 10k counters in %.2fs < 1s" elapsed)
+    true (elapsed < 1.0)
+
+(* --- Hist ---------------------------------------------------------------- *)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  for v = 1 to 1000 do
+    Hist.add h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (Hist.count h);
+  let within pct expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "p%g: %.1f within ~6%% of %.1f" pct actual expected)
+      true
+      (Float.abs (actual -. expected) /. expected < 0.07)
+  in
+  within 50.0 500.0 (Hist.percentile h 50.0);
+  within 90.0 900.0 (Hist.percentile h 90.0);
+  within 99.0 990.0 (Hist.percentile h 99.0);
+  let s = Hist.summary h in
+  within 99.9 999.0 s.Hist.p999;
+  Alcotest.(check (float 1e-9)) "max exact" 1000.0 s.Hist.max;
+  Alcotest.(check (float 1.0)) "mean" 500.5 s.Hist.mean;
+  Alcotest.(check bool) "ladder monotone" true
+    (s.Hist.p50 <= s.Hist.p90 && s.Hist.p90 <= s.Hist.p99 && s.Hist.p99 <= s.Hist.p999
+   && s.Hist.p999 <= s.Hist.max)
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  for v = 1 to 500 do
+    Hist.add a (float_of_int v)
+  done;
+  for v = 501 to 1000 do
+    Hist.add b (float_of_int v)
+  done;
+  Hist.merge ~dst:a ~src:b;
+  Alcotest.(check int) "merged count" 1000 (Hist.count a);
+  Alcotest.(check (float 1e-9)) "merged max" 1000.0 (Hist.max_value a);
+  let p50 = Hist.percentile a 50.0 in
+  Alcotest.(check bool) (Printf.sprintf "merged p50 %.1f ~ 500" p50) true
+    (Float.abs (p50 -. 500.0) /. 500.0 < 0.07)
+
+let test_hist_empty_and_reset () =
+  let h = Hist.create () in
+  Alcotest.(check (float 1e-9)) "empty percentile" 0.0 (Hist.percentile h 99.0);
+  Hist.add h 42.0;
+  Hist.add h (-5.0) (* clamped to 0 *);
+  Alcotest.(check (float 1e-9)) "negative clamps to 0" 0.0 (Hist.min_value h);
+  Hist.reset h;
+  Alcotest.(check int) "reset clears" 0 (Hist.count h)
+
 let suite =
   [
     ( "sim.clock",
@@ -90,6 +200,16 @@ let suite =
         Alcotest.test_case "incr/get" `Quick test_metrics_incr_get;
         Alcotest.test_case "snapshot/diff" `Quick test_metrics_snapshot_diff;
         Alcotest.test_case "reset" `Quick test_metrics_reset;
+        Alcotest.test_case "diff after reset" `Quick test_metrics_diff_after_reset;
+        Alcotest.test_case "pp renders counters + hists" `Quick test_metrics_pp;
+        Alcotest.test_case "observe/hist" `Quick test_metrics_observe_hist;
+        Alcotest.test_case "snapshot scales to 10k counters" `Quick test_metrics_snapshot_scale;
+      ] );
+    ( "sim.hist",
+      [
+        Alcotest.test_case "percentile ladder accuracy" `Quick test_hist_percentiles;
+        Alcotest.test_case "merge" `Quick test_hist_merge;
+        Alcotest.test_case "empty / clamp / reset" `Quick test_hist_empty_and_reset;
       ] );
   ]
 

@@ -59,12 +59,12 @@ let test_journal_validation () =
   rejects_invalid_arg "journal too small" (fun () ->
       ignore
         (Journal.format ~config:{ Journal.start = 0; len = 4; checkpoint_threshold = 0.25 } ~io
-           ~metrics));
+           ~metrics ()));
   rejects_invalid_arg "journal out of device" (fun () ->
       ignore
         (Journal.format
            ~config:{ Journal.start = 120; len = 64; checkpoint_threshold = 0.25 }
-           ~io ~metrics))
+           ~io ~metrics ()))
 
 let small_tinca env =
   Stacks.tinca ~cache_config:{ Cache.default_config with Cache.ring_slots = 64 } env
