@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check-crash check-psan check-obs ci bench bench-json experiments examples clean
+.PHONY: all build test check-crash check-psan check-obs check-shard ci bench bench-json experiments examples clean
 
 all: build
 
@@ -32,10 +32,19 @@ check-psan:
 check-obs:
 	dune exec bin/tinca_bench.exe -- check-obs
 
+# Sharding gate: a budgeted crash-space sweep and a sanitizer pass on a
+# 4-shard cache (covering crashes between per-shard Head advances and on
+# either side of the cross-shard seal), then the N=1 equivalence pin
+# against BENCH_commit.json plus the scaling sanity check.
+check-shard:
+	dune exec bin/tinca_check.exe -- -q --commits 2 --cap 48 --shards 4 --pmem-kb 256
+	dune exec bin/tinca_check.exe -- --psan --commits 100 --universe 160 --shards 4
+	dune exec bin/tinca_bench.exe -- check-shard
+
 # Everything a gate should run: build, unit tests, a budgeted crash-space
-# sweep, the sanitizer pass, the observability gate and the
-# commit-protocol benchmark artifact.
-ci: build test check-psan check-obs bench-json
+# sweep, the sanitizer pass, the observability gate, the commit-protocol
+# benchmark artifact and the sharding gate.
+ci: build test check-psan check-obs bench-json check-shard
 	dune exec bin/tinca_check.exe -- -q --commits 3 --cap 64
 
 # Full paper reproduction + Bechamel micro-benchmarks.

@@ -60,9 +60,35 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ csv $ ids)
 
+(* Shared --shards plumbing: only the tinca stack is sharded; asking for
+   N > 1 on any other stack is a usage error, not something to ignore. *)
+let stack_with_shards ~stack_name ~shards env =
+  let module Stacks = Tinca_stacks.Stacks in
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be >= 1\n";
+    exit 1
+  end;
+  if shards > 1 && stack_name <> "tinca" then begin
+    Printf.eprintf "--shards %d: only the tinca stack is sharded\n" shards;
+    exit 1
+  end;
+  match stack_name with
+  | "tinca" ->
+      Stacks.tinca ~config:{ Tinca.Config.default with Tinca.Config.nshards = shards } env
+  | "classic" -> Stacks.classic ~journal_len:4096 env
+  | "ubj" -> Stacks.ubj env
+  | "nojournal" -> Stacks.nojournal env
+  | other ->
+      Printf.eprintf "unknown stack %S (tinca|classic|ubj|nojournal)\n" other;
+      exit 1
+
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Shard count for the tinca stack (per-shard rings + striped commit scheduler).")
+
 (* `trace` subcommand: replay a block trace (from a file, or synthesized)
    over a chosen stack and report the evaluation metrics. *)
-let run_trace stack_name trace_file synth_ops read_pct tech flush_instr trace_out verbose =
+let run_trace stack_name shards trace_file synth_ops read_pct tech flush_instr trace_out verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -86,16 +112,7 @@ let run_trace stack_name trace_file synth_ops read_pct tech flush_instr trace_ou
           ~fsync_every:8
   in
   let env = Stacks.make_env ~tech ~flush_instr ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
-  let stack =
-    match stack_name with
-    | "tinca" -> Stacks.tinca env
-    | "classic" -> Stacks.classic ~journal_len:4096 env
-    | "ubj" -> Stacks.ubj env
-    | "nojournal" -> Stacks.nojournal env
-    | other ->
-        Printf.eprintf "unknown stack %S (tinca|classic|ubj|nojournal)\n" other;
-        exit 1
-  in
+  let stack = stack_with_shards ~stack_name ~shards env in
   let fs =
     Fs.format
       ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
@@ -172,7 +189,9 @@ let trace_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log recovery/commit activity.") in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run_trace $ stack $ file $ ops $ read_pct $ tech $ flush_instr $ trace_out $ verbose)
+    Term.(
+      const run_trace $ stack $ shards_arg $ file $ ops $ read_pct $ tech $ flush_instr $ trace_out
+      $ verbose)
 
 (* `bench-json` subcommand: emit the commit-protocol micro-benchmark and
    trace-replay throughput as a machine-readable artifact for CI. *)
@@ -194,7 +213,7 @@ let bench_json_cmd =
 
 (* `stats` subcommand: run a synthetic workload over a psan-instrumented
    stack and print the /proc/tinca-style health snapshot. *)
-let run_stats stack_name synth_ops read_pct =
+let run_stats stack_name shards synth_ops read_pct =
   let module Stacks = Tinca_stacks.Stacks in
   let module Fs = Tinca_fs.Fs in
   let module Workload = Tinca_workloads.Trace in
@@ -203,17 +222,7 @@ let run_stats stack_name synth_ops read_pct =
   let module Procfs = Tinca_obs.Procfs in
   let open Tinca_sim in
   let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
-  let stack =
-    match stack_name with
-    | "tinca" -> Stacks.tinca env
-    | "classic" -> Stacks.classic ~journal_len:4096 env
-    | "ubj" -> Stacks.ubj env
-    | "nojournal" -> Stacks.nojournal env
-    | other ->
-        Printf.eprintf "unknown stack %S (tinca|classic|ubj|nojournal)\n" other;
-        exit 1
-  in
-  let stack, psan = Stacks.instrument stack in
+  let stack, psan = Stacks.instrument (stack_with_shards ~stack_name ~shards env) in
   let fs =
     Fs.format
       ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
@@ -269,7 +278,78 @@ let stats_cmd =
     Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P"
            ~doc:"Synthesized read fraction in [0,1].")
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ stack $ ops $ read_pct)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ stack $ shards_arg $ ops $ read_pct)
+
+(* `fio` subcommand: the Fig 7 Fio micro-benchmark on one stack, with a
+   configurable shard count for the tinca stack. *)
+let run_fio stack_name shards ops read_pct =
+  let module Stacks = Tinca_stacks.Stacks in
+  let module Fio = Tinca_workloads.Fio in
+  let module Runner = Tinca_harness.Runner in
+  let cfg =
+    { Fio.default with Fio.file_size = 20 * 1024 * 1024; read_pct; ops; fsync_every = 32 }
+  in
+  let m =
+    Runner.run_local
+      ~nvm_bytes:(8 * 1024 * 1024)
+      ~spec:(fun env -> stack_with_shards ~stack_name ~shards env)
+      ~prealloc:(Fio.prealloc cfg) ~work:(Fio.run cfg) ()
+  in
+  let cl, dw, iops = Runner.per_write m in
+  Printf.printf "stack=%s shards=%d ops=%d read_pct=%.2f sim_seconds=%.4f\n" m.Runner.label shards
+    m.Runner.ops read_pct m.Runner.sim_seconds;
+  Printf.printf "write IOPS        %10.0f\n" iops;
+  Printf.printf "clflush/write     %10.1f\n" cl;
+  Printf.printf "disk writes/write %10.2f\n" dw;
+  Printf.printf "cache write hit   %10.1f%%\n" (100.0 *. m.Runner.write_hit_rate);
+  if stack_name = "tinca" && shards > 1 then
+    List.iter
+      (fun (k, v) ->
+        if
+          List.mem k [ "nshards"; "multi_shard_commits"; "cross_shard_seals"; "ring_high_water_max" ]
+        then Printf.printf "%-17s %10s\n" k v)
+      (m.Runner.stack.Stacks.proc_stats ())
+
+let fio_cmd =
+  let doc = "Run the Fio micro-benchmark (Fig 7's workload) on one stack." in
+  let stack =
+    Arg.(value & opt string "tinca" & info [ "stack" ] ~docv:"STACK"
+           ~doc:"Stack to drive: tinca, classic, ubj or nojournal.")
+  in
+  let ops = Arg.(value & opt int 8_000 & info [ "ops" ] ~docv:"N" ~doc:"Fio operations to issue.") in
+  let read_pct =
+    Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P" ~doc:"Read fraction in [0,1].")
+  in
+  Cmd.v (Cmd.info "fio" ~doc) Term.(const run_fio $ stack $ shards_arg $ ops $ read_pct)
+
+(* `check-shard` subcommand: the sharding CI gate — the N=1 equivalence
+   pin against BENCH_commit.json plus the scaling sanity check. *)
+let run_check_shard json_path =
+  let module Exp_shard = Tinca_harness.Exp_shard in
+  let module Tabular = Tinca_util.Tabular in
+  if not (Sys.file_exists json_path) then begin
+    Printf.eprintf "check-shard: %s not found (run `tinca_bench bench-json` first)\n" json_path;
+    exit 1
+  end;
+  let tables, pin_ok, scaling_ok = Exp_shard.check ~json_path in
+  List.iter (fun t -> print_string (Tabular.render t); print_newline ()) tables;
+  Printf.printf "%-50s %s\n" "N=1 equivalence pin vs single-ring artifact"
+    (if pin_ok then "ok" else "FAIL");
+  Printf.printf "%-50s %s\n" "scaling sanity (N=4 makespan < N=1)"
+    (if scaling_ok then "ok" else "FAIL");
+  if not (pin_ok && scaling_ok) then begin
+    Printf.printf "check-shard: FAILED\n";
+    exit 1
+  end;
+  Printf.printf "check-shard: all checks passed\n"
+
+let check_shard_cmd =
+  let doc = "Validate the sharding layer (N=1 equivalence pin + scaling sanity)." in
+  let json =
+    Arg.(value & opt string "BENCH_commit.json"
+         & info [ "json" ] ~docv:"FILE" ~doc:"Single-ring commit-point artifact to pin against.")
+  in
+  Cmd.v (Cmd.info "check-shard" ~doc) Term.(const run_check_shard $ json)
 
 (* `check-obs` subcommand: CI gate for the observability layer.  Runs a
    traced 8-block-commit workload, validates the exported Chrome JSON
@@ -406,4 +486,6 @@ let () =
   let info = Cmd.info "tinca_bench" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; bench_json_cmd; stats_cmd; check_obs_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; fio_cmd; bench_json_cmd; stats_cmd; check_obs_cmd;
+            check_shard_cmd ]))

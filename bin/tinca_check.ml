@@ -47,13 +47,14 @@ let psan_summary label psan =
   List.iter (fun v -> Format.printf "  %a@." Psan.pp_violation v) r.Psan.violations;
   Psan.violation_count psan
 
-let run_psan commits seed universe =
+let run_psan commits seed universe shards =
   let nbad = ref 0 in
-  (* Tinca: full region classification (layout-aware rules active),
-     including a crash + recovery + second workload phase. *)
+  (* Tinca: full region classification (layout-aware rules active, one
+     layout per shard), including a crash + recovery + second workload
+     phase. *)
   let env = Stacks.make_env ~seed ~nvm_bytes:(512 * 1024) ~disk_blocks:universe () in
-  let cache_config = { Tinca_core.Cache.default_config with ring_slots = 256 } in
-  let stack, psan = Stacks.instrument (Stacks.tinca ~cache_config env) in
+  let config = { Tinca.Config.default with Tinca.Config.ring_slots = 256; nshards = shards } in
+  let stack, psan = Stacks.instrument (Stacks.tinca ~config env) in
   psan_workload ~commits ~universe ~seed stack;
   Pmem.crash ~seed:(seed + 1) env.Stacks.pmem;
   (* The sanitizer stays attached across the crash (its shadow resets on
@@ -70,7 +71,12 @@ let run_psan commits seed universe =
   psan_workload ~commits:(max 1 (commits / 4)) ~universe ~seed:(seed + 2)
     { recovered with
       Stacks.backend = { recovered.Stacks.backend with Backend.commit_blocks = recommit } };
-  nbad := !nbad + psan_summary "Tinca (commit workload + crash recovery)" psan;
+  nbad :=
+    !nbad
+    + psan_summary
+        (Printf.sprintf "Tinca (commit workload + crash recovery, %d shard%s)" shards
+           (if shards = 1 then "" else "s"))
+        psan;
   Psan.detach psan;
   (* Classic: JBD2 journal over Flashcache.  No Tinca layout, so the
      unfenced-ack and redundant-flush rules carry the audit. *)
@@ -99,12 +105,13 @@ let run_psan commits seed universe =
     1
   end
 
-let run psan commits seed universe ring_slots pmem_kb cap sample_seed from stride verbose quiet =
+let run psan commits seed universe ring_slots pmem_kb cap sample_seed from stride shards verbose
+    quiet =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  if psan then run_psan commits seed universe
+  if psan then run_psan commits seed universe shards
   else
   let cfg =
     {
@@ -117,6 +124,7 @@ let run psan commits seed universe ring_slots pmem_kb cap sample_seed from strid
       sample_seed;
       first_event = from;
       stride;
+      nshards = shards;
     }
   in
   let progress =
@@ -192,6 +200,14 @@ let cmd =
   let stride =
     Arg.(value & opt int 1 & info [ "stride" ] ~docv:"S" ~doc:"Explore every S-th crash point.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:
+               "Partition the NVM device into N shards: the sweep (and --psan) then covers the \
+                striped commit scheduler — multi-shard transactions, per-shard Head advances and \
+                the cross-shard seal.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log per-crash-point detail.") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress line on stderr.") in
   let psan =
@@ -208,6 +224,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ psan $ commits $ seed $ universe $ ring_slots $ pmem_kb $ cap $ sample_seed
-      $ from $ stride $ verbose $ quiet)
+      $ from $ stride $ shards $ verbose $ quiet)
 
 let () = exit (Cmd.eval' cmd)

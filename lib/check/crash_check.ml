@@ -23,17 +23,29 @@
    final report instead of truncating silently.
 
    Every explored state must pass three gates:
-   1. Cache.recover succeeds;
-   2. Cache.check_invariants holds on the recovered cache;
+   1. Shard.recover succeeds (with [nshards = 1] this is the plain
+      single-cache recovery behind a shard directory);
+   2. Shard.check_invariants holds on the recovered shards (per-cache
+      audit plus: the cross-shard seal must be clear);
    3. the prefix-consistency oracle: the recovered logical state
       (cache overlaying disk, full block content) equals the state as of
       the last acknowledged commit, or that state with the in-flight
-      transaction fully applied — never a partial mix. *)
+      transaction fully applied — never a partial mix.
+
+   With [nshards > 1] the workload's multi-block transactions stripe
+   across shards, so the sweep covers every crash point of the striped
+   commit scheduler — in particular the window between one shard's Head
+   advance and the next, and either side of the cross-shard seal — and
+   gate 3 doubles as the all-or-nothing oracle for multi-shard
+   transactions: a recovered state where one shard's sub-commit is
+   visible and another's is not matches neither the pre-txn nor the
+   post-txn image and is flagged. *)
 
 open Tinca_sim
 module Pmem = Tinca_pmem.Pmem
 module Disk = Tinca_blockdev.Disk
 module Cache = Tinca_core.Cache
+module Shard = Tinca_core.Shard
 
 let log_src = Logs.Src.create "tinca.check" ~doc:"Tinca crash-space model checker"
 
@@ -49,6 +61,7 @@ type config = {
   sample_seed : int;  (** seed for the capped-sampling fallback *)
   first_event : int;  (** first crash point (1-based), for sub-range sweeps *)
   stride : int;  (** explore every [stride]-th crash point *)
+  nshards : int;  (** shards the device is partitioned into *)
 }
 
 let default_config =
@@ -62,6 +75,7 @@ let default_config =
     sample_seed = 1;
     first_event = 1;
     stride = 1;
+    nshards = 1;
   }
 
 type violation = {
@@ -105,35 +119,36 @@ let cache_config cfg = { Cache.default_config with ring_slots = cfg.ring_slots }
    last acknowledged committed write; [pending] holds the in-flight
    transaction's writes (folded into [oracle] only once commit returns,
    i.e. once the transaction is acknowledged). *)
-let run_workload cfg cache oracle pending =
+let run_workload cfg shard oracle pending =
   let rng = Tinca_util.Rng.create cfg.seed in
   for _txn = 1 to cfg.ncommits do
     let n = 1 + Tinca_util.Rng.int rng 4 in
-    let h = Cache.Txn.init cache in
+    let h = Shard.Txn.init shard in
     Hashtbl.reset pending;
     for _ = 1 to n do
       let blk = Tinca_util.Rng.int rng cfg.universe in
       let v = Char.chr (Tinca_util.Rng.int rng 256) in
-      Cache.Txn.add h blk (Bytes.make 4096 v);
+      Shard.Txn.add h blk (Bytes.make 4096 v);
       Hashtbl.replace pending blk v
     done;
     if Tinca_util.Rng.chance rng 0.3 then
-      ignore (Cache.read cache (Tinca_util.Rng.int rng cfg.universe));
-    Cache.Txn.commit h;
+      ignore (Shard.read shard (Tinca_util.Rng.int rng cfg.universe));
+    Shard.Txn.commit h;
     Hashtbl.iter (fun blk v -> Hashtbl.replace oracle blk v) pending;
     Hashtbl.reset pending
   done
 
+let mk_shard cfg env =
+  Shard.format ~nshards:cfg.nshards ~config:(cache_config cfg) ~pmem:env.pmem ~disk:env.disk
+    ~clock:env.clock ~metrics:env.metrics
+
 (* Events of a crash-free run, so the sweep covers the whole span. *)
 let total_events cfg =
   let env = mk_env cfg in
-  let cache =
-    Cache.format ~config:(cache_config cfg) ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
-      ~metrics:env.metrics
-  in
+  let shard = mk_shard cfg env in
   let oracle = Hashtbl.create 64 and pending = Hashtbl.create 8 in
   let before = Pmem.event_count env.pmem in
-  run_workload cfg cache oracle pending;
+  run_workload cfg shard oracle pending;
   Pmem.event_count env.pmem - before
 
 (* --- the prefix-consistency oracle ------------------------------------- *)
@@ -141,23 +156,23 @@ let total_events cfg =
 (* Logical content of [blk] after recovery: cache version if cached, else
    the disk's.  Full 4 KB compared, so a torn data block that recovery
    wrongly exposes is caught even when its first byte happens to match. *)
-let logical_block cache disk blk =
-  match Cache.peek cache blk with Some data -> data | None -> Disk.read_block disk blk
+let logical_block shard disk blk =
+  match Shard.peek shard blk with Some data -> data | None -> Disk.read_block disk blk
 
-let first_mismatch cache disk universe expect_of_blk =
+let first_mismatch shard disk universe expect_of_blk =
   let bad = ref None in
   let blk = ref 0 in
   while !bad = None && !blk < universe do
     let expect = expect_of_blk !blk in
-    let data = logical_block cache disk !blk in
+    let data = logical_block shard disk !blk in
     (try Bytes.iter (fun c -> if c <> expect then raise Exit) data
      with Exit -> bad := Some (!blk, expect, data));
     incr blk
   done;
   !bad
 
-let matches cache disk universe table =
-  first_mismatch cache disk universe (fun blk ->
+let matches shard disk universe table =
+  first_mismatch shard disk universe (fun blk ->
       match Hashtbl.find_opt table blk with Some v -> v | None -> '\000')
   = None
 
@@ -168,10 +183,10 @@ let with_pending oracle pending =
 
 (* Run the three gates on the current (post-crash) medium. *)
 let check_state env cfg oracle pending =
-  match Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics with
+  match Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics with
   | exception e -> Error (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
   | recovered -> (
-      match Cache.check_invariants recovered with
+      match Shard.check_invariants recovered with
       | exception e -> Error (Printf.sprintf "invariant audit raised %s" (Printexc.to_string e))
       | () ->
           let ok_old = matches recovered env.disk cfg.universe oracle in
@@ -244,13 +259,10 @@ let explore ?(progress = fun (_ : int) (_ : int) -> ()) cfg =
     let crash_at = !k in
     progress crash_at span;
     let env = mk_env cfg in
-    let cache =
-      Cache.format ~config:(cache_config cfg) ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
-        ~metrics:env.metrics
-    in
+    let shard = mk_shard cfg env in
     let oracle = Hashtbl.create 64 and pending = Hashtbl.create 8 in
     Pmem.set_crash_countdown env.pmem (Some crash_at);
-    (match run_workload cfg cache oracle pending with
+    (match run_workload cfg shard oracle pending with
     | () ->
         (* [span] counts exactly the workload's events, so every armed
            countdown in [1, span] must fire. *)

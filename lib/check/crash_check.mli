@@ -10,11 +10,18 @@
     identical images by digest, and runs recovery plus two oracles on
     each:
 
-    - {!Tinca_core.Cache.check_invariants} on the recovered cache;
+    - {!Tinca_core.Shard.check_invariants} on the recovered shards
+      (per-cache audit plus the cross-shard seal);
     - prefix consistency: the recovered logical state equals the state
       as of the last acknowledged commit, or that state with the
       in-flight commit fully applied (full 4 KB block compare) — never a
       partial mix.
+
+    With [nshards > 1] the same sweep covers the striped commit
+    scheduler: transactions stripe across shards, so crash points fall
+    between per-shard Head advances and on either side of the
+    cross-shard seal, and the prefix oracle doubles as the all-or-
+    nothing check for multi-shard transactions.
 
     When the subset count 2^d at a crash point exceeds [mask_cap], the
     checker falls back to a seeded sample (always containing the
@@ -32,10 +39,11 @@ type config = {
   sample_seed : int;  (** seed for the capped-sampling fallback *)
   first_event : int;  (** first crash point (1-based), for sub-range sweeps *)
   stride : int;  (** explore every [stride]-th crash point *)
+  nshards : int;  (** shards the device is partitioned into *)
 }
 
 (** seed 2024, 6 commits, universe 48, 160 KB NVM, 64 ring slots,
-    mask cap 256, full sweep (first_event 1, stride 1). *)
+    mask cap 256, full sweep (first_event 1, stride 1), 1 shard. *)
 val default_config : config
 
 type violation = {

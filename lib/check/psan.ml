@@ -89,7 +89,8 @@ type state = Dirty | Flush_pending
 
 type t = {
   pmem : Pmem.t;
-  layout : Layout.t option;
+  layouts : Layout.t list;
+      (* one per shard on a partitioned device; [] = layoutless *)
   strict : bool;
   max_violations : int;
   (* Lines that are not durable; absent = Clean/Persisted. *)
@@ -112,19 +113,31 @@ type t = {
 
 (* --- region classification --------------------------------------------- *)
 
+(* [off] must lie inside [l]'s span. *)
+let region_in (l : Layout.t) off =
+  if off < l.Layout.head_off then Superblock
+  else if off < l.Layout.tail_off then Head
+  else if off < l.Layout.ring_off then Tail
+  else if off < l.Layout.entries_off then Ring
+  else if off < l.Layout.entries_off + (l.Layout.nblocks * Entry.size) then Entries
+  else if off < l.Layout.data_off then Other (* alignment padding *)
+  else Data
+
+let layout_of_line t idx =
+  let off = idx * Pmem.line_size in
+  List.find_opt (fun l -> off >= l.Layout.super_off && off < l.Layout.total_bytes) t.layouts
+
 let region_of_line t idx =
-  match t.layout with
-  | None -> Data (* no layout: every line is payload; only rules 2+5 apply *)
-  | Some l ->
-      let off = idx * Pmem.line_size in
-      if off < l.Layout.head_off then Superblock
-      else if off < l.Layout.tail_off then Head
-      else if off < l.Layout.ring_off then Tail
-      else if off < l.Layout.entries_off then Ring
-      else if off < l.Layout.entries_off + (l.Layout.nblocks * Entry.size) then Entries
-      else if off < l.Layout.data_off then Other (* alignment padding *)
-      else if off < l.Layout.total_bytes then Data
-      else Other
+  match t.layouts with
+  | [] -> Data (* no layout: every line is payload; only rules 2+5 apply *)
+  | _ -> (
+      match layout_of_line t idx with
+      | Some l -> region_in l (idx * Pmem.line_size)
+      | None ->
+          (* Between/outside the shard layouts: the shard directory, the
+             cross-shard seal (updated only with fenced atomic writes)
+             and inter-shard padding. *)
+          Other)
 
 (* Regions whose torn or racing update breaks recovery.  Data blocks are
    exempt: they are protected by COW, not by atomicity. *)
@@ -205,22 +218,27 @@ let note_sfence t =
      still Dirty here was never flushed, and a line still Flush_pending
      shares this fence's pre-fence crash window with Tail, so in either
      case a crash can surface the commit point without its dependencies. *)
-  (match t.layout with
-  | None -> ()
-  | Some l ->
+  (* The check is per shard layout: a Tail fence commits only its own
+     shard's sub-transaction, whose dependencies all live inside that
+     shard's span (cross-shard ordering is the seal's job, checked by
+     the sharded crash sweep). *)
+  List.iter
+    (fun (l : Layout.t) ->
       let tail_line = l.Layout.tail_off / Pmem.line_size in
       if Hashtbl.find_opt t.volatile tail_line = Some Flush_pending then
         Hashtbl.iter
           (fun idx state ->
-            if idx <> tail_line then
-              match region_of_line t idx with
+            let off = idx * Pmem.line_size in
+            if idx <> tail_line && off >= l.Layout.super_off && off < l.Layout.total_bytes then
+              match region_in l off with
               | (Data | Entries | Ring | Head) as region ->
                   violate t Missing_flush idx
                     "commit-point (Tail) fence while %s line is still %s" (region_name region)
                     (match state with Dirty -> "dirty (never flushed)"
                     | Flush_pending -> "flush-pending (same fence as Tail)")
               | Superblock | Tail | Other -> ())
-          t.volatile);
+          t.volatile)
+    t.layouts;
   (* All pending lines reach the medium: Flush_pending -> Persisted. *)
   let persisted =
     Hashtbl.fold (fun idx s acc -> if s = Flush_pending then idx :: acc else acc) t.volatile []
@@ -250,11 +268,11 @@ let on_event t ev =
 
 (* --- public API ---------------------------------------------------------- *)
 
-let attach ?(strict = false) ?(max_violations = 1000) ?layout pmem =
+let attach ?(strict = false) ?(max_violations = 1000) ?layout ?(layouts = []) pmem =
   let t =
     {
       pmem;
-      layout;
+      layouts = (match layout with Some l -> l :: layouts | None -> layouts);
       strict;
       max_violations;
       volatile = Hashtbl.create 256;

@@ -64,12 +64,22 @@ type report = {
 
 (** [attach pmem] installs the sanitizer as the device's event observer
     (replacing any previous observer) with an all-clean shadow state.
-    [layout] enables the region classifier and with it the
-    missing-flush, torn-metadata and persist-race rules.  [strict]
-    raises {!Violation} on the first violation; default records and
-    logs a warning.  [max_violations] (default 1000) bounds the kept
-    list; the overflow is counted in {!report.violations_dropped}. *)
-val attach : ?strict:bool -> ?max_violations:int -> ?layout:Tinca_core.Layout.t -> Tinca_pmem.Pmem.t -> t
+    [layout] (one cache) or [layouts] (one per shard of a partitioned
+    device; they are combined if both are given) enables the region
+    classifier and with it the missing-flush, torn-metadata and
+    persist-race rules — each applied per layout, with lines outside
+    every layout (shard directory, cross-shard seal, padding) exempt.
+    [strict] raises {!Violation} on the first violation; default
+    records and logs a warning.  [max_violations] (default 1000) bounds
+    the kept list; the overflow is counted in
+    {!report.violations_dropped}. *)
+val attach :
+  ?strict:bool ->
+  ?max_violations:int ->
+  ?layout:Tinca_core.Layout.t ->
+  ?layouts:Tinca_core.Layout.t list ->
+  Tinca_pmem.Pmem.t ->
+  t
 
 (** Remove the observer; shadow state and counters remain readable. *)
 val detach : t -> unit

@@ -109,12 +109,14 @@ let write_super t =
 
 (* Read and *validate* the superblock: a corrupt one must surface as a
    clean "unformatted/corrupt NVM" failure, never as a division by zero
-   or an absurd layout handed to the rest of recovery. *)
-let read_super pmem =
+   or an absurd layout handed to the rest of recovery.  [base]/[mem_bytes]
+   bound the region this cache may own (a shard of a partitioned device);
+   they default to the whole device. *)
+let read_super ~base ~mem_bytes pmem =
   let corrupt fmt = Printf.ksprintf failwith ("Tinca.Cache: " ^^ fmt) in
-  if Pmem.size pmem < Layout.superblock_off + 64 then
-    corrupt "unformatted NVM (device smaller than a superblock)";
-  let b = Pmem.read pmem ~off:Layout.superblock_off ~len:64 in
+  if mem_bytes < base + 64 || mem_bytes > Pmem.size pmem then
+    corrupt "unformatted NVM (region smaller than a superblock)";
+  let b = Pmem.read pmem ~off:base ~len:64 in
   if Bytes.get_int64_le b 0 <> magic then corrupt "unformatted NVM (bad magic)";
   let block_size = Tinca_util.Codec.get_u32 b 8 in
   let ring_slots = Tinca_util.Codec.get_u32 b 12 in
@@ -124,7 +126,7 @@ let read_super pmem =
   if ring_slots <= 0 then corrupt "corrupt superblock (ring_slots %d)" ring_slots;
   if nblocks <= 0 then corrupt "corrupt superblock (nblocks %d)" nblocks;
   let layout =
-    try Layout.compute ~pmem_bytes:(Pmem.size pmem) ~block_size ~ring_slots
+    try Layout.compute_at ~base ~pmem_bytes:mem_bytes ~block_size ~ring_slots
     with Invalid_argument _ -> corrupt "corrupt superblock (geometry does not fit the device)"
   in
   if layout.Layout.nblocks <> nblocks then
@@ -308,9 +310,9 @@ let make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics =
     write_misses = 0;
   }
 
-let format ~config:cfg ~pmem ~disk ~clock ~metrics =
+let format_region ~base ~mem_bytes ~config:cfg ~pmem ~disk ~clock ~metrics =
   let layout =
-    Layout.compute ~pmem_bytes:(Pmem.size pmem) ~block_size:cfg.block_size
+    Layout.compute_at ~base ~pmem_bytes:mem_bytes ~block_size:cfg.block_size
       ~ring_slots:cfg.ring_slots
   in
   if Disk.block_size disk <> cfg.block_size then
@@ -325,6 +327,9 @@ let format ~config:cfg ~pmem ~disk ~clock ~metrics =
   Ring.format t.ring;
   write_super t;
   t
+
+let format ~config ~pmem ~disk ~clock ~metrics =
+  format_region ~base:0 ~mem_bytes:(Pmem.size pmem) ~config ~pmem ~disk ~clock ~metrics
 
 (* --- revocation (shared by abort and recovery, §4.5) -------------------- *)
 
@@ -380,8 +385,8 @@ let revoke_block ?(force = false) t blkno =
         Metrics.incr t.metrics "tinca.revoked" ~by:1
       end
 
-let recover ~pmem ~disk ~clock ~metrics =
-  let layout = read_super pmem in
+let recover_region ~base ~mem_bytes ~pmem ~disk ~clock ~metrics =
+  let layout = read_super ~base ~mem_bytes pmem in
   let block_size = layout.Layout.block_size and ring_slots = layout.Layout.ring_slots in
   if Disk.block_size disk <> block_size then
     failwith "Tinca.Cache.recover: disk block size mismatch";
@@ -450,6 +455,11 @@ let recover ~pmem ~disk ~clock ~metrics =
         (Metrics.get t.metrics "tinca.revoked" - before)
         (Hashtbl.length in_ring));
   t
+
+let recover ~pmem ~disk ~clock ~metrics =
+  recover_region ~base:0 ~mem_bytes:(Pmem.size pmem) ~pmem ~disk ~clock ~metrics
+
+let read_layout ~base ~mem_bytes pmem = read_super ~base ~mem_bytes pmem
 
 (* --- block I/O ---------------------------------------------------------- *)
 
@@ -582,10 +592,12 @@ module Txn = struct
      whatever subset became durable.
 
      Stage B: stage all ring slots ([Ring.record_batch]: atomic slot
-     writes, one flush pass, one fence), then advance Head once
-     ([Ring.publish], one persist).  Entries and slots are durable
-     strictly before Head covers them — the invariant recovery's union
-     scan (ring range ∪ log-role entries) relies on. *)
+     writes, one flush pass, one fence) — Head still excludes them; the
+     caller advances it with [Ring.publish] (one persist).  Entries and
+     slots are durable strictly before Head covers them — the invariant
+     recovery's union scan (ring range ∪ log-role entries) relies on.
+     The split lets the sharded scheduler stage every shard's sub-commit
+     before any Head moves. *)
   let stage_group t staged blocks =
     match blocks with
     | [] -> ()
@@ -680,19 +692,142 @@ module Txn = struct
         Pmem.flush_lines t.pmem (Hashtbl.fold (fun l () acc -> l :: acc) lines []);
         Pmem.sfence t.pmem;
         Trace.end_span "tinca.commit.stage_a";
-        (* Stage B: slots durable (one fence), then Head (one persist). *)
+        (* Stage B: slots durable (one fence); Head moves in the caller. *)
         Trace.begin_span ~clock:t.clock "tinca.commit.stage_b";
         Ring.record_batch t.ring blocks;
-        Trace.end_span "tinca.commit.stage_b";
-        Trace.begin_span ~clock:t.clock "tinca.commit.head";
-        Ring.publish t.ring (List.length blocks);
-        Trace.end_span "tinca.commit.head"
+        Trace.end_span "tinca.commit.stage_b"
 
   let revoke_partial h blocks_done =
     let t = h.cache in
     List.iter (fun blkno -> revoke_block t blkno) blocks_done;
     Ring.rewind_head t.ring;
     t.committing <- false
+
+  (* Admission control.  A rejected transaction is terminal (the handle
+     moves to Finished) and leaves the cache untouched.
+
+     Capacity accounting: the commit needs [n] fresh NVM data blocks
+     (every staged block gets a COW copy) and one entry slot per write
+     miss.  Supply is the free pools plus evictions, each of which frees
+     exactly one data block and one entry slot — but the transaction's
+     own cached blocks must not be counted as victims: every write hit
+     pins its LRU node (and both its [cur] and [prev] NVM blocks) once
+     its turn in the commit loop comes. *)
+  let admit h blocks n =
+    let t = h.cache in
+    let reject () =
+      h.state <- Finished;
+      raise Transaction_too_large
+    in
+    if n > t.cfg.ring_slots then reject ();
+    let hits = List.fold_left (fun acc b -> if Hashtbl.mem t.index b then acc + 1 else acc) 0 blocks in
+    let misses = n - hits in
+    let evictable = Lru.length t.lru - t.pinned - hits in
+    if n > Free_monitor.free_count t.free_data + evictable then reject ();
+    if misses > Free_monitor.free_count t.free_entries + evictable then reject ()
+
+  (* §4.4 steps 1–2 (+ slot staging) in the pipeline's shape.  Batched:
+     stages A–B under two fences, Head unmoved.  Per_block: the paper's
+     literal protocol (~4 fences per block), whose Head advances as it
+     goes — [publish_staged] is then a no-op.  On a capacity failure the
+     partial work is fully revoked, the handle finished, and
+     [Transaction_too_large] raised with the cache as before. *)
+  let run_stage h blocks =
+    let t = h.cache in
+    match t.cfg.commit_pipeline with
+    | Batched -> (
+        try stage_group t h.staged blocks
+        with Cache_exhausted ->
+          t.committing <- false;
+          h.state <- Finished;
+          raise Transaction_too_large)
+    | Per_block ->
+        let committed = ref [] in
+        (try
+           List.iter
+             (fun blkno ->
+               commit_block t blkno (Hashtbl.find h.staged blkno);
+               committed := blkno :: !committed)
+             blocks
+         with e ->
+           revoke_partial h !committed;
+           h.state <- Finished;
+           (* The admission check is exact for the states normal
+              operation produces, but if replacement still runs out of
+              victims mid-commit, surface the one documented exception
+              type — the partial commit has been fully rolled back. *)
+           (match e with Cache_exhausted -> raise Transaction_too_large | e -> raise e))
+
+  (* §4.4 step 3 for the batched pipeline: one Head persist covering
+     every staged slot.  Per_block already published eagerly. *)
+  let publish_staged h blocks =
+    let t = h.cache in
+    match t.cfg.commit_pipeline with
+    | Batched ->
+        Trace.begin_span ~clock:t.clock "tinca.commit.head";
+        Ring.publish t.ring (List.length blocks);
+        Trace.end_span "tinca.commit.head"
+    | Per_block -> ()
+
+  (* §4.4 steps 4–5 plus in-DRAM post-commit work: batched role switch
+     (one fence, strictly before Tail), Tail := Head (the durable commit
+     point), previous-version reclamation, LRU promotion, stats, and the
+     write-through propagation when configured. *)
+  let finish_commit h blocks n =
+    let t = h.cache in
+    (* §4.4 step 4: role switches for every block, batched under a
+       single fence, which must complete BEFORE the Tail update so a
+       crash cannot surface a half-switched committed transaction. *)
+    let infos = List.map (fun blkno -> Hashtbl.find t.index blkno) blocks in
+    Pmem.set_site t.pmem "commit.role_switch";
+    Trace.begin_span ~clock:t.clock "tinca.commit.role_switch";
+    write_entries_batched t
+      (List.map
+         (fun info ->
+           info.role_log <- false;
+           info.txn_pinned <- false;
+           t.pinned <- t.pinned - 1;
+           (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
+         infos);
+    Trace.end_span "tinca.commit.role_switch";
+    (* §4.4 step 5: Tail := Head — the durable commit point. *)
+    Trace.begin_span ~clock:t.clock "tinca.commit.tail";
+    Ring.commit_point t.ring;
+    Trace.end_span "tinca.commit.tail";
+    (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
+    List.iter
+      (fun info ->
+        (match info.prev with
+        | Some p ->
+            Free_monitor.free t.free_data p;
+            info.prev <- None;
+            t.cow_pinned <- t.cow_pinned - 1
+        | None -> ());
+        Lru.touch t.lru (node_exn info))
+      infos;
+    t.committing <- false;
+    h.state <- Finished;
+    Log.debug (fun m -> m "committed transaction of %d blocks (ring head %d)" n (Ring.head t.ring));
+    Histogram.add t.txn_sizes (float_of_int n);
+    Metrics.incr t.metrics "tinca.commits" ~by:1;
+    Metrics.incr t.metrics "tinca.commit.blocks" ~by:n;
+    (* Write-through: propagate to disk immediately (kept for the
+       ablation study; write-back is the paper's default).  The clean
+       marks ride one batched entry update — one fence, not one per
+       block. *)
+    if t.cfg.mode = Write_through then begin
+      Pmem.set_site t.pmem "cache.writeback";
+      Trace.begin_span ~clock:t.clock "tinca.commit.writeback";
+      write_entries_batched t
+        (List.map
+           (fun info ->
+             writeback t info;
+             note_dirty t info false;
+             (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
+           infos)
+      ;
+      Trace.end_span "tinca.commit.writeback"
+    end
 
   let commit h =
     if h.state <> Running then invalid_arg "Tinca.Txn.commit: transaction not running";
@@ -704,119 +839,55 @@ module Txn = struct
       Metrics.incr t.metrics "tinca.commits" ~by:1
     end
     else begin
-      (* Admission control.  A rejected transaction is terminal (the
-         handle moves to Finished) and leaves the cache untouched.
-
-         Capacity accounting: the commit needs [n] fresh NVM data blocks
-         (every staged block gets a COW copy) and one entry slot per
-         write miss.  Supply is the free pools plus evictions, each of
-         which frees exactly one data block and one entry slot — but the
-         transaction's own cached blocks must not be counted as victims:
-         every write hit pins its LRU node (and both its [cur] and
-         [prev] NVM blocks) once its turn in the commit loop comes. *)
-      let reject () =
-        h.state <- Finished;
-        raise Transaction_too_large
-      in
-      if n > t.cfg.ring_slots then reject ();
-      let hits = List.fold_left (fun acc b -> if Hashtbl.mem t.index b then acc + 1 else acc) 0 blocks in
-      let misses = n - hits in
-      let evictable = Lru.length t.lru - t.pinned - hits in
-      if n > Free_monitor.free_count t.free_data + evictable then reject ();
-      if misses > Free_monitor.free_count t.free_entries + evictable then reject ();
+      admit h blocks n;
       h.state <- Committing;
       t.committing <- true;
       charge_op t;
       Trace.begin_span ~clock:t.clock "tinca.commit";
       Trace.attr "blocks" (string_of_int n);
-      (match t.cfg.commit_pipeline with
-      | Batched -> (
-          (* Stages A–B under two fences + one Head persist.  A pass-1
-             allocation failure has already been rolled back completely
-             (nothing written, ring untouched) when it surfaces here. *)
-          try stage_group t h.staged blocks
-          with Cache_exhausted ->
-            t.committing <- false;
-            h.state <- Finished;
-            Trace.end_span "tinca.commit";
-            raise Transaction_too_large)
-      | Per_block ->
-          (* The paper's literal per-block protocol (ablation baseline):
-             ~4 fences per block. *)
-          let committed = ref [] in
-          (try
-             List.iter
-               (fun blkno ->
-                 commit_block t blkno (Hashtbl.find h.staged blkno);
-                 committed := blkno :: !committed)
-               blocks
-           with e ->
-             revoke_partial h !committed;
-             h.state <- Finished;
-             Trace.end_span "tinca.commit";
-             (* The admission check is exact for the states normal
-                operation produces, but if replacement still runs out of
-                victims mid-commit, surface the one documented exception
-                type — the partial commit has been fully rolled back. *)
-             (match e with Cache_exhausted -> raise Transaction_too_large | e -> raise e)));
-      (* §4.4 step 4: role switches for every block, batched under a
-         single fence, which must complete BEFORE the Tail update so a
-         crash cannot surface a half-switched committed transaction. *)
-      let infos = List.map (fun blkno -> Hashtbl.find t.index blkno) blocks in
-      Pmem.set_site t.pmem "commit.role_switch";
-      Trace.begin_span ~clock:t.clock "tinca.commit.role_switch";
-      write_entries_batched t
-        (List.map
-           (fun info ->
-             info.role_log <- false;
-             info.txn_pinned <- false;
-             t.pinned <- t.pinned - 1;
-             (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
-           infos);
-      Trace.end_span "tinca.commit.role_switch";
-      (* §4.4 step 5: Tail := Head — the durable commit point. *)
-      Trace.begin_span ~clock:t.clock "tinca.commit.tail";
-      Ring.commit_point t.ring;
-      Trace.end_span "tinca.commit.tail";
-      (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
-      List.iter
-        (fun info ->
-          (match info.prev with
-          | Some p ->
-              Free_monitor.free t.free_data p;
-              info.prev <- None;
-              t.cow_pinned <- t.cow_pinned - 1
-          | None -> ());
-          Lru.touch t.lru (node_exn info))
-        infos;
-      t.committing <- false;
-      h.state <- Finished;
-      Log.debug (fun m -> m "committed transaction of %d blocks (ring head %d)" n (Ring.head t.ring));
-      Histogram.add t.txn_sizes (float_of_int n);
-      Metrics.incr t.metrics "tinca.commits" ~by:1;
-      Metrics.incr t.metrics "tinca.commit.blocks" ~by:n;
-      (* Write-through: propagate to disk immediately (kept for the
-         ablation study; write-back is the paper's default).  The clean
-         marks ride one batched entry update — one fence, not one per
-         block. *)
-      if t.cfg.mode = Write_through then begin
-        Pmem.set_site t.pmem "cache.writeback";
-        Trace.begin_span ~clock:t.clock "tinca.commit.writeback";
-        write_entries_batched t
-          (List.map
-             (fun info ->
-               writeback t info;
-               note_dirty t info false;
-               (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
-             infos)
-        ;
-        Trace.end_span "tinca.commit.writeback"
-      end;
+      (try
+         run_stage h blocks;
+         publish_staged h blocks
+       with e ->
+         Trace.end_span "tinca.commit";
+         raise e);
+      finish_commit h blocks n;
       Trace.end_span "tinca.commit";
       (* Background pre-cleaning runs outside the commit span: it is
          deferred maintenance the commit merely triggers. *)
       maybe_clean t
     end
+
+  (* --- split commit for the sharded scheduler (see Shard) --------------
+     [stage] runs admission control plus §4.4 steps 1–2 and slot staging;
+     [publish] advances this cache's Head over the staged slots; [finalize]
+     performs the role switch, Tail advance and post-commit bookkeeping.
+     [commit] ≡ [stage]; [publish]; [finalize] with identical operation,
+     fence and latency sequence (modulo trace spans).  Between [stage] and
+     [finalize] the sub-commit can be abandoned with [abort], which revokes
+     staged blocks whether or not Head has moved. *)
+
+  let stage h =
+    if h.state <> Running then invalid_arg "Tinca.Txn.stage: transaction not running";
+    let t = h.cache in
+    let blocks = List.rev h.order in
+    let n = List.length blocks in
+    if n = 0 then invalid_arg "Tinca.Txn.stage: empty transaction";
+    admit h blocks n;
+    h.state <- Committing;
+    t.committing <- true;
+    charge_op t;
+    run_stage h blocks
+
+  let publish h =
+    if h.state <> Committing then invalid_arg "Tinca.Txn.publish: transaction not staged";
+    publish_staged h (List.rev h.order)
+
+  let finalize h =
+    if h.state <> Committing then invalid_arg "Tinca.Txn.finalize: transaction not staged";
+    let blocks = List.rev h.order in
+    finish_commit h blocks (List.length blocks);
+    maybe_clean h.cache
 
   (* Failure injection for tests and the crash-space checker: run the
      commit protocol for the first [k] staged blocks and stop, as an
@@ -831,7 +902,9 @@ module Txn = struct
     t.committing <- true;
     let prefix = List.filteri (fun i _ -> i < k) blocks in
     match t.cfg.commit_pipeline with
-    | Batched -> stage_group t h.staged prefix
+    | Batched ->
+        stage_group t h.staged prefix;
+        if prefix <> [] then Ring.publish t.ring (List.length prefix)
     | Per_block ->
         List.iter (fun blkno -> commit_block t blkno (Hashtbl.find h.staged blkno)) prefix
 
@@ -843,9 +916,14 @@ module Txn = struct
         h.state <- Finished;
         Metrics.incr t.metrics "tinca.aborts" ~by:1
     | Committing ->
-        (* Mid-commit abort: revoke what the ring has recorded. *)
+        (* Mid-commit abort: revoke what the ring has recorded, plus any
+           staged-but-unpublished blocks (a [stage]d sub-commit whose Head
+           has not moved — its slots are invisible to [pending_blknos]).
+           [revoke_block] is role-guarded, so blocks already revoked via
+           the ring pass (or never staged) are untouched. *)
         let pending = Ring.pending_blknos t.ring in
         List.iter (fun blkno -> revoke_block t blkno) pending;
+        List.iter (fun blkno -> revoke_block t blkno) (List.rev h.order);
         Ring.rewind_head t.ring;
         t.committing <- false;
         h.state <- Finished;

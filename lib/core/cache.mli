@@ -79,6 +79,19 @@ val format :
   metrics:Tinca_sim.Metrics.t ->
   t
 
+(** [format_region ~base ~mem_bytes ...] is {!format} confined to the
+    device region [\[base, mem_bytes)] — how {!Shard} packs one cache
+    (superblock included) per shard onto a single pmem. *)
+val format_region :
+  base:int ->
+  mem_bytes:int ->
+  config:config ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
 (** [recover ~pmem ~disk ~clock ~metrics] re-attaches after a crash:
     validates the superblock, scans the entry table to rebuild the DRAM
     index / LRU / free monitor, and revokes every block of the in-flight
@@ -90,8 +103,26 @@ val recover :
   metrics:Tinca_sim.Metrics.t ->
   t
 
+(** [recover_region ~base ~mem_bytes ...] is {!recover} for the cache
+    occupying the device region [\[base, mem_bytes)]. *)
+val recover_region :
+  base:int ->
+  mem_bytes:int ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  t
+
 val layout : t -> Layout.t
 val config : t -> config
+
+(** Read and validate the superblock of the cache occupying
+    [\[base, mem_bytes)] without attaching to it; raises [Failure] on
+    unformatted or corrupt media.  Used by {!Shard} recovery (to locate
+    ring and entries for the cross-shard roll-forward before any cache
+    is attached) and by the sanitizer's layout discovery. *)
+val read_layout : base:int -> mem_bytes:int -> Tinca_pmem.Pmem.t -> Layout.t
 
 (** {1 Block I/O} *)
 
@@ -140,8 +171,36 @@ module Txn : sig
   val commit : handle -> unit
 
   (** [tinca_abort]: drop a running transaction, or revoke a partially
-      committed one to its pre-transaction state. *)
+      committed one (including a [stage]d sub-commit whose Head has not
+      moved) to its pre-transaction state. *)
   val abort : handle -> unit
+
+  (** {2 Split commit (the sharded scheduler's building blocks)}
+
+      [commit h] ≡ [stage h; publish h; finalize h] with an identical
+      operation, fence and latency sequence.  {!Shard} uses the split to
+      run a multi-shard transaction as a two-phase publish: every
+      shard's sub-commit is [stage]d first (nothing in any ring range),
+      then every Head advances, then a cross-shard commit record seals
+      the transaction, and only then does each shard [finalize]. *)
+
+  (** Admission control plus §4.4 steps 1–2 and ring-slot staging: after
+      [stage], data and entries are durable and the slots are staged,
+      but Head still excludes them — a crash now rolls the sub-commit
+      back.  Raises {!Transaction_too_large} exactly as {!commit} does
+      (the handle finished, the cache untouched); [Invalid_argument] on
+      an empty transaction. *)
+  val stage : handle -> unit
+
+  (** Advance this cache's Head over the staged slots (one persist under
+      the [Batched] pipeline; no-op for [Per_block], which publishes
+      eagerly).  Call exactly once after {!stage}. *)
+  val publish : handle -> unit
+
+  (** §4.4 steps 4–5 and post-commit bookkeeping: batched role switch
+      (fenced before Tail), Tail := Head, previous-version reclamation,
+      stats, optional write-through propagation, background cleaning. *)
+  val finalize : handle -> unit
 
   (** {2 Failure injection (tests and the crash-space checker)} *)
 

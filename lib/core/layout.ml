@@ -14,19 +14,25 @@ type t = {
 let align_up v a = (v + a - 1) / a * a
 
 (* The superblock lives at a fixed bootstrap offset so it can be found
-   (and validated) before any layout is known. *)
+   (and validated) before any layout is known.  A sharded device stores a
+   shard directory here instead and gives each shard its own superblock
+   at the shard's [base]. *)
 let superblock_off = 0
 
-let compute ~pmem_bytes ~block_size ~ring_slots =
+let compute_at ~base ~pmem_bytes ~block_size ~ring_slots =
   if block_size <= 0 || block_size mod 64 <> 0 then
     invalid_arg "Layout.compute: block_size must be a positive multiple of 64";
   if ring_slots <= 0 then invalid_arg "Layout.compute: ring_slots must be positive";
-  let super_off = superblock_off in
-  let head_off = 64 in
-  let tail_off = 128 in
-  let ring_off = 192 in
+  if base < 0 || base mod 64 <> 0 then
+    invalid_arg "Layout.compute: base must be a non-negative multiple of 64";
+  let super_off = base in
+  let head_off = base + 64 in
+  let tail_off = base + 128 in
+  let ring_off = base + 192 in
   let entries_off = align_up (ring_off + (ring_slots * 8)) 64 in
-  (* Each data block costs block_size bytes of data plus 16 bytes of entry. *)
+  (* Each data block costs block_size bytes of data plus 16 bytes of entry.
+     [pmem_bytes] is the absolute end of this layout's region, so a
+     sharded device can pack one layout per shard at successive bases. *)
   let budget = pmem_bytes - entries_off in
   if budget < block_size + Entry.size then
     invalid_arg "Layout.compute: pmem too small for this ring";
@@ -49,6 +55,9 @@ let compute ~pmem_bytes ~block_size ~ring_slots =
     data_off;
     total_bytes = data_off + (nblocks * block_size);
   }
+
+let compute ~pmem_bytes ~block_size ~ring_slots =
+  compute_at ~base:0 ~pmem_bytes ~block_size ~ring_slots
 
 (* Explicit bounds checks, not [assert]: these guard every entry/data
    address computation and must survive [-noassert] release builds. *)

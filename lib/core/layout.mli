@@ -22,13 +22,21 @@ type t = {
 }
 
 (** Fixed bootstrap offset of the superblock — readable (and validated)
-    before any layout is known; [compute] always places [super_off]
-    here. *)
+    before any layout is known; [compute] places [super_off] here unless
+    a [base] is given (sharded devices put a shard directory at offset 0
+    and one full layout — superblock included — at each shard's base). *)
 val superblock_off : int
 
 (** [compute ~pmem_bytes ~block_size ~ring_slots] sizes the largest data
-    region that fits.  Raises [Invalid_argument] if nothing fits. *)
+    region that fits in the first [pmem_bytes] bytes of the device.
+    Raises [Invalid_argument] if nothing fits. *)
 val compute : pmem_bytes:int -> block_size:int -> ring_slots:int -> t
+
+(** [compute_at ~base ...] is [compute] confined to the region
+    [\[base, pmem_bytes)]: all offsets in the result are absolute device
+    offsets starting at [base] (a non-negative multiple of 64).  A
+    sharded device packs one layout per shard at successive bases. *)
+val compute_at : base:int -> pmem_bytes:int -> block_size:int -> ring_slots:int -> t
 
 (** Byte offset of entry slot [i].  Raises [Invalid_argument] when [i]
     is outside [0, nblocks). *)

@@ -58,7 +58,7 @@ let ubj_compare () =
 
 let writeback_ablation () =
   let run mode =
-    let spec = Stacks.tinca ~cache_config:{ Cache.default_config with Cache.mode } in
+    let spec = Stacks.tinca ~config:{ Tinca.Config.default with Tinca.Config.write_policy = mode } in
     Runner.run_local ~spec
       ~prealloc:(fun ops -> Fio.prealloc fio_cfg ops)
       ~work:(fun ops -> Fio.run fio_cfg ops)
@@ -148,7 +148,7 @@ let wear_leveling () =
       Runner.run_local
         ~spec:(fun env ->
           env_holder := Some env;
-          Stacks.tinca ~cache_config:{ Cache.default_config with Cache.alloc_policy = policy } env)
+          Stacks.tinca ~config:{ Tinca.Config.default with Tinca.Config.alloc_policy = policy } env)
         ~prealloc:(fun ops -> Fio.prealloc hot_cfg ops)
         ~work:(fun ops -> Fio.run hot_cfg ops)
         ()

@@ -2,6 +2,28 @@
     ablation and the machine-readable benchmark dump behind
     [make bench-json]. *)
 
+(** One point of the commit micro-benchmark (normalized per commit). *)
+type sample = {
+  sfences_per_commit : float;
+  writebacks_per_commit : float;
+  ns_per_commit : float;
+  p50_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+(** [micro ~pipeline ~instr ~n] — the single-ring commit-path
+    micro-benchmark: n-block transactions against an 8 MiB PCM device,
+    4 warm-up + 32 measured commits over a 256-block universe.  This is
+    the exact workload behind [BENCH_commit.json]'s commit points;
+    {!Exp_shard} replays it through the sharded facade for the N=1
+    equivalence pin. *)
+val micro :
+  pipeline:Tinca_core.Cache.pipeline ->
+  instr:Tinca_sim.Latency.flush_instr ->
+  n:int ->
+  sample
+
 (** Sweep transaction size x flush instruction x pipeline over
     [Cache.Txn.commit] and report sfences/commit, flush write-backs per
     commit and simulated ns/commit for the per-block baseline vs the

@@ -1,0 +1,29 @@
+(** fig_shard: sharded Tinca scaling (ISSUE 5) — commit-throughput and
+    fence-count scaling at N = 1/2/4/8 shards under the multi-queue
+    driver, plus the N=1 equivalence pin against the single-ring
+    [BENCH_commit.json] commit-point numbers. *)
+
+(** Exp_commit.micro's exact workload replayed through the facade with
+    [nshards] shards. *)
+val micro_facade :
+  nshards:int ->
+  pipeline:Tinca_core.Cache.pipeline ->
+  instr:Tinca_sim.Latency.flush_instr ->
+  n:int ->
+  Exp_commit.sample
+
+(** [pin ~json_path] replays every commit point of the artifact at
+    [json_path] through the one-shard facade and compares sfences, flush
+    write-backs and ns per commit to the artifact's printed precision.
+    Returns the comparison table and whether every point matched. *)
+val pin : json_path:string -> Tinca_util.Tabular.t * bool
+
+(** The registry experiment: the scaling table (and, when
+    [BENCH_commit.json] exists in the working directory, the pin
+    table). *)
+val fig_shard : unit -> Tinca_util.Tabular.t list
+
+(** The `tinca_bench check-shard` gate: (tables, pin_ok, scaling_ok)
+    where [scaling_ok] requires the N=4 makespan to be strictly below
+    N=1. *)
+val check : json_path:string -> Tinca_util.Tabular.t list * bool * bool

@@ -1,0 +1,35 @@
+(** Multi-queue workload driver: K concurrent transaction streams issued
+    round-robin against one {!Tinca} facade (ISSUE 5).
+
+    The simulation is single-threaded; parallelism across shards is
+    modelled by {!Tinca_core.Shard}'s lane accounting.  [serial_ns] is
+    the plain simulated clock time of the run; [makespan_ns] is the
+    lane-model wall-clock a per-shard-threaded execution would take
+    (equal to the shard-op serial time at N=1), so commit throughput
+    under sharding is [commits / makespan_ns]. *)
+
+type config = {
+  streams : int;  (** K concurrent streams *)
+  txns_per_stream : int;
+  txn_blocks : int;  (** block writes per transaction *)
+  universe : int;  (** disk blocks the streams draw from *)
+  zipf_theta : float;  (** 0.0 = uniform; 0.99 = YCSB-style skew *)
+  seed : int;
+}
+
+(** 8 streams x 32 txns of 8 blocks over a 256-block universe, uniform. *)
+val default : config
+
+type result = {
+  commits : int;
+  block_writes : int;
+  multi_shard_commits : int;  (** commits whose blocks striped to > 1 shard *)
+  sfences : int;  (** pmem.sfence delta over the run *)
+  serial_ns : float;
+  makespan_ns : float;
+}
+
+(** Run the driver.  [clock]/[metrics] must be the ones the facade was
+    built on.  Resets the shard lanes first, so [makespan_ns] covers
+    exactly this run. *)
+val run : clock:Tinca_sim.Clock.t -> metrics:Tinca_sim.Metrics.t -> config -> Tinca.t -> result

@@ -146,6 +146,12 @@ let all : experiment list =
       run = Exp_commit.fig_commit_batch;
     };
     {
+      id = "fig_shard";
+      title = "Sharded Tinca: commit-throughput and fence scaling at N=1/2/4/8";
+      paper_ref = "extension (ISSUE 5: per-shard rings + striped commit scheduler)";
+      run = Exp_shard.fig_shard;
+    };
+    {
       id = "fig_obs";
       title = "Observability surface: /proc snapshot, latency ladders, span flame";
       paper_ref = "extension (observability; beyond the paper)";

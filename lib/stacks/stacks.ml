@@ -22,9 +22,9 @@ type t = {
   label : string;
   env : env;
   backend : Backend.t;
-  layout : Tinca_core.Layout.t option;
-      (* NVM space partition, for the persistence sanitizer's region
-         classifier (Tinca stacks only). *)
+  layouts : Tinca_core.Layout.t list;
+      (* NVM space partition, one layout per shard, for the persistence
+         sanitizer's region classifier (Tinca stacks only). *)
   cache_write_hit_rate : unit -> float;
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;
   peak_cow_blocks : unit -> int;
@@ -52,21 +52,25 @@ let with_latency env (b : Backend.t) =
 
 (* --- Tinca stack --------------------------------------------------------- *)
 
-let tinca_of_cache env cache =
+(* The stack programs against the Tinca facade; the Backend contract is
+   exception-based, so results are unwrapped with [Tinca.ok_exn] (whose
+   exception mapping matches the old Cache-level ones 1:1). *)
+let tinca_of_facade env tc =
   let backend =
     {
       Backend.name = "tinca";
       block_size = 4096;
       nblocks = Disk.nblocks env.disk;
-      read_block = (fun blkno -> Cache.read cache blkno);
+      read_block = (fun blkno -> Tinca.ok_exn (Tinca.read tc blkno));
       commit_blocks =
         (fun blocks ->
-          let h = Cache.Txn.init cache in
-          List.iter (fun (blkno, data) -> Cache.Txn.add h blkno data) blocks;
-          Cache.Txn.commit h);
+          let txn = Tinca.init_txn tc in
+          List.iter (fun (blkno, data) -> Tinca.ok_exn (Tinca.write txn blkno data)) blocks;
+          Tinca.ok_exn (Tinca.commit txn));
       write_blocks =
-        (fun blocks -> List.iter (fun (blkno, data) -> Cache.write_direct cache blkno data) blocks);
-      sync = (fun () -> Cache.flush_all cache);
+        (fun blocks ->
+          List.iter (fun (blkno, data) -> Tinca.ok_exn (Tinca.write_direct tc blkno data)) blocks);
+      sync = (fun () -> Tinca.sync tc);
     }
   in
   Trace.name_track env.clock "tinca";
@@ -74,25 +78,29 @@ let tinca_of_cache env cache =
     label = "Tinca";
     env;
     backend = with_latency env backend;
-    layout = Some (Cache.layout cache);
-    cache_write_hit_rate = (fun () -> Cache.write_hit_rate cache);
-    txn_size_histogram = (fun () -> Some (Cache.txn_size_histogram cache));
-    peak_cow_blocks = (fun () -> Cache.peak_cow_blocks cache);
-    proc_stats = (fun () -> Cache.stats_kv (Cache.stats cache));
+    layouts = Tinca.layouts tc;
+    cache_write_hit_rate = (fun () -> Tinca.write_hit_rate tc);
+    txn_size_histogram = (fun () -> Some (Tinca.txn_size_histogram tc));
+    peak_cow_blocks = (fun () -> Tinca.peak_cow_blocks tc);
+    proc_stats = (fun () -> Tinca.stats_kv tc);
   }
 
-let tinca ?(cache_config = Cache.default_config) env =
-  let cache =
-    Cache.format ~config:cache_config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
-      ~metrics:env.metrics
+let tinca ?(config = Tinca.Config.default) env =
+  (* The env owns the device, so its geometry fields are authoritative:
+     validation must see the device actually being formatted. *)
+  let config = { config with Tinca.Config.nvm_bytes = Pmem.size env.pmem } in
+  let tc =
+    Tinca.ok_exn
+      (Tinca.format ~config ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics)
   in
-  tinca_of_cache env cache
+  tinca_of_facade env tc
 
 let tinca_recover env =
-  let cache =
-    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+  let tc =
+    Tinca.ok_exn
+      (Tinca.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics)
   in
-  tinca_of_cache env cache
+  tinca_of_facade env tc
 
 (* --- Classic stack -------------------------------------------------------- *)
 
@@ -132,7 +140,7 @@ let classic_of ~label env fc journal =
     label;
     env;
     backend = with_latency env backend;
-    layout = None;
+    layouts = [];
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -202,7 +210,7 @@ let ubj ?(ubj_config = Tinca_ubj.Ubj.default_config) env =
     label = "UBJ";
     env;
     backend = with_latency env backend;
-    layout = None;
+    layouts = [];
     cache_write_hit_rate = (fun () -> 0.0);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -233,7 +241,7 @@ let nojournal ?(fc_config = Fc.default_config) env =
     label = "NoJournal";
     env;
     backend = with_latency env backend;
-    layout = None;
+    layouts = [];
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -247,7 +255,7 @@ module Psan = Tinca_checker.Psan
 
 let instrument ?strict ?max_violations stack =
   let psan =
-    Psan.attach ?strict ?max_violations ?layout:stack.layout stack.env.pmem
+    Psan.attach ?strict ?max_violations ~layouts:stack.layouts stack.env.pmem
   in
   (* Bracket every acknowledged commit so psan can enforce unfenced-ack:
      at commit return, all lines the transaction stored must be durable.

@@ -35,9 +35,10 @@ type t = {
   label : string;
   env : env;
   backend : Tinca_fs.Backend.t;
-  layout : Tinca_core.Layout.t option;
+  layouts : Tinca_core.Layout.t list;
       (** NVM space partition for the persistence sanitizer's region
-          classifier (Tinca stacks only; [None] elsewhere). *)
+          classifier — one layout per shard (Tinca stacks only; [[]]
+          elsewhere). *)
   cache_write_hit_rate : unit -> float;
       (** Write hit rate of the cache layer (paper Fig 12c). *)
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;
@@ -53,11 +54,17 @@ type t = {
           {!Tinca_obs.Procfs.render}. *)
 }
 
-(** Build a Tinca stack (formats the cache). *)
-val tinca : ?cache_config:Tinca_core.Cache.config -> env -> t
+(** Build a Tinca stack through the {!Tinca} facade (validates the
+    config, formats the — possibly sharded — cache).  [config.nvm_bytes]
+    is overridden with the env's actual device size; the other geometry
+    and policy fields apply as given.  Raises the facade's
+    [Invalid_argument] mapping if {!Tinca.Config.validate} rejects the
+    config. *)
+val tinca : ?config:Tinca.Config.t -> env -> t
 
-(** Re-attach a Tinca stack after {!Tinca_pmem.Pmem.crash} (runs cache
-    recovery). *)
+(** Re-attach a Tinca stack after {!Tinca_pmem.Pmem.crash} (runs the
+    facade recovery: shard directory, cross-shard roll-forward or
+    rollback, per-shard recovery). *)
 val tinca_recover : env -> t
 
 (** Build a Classic stack (formats cache + journal).  [journal_len]
@@ -83,7 +90,7 @@ val ubj : ?ubj_config:Tinca_ubj.Ubj.config -> env -> t
 
 (** [instrument stack] attaches the persistence sanitizer
     ({!Tinca_checker.Psan}) to the stack's pmem — with the region
-    classifier when the stack carries a {!t.layout} — and returns the
+    classifier when the stack carries {!t.layouts} — and returns the
     stack with [commit_blocks] bracketed by the sanitizer's transaction
     scope, so acknowledged commits are checked for unfenced writes.
     Call on a freshly built stack (after format, before the workload).

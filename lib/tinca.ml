@@ -1,0 +1,209 @@
+open Tinca_sim
+module Pmem = Tinca_pmem.Pmem
+module Disk = Tinca_blockdev.Disk
+module Cache = Tinca_core.Cache
+module Shard = Tinca_core.Shard
+module Layout = Tinca_core.Layout
+module Histogram = Tinca_util.Histogram
+
+(* Re-exported with type equations, so facade users and the retained
+   Cache interface agree on the same constructors. *)
+type write_policy = Cache.mode = Write_back | Write_through
+type pipeline = Cache.pipeline = Per_block | Batched
+
+module Config = struct
+  type t = {
+    nvm_bytes : int;
+    block_size : int;
+    ring_slots : int;
+    nshards : int;
+    commit_pipeline : pipeline;
+    flush_instr : Latency.flush_instr;
+    write_policy : write_policy;
+    clean_threshold : float;
+    alloc_policy : Tinca_cachelib.Free_monitor.policy;
+  }
+
+  let default =
+    {
+      nvm_bytes = 8 * 1024 * 1024;
+      block_size = Cache.default_config.Cache.block_size;
+      ring_slots = Cache.default_config.Cache.ring_slots;
+      nshards = 1;
+      commit_pipeline = Cache.default_config.Cache.commit_pipeline;
+      flush_instr = Latency.Clflush;
+      write_policy = Cache.default_config.Cache.mode;
+      clean_threshold = Cache.default_config.Cache.clean_threshold;
+      alloc_policy = Cache.default_config.Cache.alloc_policy;
+    }
+
+  let validate c =
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    if c.block_size <= 0 || c.block_size mod 64 <> 0 then
+      err "block_size %d must be a positive multiple of 64" c.block_size
+    else if c.ring_slots <= 0 then err "ring_slots %d must be positive" c.ring_slots
+    else if c.nshards < 1 || c.nshards > Shard.max_shards then
+      err "nshards %d not in [1, %d]" c.nshards Shard.max_shards
+    else if not (c.clean_threshold > 0.0 && c.clean_threshold <= 1.0) then
+      err "clean_threshold %g not in (0, 1]" c.clean_threshold
+    else if c.nvm_bytes <= 0 then err "nvm_bytes %d must be positive" c.nvm_bytes
+    else
+      (* Geometry must fit: every shard's span must host the ring plus at
+         least one data block and entry — the same check Layout.compute
+         performs, applied to the tightest shard. *)
+      let span = (c.nvm_bytes - 128) / c.nshards / 64 * 64 in
+      if span < 64 then
+        err "nvm_bytes %d too small for %d shards" c.nvm_bytes c.nshards
+      else
+        match
+          Layout.compute_at ~base:0 ~pmem_bytes:span ~block_size:c.block_size
+            ~ring_slots:c.ring_slots
+        with
+        | _ -> Ok c
+        | exception Invalid_argument _ ->
+            err "nvm_bytes %d cannot host %d shard(s) of block_size %d with %d ring slots"
+              c.nvm_bytes c.nshards c.block_size c.ring_slots
+
+  let to_cache_config c =
+    {
+      Cache.block_size = c.block_size;
+      ring_slots = c.ring_slots;
+      mode = c.write_policy;
+      clean_threshold = c.clean_threshold;
+      alloc_policy = c.alloc_policy;
+      commit_pipeline = c.commit_pipeline;
+    }
+end
+
+type error =
+  | Transaction_too_large
+  | Txn_not_running
+  | Wrong_block_size of { expected : int; got : int }
+  | Block_out_of_range of int
+  | Unformatted of string
+  | Invalid_config of string
+
+let error_message = function
+  | Transaction_too_large -> "transaction too large for the cache geometry"
+  | Txn_not_running -> "transaction not running"
+  | Wrong_block_size { expected; got } ->
+      Printf.sprintf "wrong block size: expected %d, got %d" expected got
+  | Block_out_of_range b -> Printf.sprintf "disk block %d out of range" b
+  | Unformatted m -> m
+  | Invalid_config m -> Printf.sprintf "invalid config: %s" m
+
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)
+
+(* The 1:1 bridge to the exception-based Cache interface, used by the
+   stack builders (whose Backend contract is exception-based) and pinned
+   by the facade round-trip tests. *)
+let to_exn = function
+  | Transaction_too_large -> Cache.Transaction_too_large
+  | Unformatted m -> Failure m
+  | (Txn_not_running | Wrong_block_size _ | Block_out_of_range _ | Invalid_config _) as e ->
+      Invalid_argument ("Tinca: " ^ error_message e)
+
+let ok_exn = function Ok v -> v | Error e -> raise (to_exn e)
+
+type t = {
+  shard : Shard.t;
+  nblocks : int; (* disk blocks, for the range check *)
+  block_size : int;
+  txn_sizes : Histogram.t;
+      (* cross-shard blocks-per-commit distribution; the per-shard Cache
+         histograms only see their own sub-commits *)
+}
+
+let of_shard ~disk shard =
+  {
+    shard;
+    nblocks = Disk.nblocks disk;
+    block_size = (Cache.config (Shard.cache shard 0)).Cache.block_size;
+    txn_sizes = Histogram.create ();
+  }
+
+let format ~config ~pmem ~disk ~clock ~metrics =
+  match Config.validate config with
+  | Error m -> Error (Invalid_config m)
+  | Ok config -> (
+      match
+        Shard.format ~nshards:config.Config.nshards
+          ~config:(Config.to_cache_config config) ~pmem ~disk ~clock ~metrics
+      with
+      | shard -> Ok (of_shard ~disk shard)
+      | exception Invalid_argument m -> Error (Invalid_config m))
+
+let recover ~pmem ~disk ~clock ~metrics =
+  match Shard.recover ~pmem ~disk ~clock ~metrics with
+  | shard -> Ok (of_shard ~disk shard)
+  | exception Failure m -> Error (Unformatted m)
+
+(* --- introspection ------------------------------------------------------ *)
+
+let shard t = t.shard
+let nshards t = Shard.nshards t.shard
+let block_size t = t.block_size
+let layouts t = Array.to_list (Array.map Cache.layout (Shard.caches t.shard))
+let stats t = Shard.stats t.shard
+let stats_kv t = Shard.stats_kv (Shard.stats t.shard)
+let check_invariants t = Shard.check_invariants t.shard
+let txn_size_histogram t = t.txn_sizes
+
+let write_hit_rate t =
+  let s = Shard.stats t.shard in
+  s.Shard.agg.Cache.write_hit_ratio
+
+let peak_cow_blocks t =
+  let s = Shard.stats t.shard in
+  s.Shard.agg.Cache.peak_cow
+
+(* --- the paper's primitives -------------------------------------------- *)
+
+type txn = { owner : t; h : Shard.Txn.handle; mutable live : bool }
+
+let init_txn t = { owner = t; h = Shard.Txn.init t.shard; live = true }
+
+let check_block t blkno = blkno >= 0 && blkno < t.nblocks
+
+let write txn blkno data =
+  if not txn.live then Error Txn_not_running
+  else if Bytes.length data <> txn.owner.block_size then
+    Error (Wrong_block_size { expected = txn.owner.block_size; got = Bytes.length data })
+  else if not (check_block txn.owner blkno) then Error (Block_out_of_range blkno)
+  else Ok (Shard.Txn.add txn.h blkno data)
+
+let commit txn =
+  if not txn.live then Error Txn_not_running
+  else begin
+    txn.live <- false;
+    let n = Shard.Txn.block_count txn.h in
+    match Shard.Txn.commit txn.h with
+    | () ->
+        Histogram.add txn.owner.txn_sizes (float_of_int n);
+        Ok ()
+    | exception Cache.Transaction_too_large -> Error Transaction_too_large
+  end
+
+let abort txn =
+  if not txn.live then Error Txn_not_running
+  else begin
+    txn.live <- false;
+    Ok (Shard.Txn.abort txn.h)
+  end
+
+let read t blkno =
+  if not (check_block t blkno) then Error (Block_out_of_range blkno)
+  else Ok (Shard.read t.shard blkno)
+
+let write_direct t blkno data =
+  if Bytes.length data <> t.block_size then
+    Error (Wrong_block_size { expected = t.block_size; got = Bytes.length data })
+  else if not (check_block t blkno) then Error (Block_out_of_range blkno)
+  else
+    match Shard.write_direct t.shard blkno data with
+    | () ->
+        Histogram.add t.txn_sizes 1.0;
+        Ok ()
+    | exception Cache.Transaction_too_large -> Error Transaction_too_large
+
+let sync t = Array.iter Cache.flush_all (Shard.caches t.shard)

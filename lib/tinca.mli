@@ -1,0 +1,148 @@
+(** The Tinca facade: the paper's public primitives by name —
+    [tinca_init_txn] / [tinca_commit] / [tinca_abort] plus block read
+    and write — over an abstract cache handle, returning
+    [(_, error) result] instead of exceptions.
+
+    This is the single entry point the stacks, the harness and [bin/]
+    program against; {!Tinca_core.Cache} keeps its exception-based
+    interface underneath (the {!to_exn} bridge maps each [error]
+    constructor to exactly one of the old exceptions).  The handle is a
+    {!Tinca_core.Shard} — one cache for [nshards = 1], the striped
+    multi-ring layer otherwise. *)
+
+(** Re-exported from {!Tinca_core.Cache} with a type equation, so both
+    APIs share constructors. *)
+type write_policy = Tinca_core.Cache.mode = Write_back | Write_through
+
+type pipeline = Tinca_core.Cache.pipeline = Per_block | Batched
+
+module Config : sig
+  (** The one labelled configuration record: geometry, commit pipeline,
+      flush instruction, shard count and write policy.  Replaces the
+      positional/ad-hoc config arguments previously scattered across
+      [Cache.format] / [Stacks] / [Runner].
+
+      The geometry fields ([nvm_bytes], [flush_instr]) describe the NVM
+      device and are consumed by whoever creates it (e.g.
+      [Runner.run_local]); the rest shape the cache itself. *)
+  type t = {
+    nvm_bytes : int;  (** simulated NVM size, default 8 MiB *)
+    block_size : int;  (** positive multiple of 64; default 4096 *)
+    ring_slots : int;  (** ring slots {e per shard}; default 131072 *)
+    nshards : int;  (** 1 (default) .. {!Tinca_core.Shard.max_shards} *)
+    commit_pipeline : pipeline;  (** default [Batched] *)
+    flush_instr : Tinca_sim.Latency.flush_instr;  (** default [Clflush] *)
+    write_policy : write_policy;  (** default [Write_back] *)
+    clean_threshold : float;  (** in (0, 1]; default 0.7 *)
+    alloc_policy : Tinca_cachelib.Free_monitor.policy;  (** default [Lifo] *)
+  }
+
+  val default : t
+
+  (** Full validation, subsuming the ad-hoc geometry checks: block size
+      and ring shape, shard count bounds, threshold range, and that the
+      per-shard span actually hosts a layout.  Returns the config
+      unchanged on success. *)
+  val validate : t -> (t, string) result
+
+  (** The per-shard cache configuration this facade config induces. *)
+  val to_cache_config : t -> Tinca_core.Cache.config
+end
+
+type t
+
+type error =
+  | Transaction_too_large
+      (** the cache geometry cannot host the transaction (ring, data
+          region or entry table); maps to
+          [Cache.Transaction_too_large] *)
+  | Txn_not_running
+      (** operation on a committed/aborted transaction handle *)
+  | Wrong_block_size of { expected : int; got : int }
+  | Block_out_of_range of int  (** disk block number outside the device *)
+  | Unformatted of string  (** recovery found no (or corrupt) Tinca media *)
+  | Invalid_config of string  (** rejected by {!Config.validate} *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** Map each error to exactly one exception of the retained Cache-level
+    interface (pinned by the facade round-trip tests):
+    [Transaction_too_large] -> {!Tinca_core.Cache.Transaction_too_large},
+    [Unformatted] -> [Failure], everything else -> [Invalid_argument]. *)
+val to_exn : error -> exn
+
+(** [ok_exn r] unwraps [Ok] or raises {!to_exn} of the error — the
+    bridge for exception-based callers (the stack backends). *)
+val ok_exn : ('a, error) result -> 'a
+
+(** {1 Construction} *)
+
+(** Validate the config, partition the device into [config.nshards]
+    shards and format them. *)
+val format :
+  config:Config.t ->
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  (t, error) result
+
+(** Re-attach after a crash (shard directory, cross-shard roll-forward
+    or rollback, per-shard recovery).  [Error (Unformatted _)] on
+    unformatted or corrupt media. *)
+val recover :
+  pmem:Tinca_pmem.Pmem.t ->
+  disk:Tinca_blockdev.Disk.t ->
+  clock:Tinca_sim.Clock.t ->
+  metrics:Tinca_sim.Metrics.t ->
+  (t, error) result
+
+(** {1 The paper's primitives} *)
+
+type txn
+
+(** [tinca_init_txn]. *)
+val init_txn : t -> txn
+
+(** [tinca_write]: stage one block write into the transaction. *)
+val write : txn -> int -> bytes -> (unit, error) result
+
+(** [tinca_commit]: atomically and durably apply the transaction. *)
+val commit : txn -> (unit, error) result
+
+(** [tinca_abort]. *)
+val abort : txn -> (unit, error) result
+
+(** Read the newest committed (or cached) version of a block. *)
+val read : t -> int -> (bytes, error) result
+
+(** Single-block atomic write outside any transaction. *)
+val write_direct : t -> int -> bytes -> (unit, error) result
+
+(** Write all dirty blocks back to disk (decommissioning only; commits
+    are already durable in NVM). *)
+val sync : t -> unit
+
+(** {1 Introspection} *)
+
+val nshards : t -> int
+val block_size : t -> int
+
+(** The underlying sharded layer — escape hatch for the harness, the
+    checkers and tests. *)
+val shard : t -> Tinca_core.Shard.t
+
+(** One layout per shard, for the persistence sanitizer's region
+    classifier. *)
+val layouts : t -> Tinca_core.Layout.t list
+
+val stats : t -> Tinca_core.Shard.stats
+val stats_kv : t -> (string * string) list
+val write_hit_rate : t -> float
+val peak_cow_blocks : t -> int
+
+(** Cross-shard blocks-per-commit distribution (paper Fig 13). *)
+val txn_size_histogram : t -> Tinca_util.Histogram.t
+
+val check_invariants : t -> unit

@@ -1,0 +1,193 @@
+(* The Tinca facade (ISSUE 5 API redesign): every [Tinca.error]
+   constructor is reachable through the public result-returning API and
+   maps 1:1 to the retained Cache-level exceptions via [Tinca.to_exn];
+   [Tinca.Config.validate] rejects each malformed field; and the basic
+   init_txn/write/commit/read round-trip survives recovery. *)
+
+open Tinca_sim
+module Pmem = Tinca_pmem.Pmem
+module Disk = Tinca_blockdev.Disk
+module Cache = Tinca_core.Cache
+
+type env = { pmem : Pmem.t; disk : Disk.t; clock : Clock.t; metrics : Metrics.t }
+
+let nvm_bytes = 256 * 1024
+
+let mk_env () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:nvm_bytes () in
+  let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:64 ~block_size:4096 in
+  { pmem; disk; clock; metrics }
+
+let config ?(ring_slots = 64) ?(nshards = 1) () =
+  { Tinca.Config.default with Tinca.Config.nvm_bytes; ring_slots; nshards }
+
+let mk_tinca ?ring_slots ?nshards env =
+  Tinca.ok_exn
+    (Tinca.format ~config:(config ?ring_slots ?nshards ()) ~pmem:env.pmem ~disk:env.disk
+       ~clock:env.clock ~metrics:env.metrics)
+
+let payload v = Bytes.make 4096 v
+
+let check_err name expected = function
+  | Error e when e = expected -> ()
+  | Error e -> Alcotest.failf "%s: wrong error %s" name (Tinca.error_message e)
+  | Ok _ -> Alcotest.failf "%s: unexpectedly succeeded" name
+
+(* --- every error constructor, through the public API -------------------- *)
+
+let test_errors_reachable () =
+  let env = mk_env () in
+  let tc = mk_tinca env in
+  (* Wrong_block_size *)
+  let txn = Tinca.init_txn tc in
+  check_err "write short block"
+    (Tinca.Wrong_block_size { expected = 4096; got = 100 })
+    (Tinca.write txn 0 (Bytes.make 100 'x'));
+  (* Block_out_of_range: the disk has 64 blocks *)
+  check_err "write past device" (Tinca.Block_out_of_range 64) (Tinca.write txn 64 (payload 'x'));
+  check_err "read negative block" (Tinca.Block_out_of_range (-1)) (Tinca.read tc (-1));
+  check_err "write_direct past device" (Tinca.Block_out_of_range 99)
+    (Tinca.write_direct tc 99 (payload 'x'));
+  (* Txn_not_running: every post-finish operation *)
+  (match Tinca.write txn 0 (payload 'a') with Ok () -> () | Error _ -> Alcotest.fail "write");
+  (match Tinca.commit txn with Ok () -> () | Error _ -> Alcotest.fail "commit");
+  check_err "commit twice" Tinca.Txn_not_running (Tinca.commit txn);
+  check_err "write after commit" Tinca.Txn_not_running (Tinca.write txn 1 (payload 'b'));
+  check_err "abort after commit" Tinca.Txn_not_running (Tinca.abort txn);
+  (* Transaction_too_large: a 40-block transaction into an 8-slot ring *)
+  let env2 = mk_env () in
+  let small = mk_tinca ~ring_slots:8 env2 in
+  let big = Tinca.init_txn small in
+  for b = 0 to 39 do
+    match Tinca.write big b (payload 'z') with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "staging block %d: %s" b (Tinca.error_message e)
+  done;
+  check_err "oversized commit" Tinca.Transaction_too_large (Tinca.commit big);
+  (* Unformatted: recovery on virgin media *)
+  let env3 = mk_env () in
+  (match
+     Tinca.recover ~pmem:env3.pmem ~disk:env3.disk ~clock:env3.clock ~metrics:env3.metrics
+   with
+  | Error (Tinca.Unformatted _) -> ()
+  | Error e -> Alcotest.failf "recover: wrong error %s" (Tinca.error_message e)
+  | Ok _ -> Alcotest.fail "recover on virgin media succeeded");
+  (* Invalid_config: rejected geometry surfaces through format *)
+  match
+    Tinca.format
+      ~config:{ (config ()) with Tinca.Config.block_size = 100 }
+      ~pmem:env3.pmem ~disk:env3.disk ~clock:env3.clock ~metrics:env3.metrics
+  with
+  | Error (Tinca.Invalid_config _) -> ()
+  | Error e -> Alcotest.failf "format: wrong error %s" (Tinca.error_message e)
+  | Ok _ -> Alcotest.fail "format accepted block_size 100"
+
+(* --- the 1:1 error -> exception bridge ----------------------------------- *)
+
+let test_to_exn_mapping () =
+  (match Tinca.to_exn Tinca.Transaction_too_large with
+  | Cache.Transaction_too_large -> ()
+  | e -> Alcotest.failf "Transaction_too_large -> %s" (Printexc.to_string e));
+  (match Tinca.to_exn (Tinca.Unformatted "no media") with
+  | Failure m when m = "no media" -> ()
+  | e -> Alcotest.failf "Unformatted -> %s" (Printexc.to_string e));
+  List.iter
+    (fun (name, err) ->
+      match Tinca.to_exn err with
+      | Invalid_argument _ -> ()
+      | e -> Alcotest.failf "%s -> %s (wanted Invalid_argument)" name (Printexc.to_string e))
+    [
+      ("Txn_not_running", Tinca.Txn_not_running);
+      ("Wrong_block_size", Tinca.Wrong_block_size { expected = 4096; got = 64 });
+      ("Block_out_of_range", Tinca.Block_out_of_range 7);
+      ("Invalid_config", Tinca.Invalid_config "bad");
+    ];
+  (* ok_exn is the same bridge, applied to results. *)
+  Alcotest.(check int) "ok_exn Ok" 3 (Tinca.ok_exn (Ok 3));
+  match Tinca.ok_exn (Error Tinca.Transaction_too_large) with
+  | exception Cache.Transaction_too_large -> ()
+  | _ -> Alcotest.fail "ok_exn Error did not raise"
+
+(* --- Config.validate rejection table ------------------------------------- *)
+
+let test_config_validate () =
+  let base = config () in
+  let rejects =
+    [
+      ("block_size 0", { base with Tinca.Config.block_size = 0 });
+      ("block_size not a multiple of 64", { base with Tinca.Config.block_size = 100 });
+      ("negative block_size", { base with Tinca.Config.block_size = -4096 });
+      ("ring_slots 0", { base with Tinca.Config.ring_slots = 0 });
+      ("nshards 0", { base with Tinca.Config.nshards = 0 });
+      ( "nshards above max",
+        { base with Tinca.Config.nshards = Tinca_core.Shard.max_shards + 1 } );
+      ("clean_threshold 0", { base with Tinca.Config.clean_threshold = 0.0 });
+      ("clean_threshold > 1", { base with Tinca.Config.clean_threshold = 1.5 });
+      ("nvm_bytes 0", { base with Tinca.Config.nvm_bytes = 0 });
+      ("nvm_bytes below one layout", { base with Tinca.Config.nvm_bytes = 4096 });
+      ( "span cannot host the ring",
+        { base with Tinca.Config.nvm_bytes = 64 * 1024; ring_slots = 131072; nshards = 8 } );
+    ]
+  in
+  List.iter
+    (fun (what, c) ->
+      match Tinca.Config.validate c with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "validate accepted %s" what)
+    rejects;
+  List.iter
+    (fun (what, c) ->
+      match Tinca.Config.validate c with
+      | Ok c' -> Alcotest.(check bool) (what ^ " unchanged") true (c' = c)
+      | Error m -> Alcotest.failf "validate rejected %s: %s" what m)
+    [
+      ("defaults", Tinca.Config.default);
+      ("small sharded geometry", config ~nshards:8 ());
+      ("write-through variant", { base with Tinca.Config.write_policy = Tinca.Write_through });
+    ]
+
+(* --- round-trip and recovery through the facade -------------------------- *)
+
+let test_round_trip () =
+  let env = mk_env () in
+  let tc = mk_tinca env in
+  Alcotest.(check int) "nshards" 1 (Tinca.nshards tc);
+  Alcotest.(check int) "block_size" 4096 (Tinca.block_size tc);
+  let txn = Tinca.init_txn tc in
+  for b = 0 to 3 do
+    Tinca.ok_exn (Tinca.write txn b (payload (Char.chr (Char.code 'a' + b))))
+  done;
+  Tinca.ok_exn (Tinca.commit txn);
+  (* An aborted transaction leaves no trace. *)
+  let dropped = Tinca.init_txn tc in
+  Tinca.ok_exn (Tinca.write dropped 0 (payload '!'));
+  Tinca.ok_exn (Tinca.abort dropped);
+  Tinca.ok_exn (Tinca.write_direct tc 9 (payload 'd'));
+  let expect b v = Alcotest.(check char) (Printf.sprintf "block %d" b) v
+      (Bytes.get (Tinca.ok_exn (Tinca.read tc b)) 0)
+  in
+  expect 0 'a'; expect 1 'b'; expect 2 'c'; expect 3 'd'; expect 9 'd';
+  Tinca.check_invariants tc;
+  (* Commits are already durable: re-attach and read the same state. *)
+  let tc2 =
+    Tinca.ok_exn
+      (Tinca.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics)
+  in
+  let expect2 b v = Alcotest.(check char) (Printf.sprintf "recovered block %d" b) v
+      (Bytes.get (Tinca.ok_exn (Tinca.read tc2 b)) 0)
+  in
+  expect2 0 'a'; expect2 3 'd'; expect2 9 'd';
+  Tinca.check_invariants tc2
+
+let suite =
+  [
+    ( "facade",
+      [
+        Alcotest.test_case "every error constructor reachable" `Quick test_errors_reachable;
+        Alcotest.test_case "to_exn maps 1:1 to the old exceptions" `Quick test_to_exn_mapping;
+        Alcotest.test_case "Config.validate rejection table" `Quick test_config_validate;
+        Alcotest.test_case "round-trip incl. recovery" `Quick test_round_trip;
+      ] );
+  ]

@@ -36,8 +36,8 @@ let test_tinca_clean () =
   (* Small NVM (~56 data blocks) against a 96-block universe: the mix
      exercises COW write hits, evictions and the background cleaner. *)
   let env = Stacks.make_env ~nvm_bytes:(256 * 1024) ~disk_blocks:96 () in
-  let cache_config = { Cache.default_config with ring_slots = 64 } in
-  let stack, psan = Stacks.instrument (Stacks.tinca ~cache_config env) in
+  let config = { Tinca.Config.default with Tinca.Config.ring_slots = 64 } in
+  let stack, psan = Stacks.instrument (Stacks.tinca ~config env) in
   commit_mix ~seed:7 stack;
   Alcotest.(check int) "no violations" 0 (Psan.violation_count psan);
   let r = Psan.report psan in
@@ -49,8 +49,8 @@ let test_tinca_clean () =
 
 let test_tinca_clean_across_recovery () =
   let env = Stacks.make_env ~nvm_bytes:(256 * 1024) ~disk_blocks:96 () in
-  let cache_config = { Cache.default_config with ring_slots = 64 } in
-  let stack, psan = Stacks.instrument (Stacks.tinca ~cache_config env) in
+  let config = { Tinca.Config.default with Tinca.Config.ring_slots = 64 } in
+  let stack, psan = Stacks.instrument (Stacks.tinca ~config env) in
   commit_mix ~commits:20 ~seed:11 stack;
   (* Crash mid-life: the sanitizer's shadow resets on the Crash event and
      then audits recovery's revocation writes and the post-recovery

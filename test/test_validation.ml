@@ -67,7 +67,7 @@ let test_journal_validation () =
            ~io ~metrics ()))
 
 let small_tinca env =
-  Stacks.tinca ~cache_config:{ Cache.default_config with Cache.ring_slots = 64 } env
+  Stacks.tinca ~config:{ Tinca.Config.default with Tinca.Config.ring_slots = 64 } env
 
 let test_fs_validation () =
   let env = Stacks.make_env ~nvm_bytes:(1 lsl 20) ~disk_blocks:4096 () in
