@@ -8,15 +8,24 @@
                                      Tinca, Classic (JBD2 + Flashcache)
                                      and raw-Flashcache stacks with the
                                      flush/fence sanitizer attached
+   tinca_check --lockstep          - refinement mode: drive the executable
+                                     spec and a real Tinca in lockstep over
+                                     generated command sequences at N in
+                                     {1,2,4}, judge every crash-recovered
+                                     state by spec refinement, and
+                                     self-validate the oracle with planted
+                                     commit-path mutations
 
    Exit status 0 when every explored post-crash state recovers to a
    consistent prefix of the commit history (or, under --psan, when no
-   ordering violation is flagged); 1 when any violation is found (each
-   is printed). *)
+   ordering violation is flagged; or, under --lockstep, when all runs
+   refine the spec and every planted mutation is caught); 1 when any
+   violation is found (each is printed). *)
 
 open Cmdliner
 module Check = Tinca_checker.Crash_check
 module Psan = Tinca_checker.Psan
+module Lockstep = Tinca_checker.Lockstep
 module Stacks = Tinca_stacks.Stacks
 module Backend = Tinca_fs.Backend
 module Pmem = Tinca_pmem.Pmem
@@ -105,13 +114,209 @@ let run_psan commits seed universe shards =
     1
   end
 
-let run psan commits seed universe ring_slots pmem_kb cap sample_seed from stride shards verbose
-    quiet =
+(* --- lockstep refinement mode -------------------------------------------- *)
+
+(* Shrink a failing sequence and print it as a replayable OCaml value. *)
+let print_repro ~fails cmds =
+  let small = Lockstep.shrink ~fails cmds in
+  Format.printf "  minimal reproducer (%d command%s):@.    %a@." (Array.length small)
+    (if Array.length small = 1 then "" else "s")
+    Lockstep.pp_cmds small;
+  small
+
+let geom n = { Lockstep.default_geometry with Lockstep.nshards = n }
+
+(* Lockstep equivalence over [seeds] generated sequences per shard
+   count.  Returns the failure count (after printing shrunk repros). *)
+let lockstep_equiv ~seeds ~len ~quiet =
+  let bad = ref 0 in
+  List.iter
+    (fun n ->
+      let g = geom n in
+      let ops = ref 0 and blocks = ref 0 in
+      for seed = 1 to seeds do
+        let cmds = Lockstep.gen ~seed ~len ~universe:g.Lockstep.universe in
+        match Lockstep.run g cmds with
+        | Ok s ->
+            ops := !ops + s.Lockstep.ops;
+            blocks := !blocks + s.Lockstep.blocks_compared
+        | Error d ->
+            incr bad;
+            Format.printf "lockstep: DIVERGENCE at N=%d seed %d: %a@." n seed
+              Lockstep.pp_divergence d;
+            ignore
+              (print_repro ~fails:(fun c -> Result.is_error (Lockstep.run g c)) cmds)
+      done;
+      if not quiet then
+        Printf.printf
+          "lockstep: N=%d: %d seeds x %d commands clean (%d ops, %d blocks compared)\n" n seeds
+          len !ops !blocks)
+    [ 1; 2; 4 ];
+  !bad
+
+(* Crash-space refinement: every recovered state of every explored
+   survival subset must equal the spec (last acknowledged commit, or
+   that plus the in-flight commit).  Budgeted by [cap] and [stride];
+   coverage is printed, never silently truncated. *)
+let lockstep_crash ~len ~cap ~stride ~quiet =
+  let bad = ref 0 in
+  (* Pick the first seed whose sequence carries real commit traffic —
+     a commit-free sequence has almost no pmem events to crash — and,
+     at N > 1, at least one commit that stripes across shards (so the
+     sweep covers the cross-shard seal, not just per-shard commits). *)
+  let busy g cmds =
+    let count p = Array.fold_left (fun k c -> if p c then k + 1 else k) 0 cmds in
+    count (function Lockstep.Commit -> true | _ -> false) >= 2
+    && count (function Lockstep.Write _ -> true | _ -> false) >= 3
+    && (g.Lockstep.nshards = 1 || Lockstep.multi_shard_commits g cmds >= 1)
+  in
+  List.iter
+    (fun n ->
+      let g = geom n in
+      let cmds =
+        let rec pick seed =
+          if seed > 50 then Lockstep.gen ~seed:1 ~len ~universe:g.Lockstep.universe
+          else
+            let c = Lockstep.gen ~seed ~len ~universe:g.Lockstep.universe in
+            if busy g c then c else pick (seed + 1)
+        in
+        pick 1
+      in
+      let progress =
+        if quiet then fun _ _ -> ()
+        else fun k span ->
+          if k mod 50 = 0 || k = span then
+            Printf.eprintf "\rlockstep crash refinement N=%d: crash point %d/%d%!" n k span
+      in
+      let r = Lockstep.crash_refine ~cap ~stride ~progress g cmds in
+      if not quiet then Printf.eprintf "\r%!";
+      Printf.printf
+        "lockstep: N=%d crash refinement: %d crash points, %d recovered states checked (%d \
+         deduped, %.0f subsets in full space, %d capped points, stride %d)\n"
+        n r.Check.crash_points r.Check.states_checked r.Check.states_deduped
+        r.Check.subsets_total r.Check.capped_points stride;
+      match r.Check.violations with
+      | [] -> ()
+      | vs ->
+          bad := !bad + List.length vs;
+          Format.printf "lockstep: N=%d crash refinement: %d VIOLATION(S):@." n (List.length vs);
+          List.iter (fun v -> Format.printf "  %a@." Check.pp_violation v) vs;
+          ignore
+            (print_repro
+               ~fails:(fun c ->
+                 (Lockstep.crash_refine ~cap ~stride g c).Check.violations <> [])
+               cmds))
+    [ 1; 2; 4 ];
+  !bad
+
+(* Self-validation: each planted commit-path mutation must be caught,
+   and the shrunk reproducer must stay small (<= 6 commands). *)
+let lockstep_selftest ~quiet =
+  let bad = ref 0 in
+  let check label found fails cmds =
+    match found with
+    | None ->
+        incr bad;
+        Printf.printf "self-test: %s NOT caught — the oracle is blind to it\n" label
+    | Some detail ->
+        Printf.printf "self-test: %s caught (%s)\n" label detail;
+        let small = print_repro ~fails cmds in
+        if Array.length small > 6 then begin
+          incr bad;
+          Printf.printf "self-test: %s reproducer has %d commands (> 6): shrinker too weak\n"
+            label (Array.length small)
+        end
+  in
+  (* Find a generated sequence the mutated run fails on; nearly any seed
+     with a committed write works, but search a few to stay robust. *)
+  let find_seq f =
+    let rec go seed = if seed > 20 then None else
+      let cmds = Lockstep.gen ~seed ~len:30 ~universe:Lockstep.default_geometry.Lockstep.universe in
+      match f cmds with Some detail -> Some (detail, cmds) | None -> go (seed + 1)
+    in
+    go 1
+  in
+  let plain mutate n =
+    let g = geom n in
+    let probe cmds =
+      match Lockstep.run ~mutate g cmds with
+      | Error d -> Some (Format.asprintf "%a" Lockstep.pp_divergence d)
+      | Ok _ -> None
+    in
+    let found = find_seq probe in
+    check
+      (Printf.sprintf "planted %s at N=%d"
+         (match mutate with
+         | Lockstep.Lose_writes -> "Lose_writes"
+         | Lockstep.Abort_commits -> "Abort_commits"
+         | Lockstep.Skip_seal -> "Skip_seal")
+         n)
+      (Option.map fst found)
+      (fun c -> Result.is_error (Lockstep.run ~mutate g c))
+      (match found with Some (_, cmds) -> cmds | None -> [||])
+  in
+  plain Lockstep.Lose_writes 1;
+  plain Lockstep.Abort_commits 2;
+  (* Skip_seal is invisible without a crash (the seal only matters to
+     recovery): the plain run must stay clean, and the crash-space sweep
+     at N=2 must flag the partial multi-shard commit. *)
+  let g = geom 2 in
+  let crash_fails c =
+    (Lockstep.crash_refine ~mutate:Lockstep.Skip_seal ~cap:16 ~stride:1 g c).Check.violations
+    <> []
+  in
+  let probe cmds =
+    match Lockstep.run ~mutate:Lockstep.Skip_seal g cmds with
+    | Error d ->
+        Some (Format.asprintf "unexpectedly visible without a crash: %a" Lockstep.pp_divergence d)
+    | Ok _ ->
+        let r = Lockstep.crash_refine ~mutate:Lockstep.Skip_seal ~cap:16 ~stride:1 g cmds in
+        (match r.Check.violations with
+        | [] -> None
+        | v :: _ -> Some (Format.asprintf "crash sweep: %a" Check.pp_violation v))
+  in
+  let found =
+    let rec go seed = if seed > 20 then None else
+      let cmds = Lockstep.gen ~seed ~len:12 ~universe:g.Lockstep.universe in
+      if Lockstep.multi_shard_commits g cmds < 1 then go (seed + 1)
+      else
+        match Lockstep.run ~mutate:Lockstep.Skip_seal g cmds with
+        | Error _ -> go (seed + 1) (* want the crash sweep, not a plain divergence *)
+        | Ok _ -> (match probe cmds with Some d -> Some (d, cmds) | None -> go (seed + 1))
+    in
+    go 1
+  in
+  check "planted Skip_seal at N=2 (crash sweep)" (Option.map fst found) crash_fails
+    (match found with Some (_, cmds) -> cmds | None -> [||]);
+  ignore quiet;
+  !bad
+
+let run_lockstep seeds len cap stride quiet =
+  let t0 = Unix.gettimeofday () in
+  let bad =
+    lockstep_equiv ~seeds ~len ~quiet
+    + lockstep_crash ~len:(min len 14) ~cap ~stride ~quiet
+    + lockstep_selftest ~quiet
+  in
+  Printf.printf "(wall time %.1fs)\n" (Unix.gettimeofday () -. t0);
+  if bad = 0 then begin
+    Printf.printf
+      "lockstep: refinement holds at N in {1,2,4} and every planted mutation was caught.\n";
+    0
+  end
+  else begin
+    Printf.printf "lockstep: %d FAILURE(S).\n" bad;
+    1
+  end
+
+let run psan lockstep commits seed universe ring_slots pmem_kb cap sample_seed from stride shards
+    lockstep_seeds lockstep_len verbose quiet =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
   if psan then run_psan commits seed universe shards
+  else if lockstep then run_lockstep lockstep_seeds lockstep_len cap stride quiet
   else
   let cfg =
     {
@@ -220,10 +425,35 @@ let cmd =
                 flushes per call site.  Honours --commits, --seed and --universe; the \
                 sweep-specific flags are ignored.")
   in
+  let lockstep =
+    Arg.(value & flag
+         & info [ "lockstep" ]
+             ~doc:
+               "Refinement mode: drive the executable journal spec and a real Tinca through \
+                generated command sequences in lockstep at 1, 2 and 4 shards, checking \
+                observational equivalence after every command; then judge every crash-recovered \
+                state by spec refinement ($(b,--cap)/$(b,--stride) budget the sweep); then \
+                self-validate by planting commit-path mutations that must be caught.  Failing \
+                sequences are auto-shrunk to minimal replayable reproducers.  Honours \
+                $(b,--lockstep-seeds), $(b,--lockstep-len), $(b,--cap), $(b,--stride) and \
+                $(b,-q); the other sweep flags are ignored.")
+  in
+  let lockstep_seeds =
+    Arg.(value & opt int 5
+         & info [ "lockstep-seeds" ] ~docv:"N"
+             ~doc:"Generated sequences per shard count in --lockstep mode.")
+  in
+  let lockstep_len =
+    Arg.(value & opt int 120
+         & info [ "lockstep-len" ] ~docv:"N"
+             ~doc:
+               "Commands per generated sequence in --lockstep mode (the crash-refinement stage \
+                uses a shorter prefix budget of at most 14).")
+  in
   let info = Cmd.info "tinca_check" ~doc in
   Cmd.v info
     Term.(
-      const run $ psan $ commits $ seed $ universe $ ring_slots $ pmem_kb $ cap $ sample_seed
-      $ from $ stride $ shards $ verbose $ quiet)
+      const run $ psan $ lockstep $ commits $ seed $ universe $ ring_slots $ pmem_kb $ cap
+      $ sample_seed $ from $ stride $ shards $ lockstep_seeds $ lockstep_len $ verbose $ quiet)
 
 let () = exit (Cmd.eval' cmd)

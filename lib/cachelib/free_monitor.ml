@@ -35,26 +35,38 @@ let cap t = Array.length t.ring
 
 let ring_full t = (t.head + 1) mod cap t = t.tail
 
-(* Rebuild the ring from the free bitmap: one occurrence per free index,
-   ascending.  Run when lazy deletion has bloated or emptied the ring.
-
-   Deliberate semantics quirk (pinned by test_cachelib): a rebuild
-   discards the pool's recency/age order and re-sorts it ascending by
-   index, so after a rebuild [Fifo] hands out indices in ascending order
-   rather than oldest-freed-first.  That is harmless for both users of
-   the policy — wear leveling only needs the pool to keep rotating, and
-   correctness never depends on allocation order — and it keeps
-   [mark_used] O(1) during recovery rebuild. *)
+(* Rebuild the ring when lazy deletion has bloated or emptied it.
+   Order-preserving: compact the existing ring oldest-first, dropping
+   stale entries (marked used out-of-band) and duplicate occurrences,
+   so [Fifo] keeps handing out oldest-freed-first across rebuilds and
+   wear-leveling rotation survives recovery.  A bitmap scan then
+   appends (ascending) any free index the ring lost track of — a
+   safety net that keeps [alloc] total even if the one-occurrence
+   invariant is ever broken.  [mark_used] stays O(1); rebuild is O(n),
+   amortized over the pushes that filled the ring. *)
 let rebuild t =
-  let head = ref 0 in
-  for j = 0 to t.n - 1 do
-    if t.free.(j) then begin
-      t.ring.(!head) <- j;
-      incr head
+  let seen = Array.make t.n false in
+  let kept = Array.make (cap t) 0 in
+  let nkept = ref 0 in
+  let j = ref t.tail in
+  while !j <> t.head do
+    let i = t.ring.(!j) in
+    if t.free.(i) && not seen.(i) then begin
+      seen.(i) <- true;
+      kept.(!nkept) <- i;
+      incr nkept
+    end;
+    j := (!j + 1) mod cap t
+  done;
+  for i = 0 to t.n - 1 do
+    if t.free.(i) && not seen.(i) then begin
+      kept.(!nkept) <- i;
+      incr nkept
     end
   done;
+  Array.blit kept 0 t.ring 0 !nkept;
   t.tail <- 0;
-  t.head <- !head
+  t.head <- !nkept
 
 let rec alloc t =
   if t.nfree = 0 then None
@@ -84,19 +96,22 @@ let rec alloc t =
   end
 
 let push t i =
-  (* The caller marks [i] free before pushing, so a rebuild includes it. *)
-  if ring_full t then rebuild t
-  else begin
-    t.ring.(t.head) <- i;
-    t.head <- (t.head + 1) mod cap t
-  end
+  if ring_full t then rebuild t;
+  (* After a rebuild the ring holds at most [nfree] distinct entries and
+     [i] is still marked used (see [free]), so there is always a slot. *)
+  t.ring.(t.head) <- i;
+  t.head <- (t.head + 1) mod cap t
 
 let free t i =
   check t i;
   if t.free.(i) then invalid_arg "Free_monitor.free: already free";
+  (* Push before flipping the bit: if the push compacts the ring, [i]'s
+     stale copies are filtered out (still marked used), and the one
+     occurrence lands at the head — the youngest age, where a just-freed
+     index belongs. *)
+  push t i;
   t.free.(i) <- true;
-  t.nfree <- t.nfree + 1;
-  push t i
+  t.nfree <- t.nfree + 1
 
 let mark_used t i =
   check t i;

@@ -12,11 +12,13 @@ type t
     evenly over the medium (wear leveling for endurance-limited NVM,
     paper 1's PCM endurance concern).
 
-    Caveat: the age order is approximate.  When lazy deletion forces an
-    internal rebuild of the pool, the free indices are re-sorted
-    ascending, so [Fifo] temporarily degrades to ascending-index order.
-    Rotation (and thus wear spreading) is preserved; exact
-    oldest-freed-first order is not guaranteed. *)
+    [Fifo] order is oldest-freed-first and survives the internal ring
+    rebuilds lazy deletion occasionally forces: a rebuild compacts the
+    pool in place of its age order rather than re-sorting it, so
+    wear-leveling rotation carries across rebuilds (and thus across
+    recovery).  An index freed while a stale copy of it is still queued
+    keeps the stale copy's (older) position — the usual lazy-deletion
+    approximation. *)
 type policy = Lifo | Fifo
 
 (** [create ~n] — all of [0..n-1] free. *)

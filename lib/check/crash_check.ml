@@ -100,6 +100,14 @@ type report = {
 
 type env = { pmem : Pmem.t; disk : Disk.t; clock : Clock.t; metrics : Metrics.t }
 
+(* A pluggable workload + oracle.  [fresh env] formats the media and
+   returns the workload thunk (run until it finishes or the armed crash
+   countdown fires) and the judge applied to every recovered shard.
+   The default driver below is the original fill-byte workload with the
+   prefix-consistency oracle; Lockstep supplies a command-sequence
+   workload whose judge is full spec refinement. *)
+type driver = { fresh : env -> (unit -> unit) * (Shard.t -> (unit, string) result) }
+
 let mk_env cfg =
   let clock = Clock.create () in
   let metrics = Metrics.create () in
@@ -142,13 +150,14 @@ let mk_shard cfg env =
   Shard.format ~nshards:cfg.nshards ~config:(cache_config cfg) ~pmem:env.pmem ~disk:env.disk
     ~clock:env.clock ~metrics:env.metrics
 
-(* Events of a crash-free run, so the sweep covers the whole span. *)
-let total_events cfg =
+(* Events of a crash-free run, so the sweep covers the whole span.
+   [fresh] formats the media before we start counting, matching the
+   sweep loop (crash points fall inside the workload only). *)
+let total_events driver cfg =
   let env = mk_env cfg in
-  let shard = mk_shard cfg env in
-  let oracle = Hashtbl.create 64 and pending = Hashtbl.create 8 in
+  let workload, _judge = driver.fresh env in
   let before = Pmem.event_count env.pmem in
-  run_workload cfg shard oracle pending;
+  workload ();
   Pmem.event_count env.pmem - before
 
 (* --- the prefix-consistency oracle ------------------------------------- *)
@@ -181,36 +190,50 @@ let with_pending oracle pending =
   Hashtbl.iter (fun blk v -> Hashtbl.replace o blk v) pending;
   o
 
+(* The default judge: prefix consistency over the fill-byte oracle
+   tables the default workload maintains. *)
+let prefix_judge env cfg oracle pending recovered =
+  let ok_old = matches recovered env.disk cfg.universe oracle in
+  let ok_new =
+    (not (Hashtbl.length pending = 0))
+    && matches recovered env.disk cfg.universe (with_pending oracle pending)
+  in
+  if ok_old || ok_new then Ok ()
+  else
+    Error
+      (match
+         first_mismatch recovered env.disk cfg.universe (fun blk ->
+             match Hashtbl.find_opt oracle blk with Some v -> v | None -> '\000')
+       with
+      | Some (blk, expect, data) ->
+          Printf.sprintf
+            "prefix consistency: block %d is %C (expected %C pre-txn%s) — recovered \
+             state matches neither the last acknowledged commit nor the in-flight \
+             commit fully applied"
+            blk (Bytes.get data 0) expect
+            (match Hashtbl.find_opt pending blk with
+            | Some v -> Printf.sprintf ", %C post-txn" v
+            | None -> "")
+      | None -> "prefix consistency: post-txn image is a partial mix")
+
+let default_driver cfg =
+  {
+    fresh =
+      (fun env ->
+        let shard = mk_shard cfg env in
+        let oracle = Hashtbl.create 64 and pending = Hashtbl.create 8 in
+        ( (fun () -> run_workload cfg shard oracle pending),
+          prefix_judge env cfg oracle pending ));
+  }
+
 (* Run the three gates on the current (post-crash) medium. *)
-let check_state env cfg oracle pending =
+let check_state env judge =
   match Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics with
   | exception e -> Error (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
   | recovered -> (
       match Shard.check_invariants recovered with
       | exception e -> Error (Printf.sprintf "invariant audit raised %s" (Printexc.to_string e))
-      | () ->
-          let ok_old = matches recovered env.disk cfg.universe oracle in
-          let ok_new =
-            (not (Hashtbl.length pending = 0))
-            && matches recovered env.disk cfg.universe (with_pending oracle pending)
-          in
-          if ok_old || ok_new then Ok ()
-          else
-            Error
-              (match
-                 first_mismatch recovered env.disk cfg.universe (fun blk ->
-                     match Hashtbl.find_opt oracle blk with Some v -> v | None -> '\000')
-               with
-              | Some (blk, expect, data) ->
-                  Printf.sprintf
-                    "prefix consistency: block %d is %C (expected %C pre-txn%s) — recovered \
-                     state matches neither the last acknowledged commit nor the in-flight \
-                     commit fully applied"
-                    blk (Bytes.get data 0) expect
-                    (match Hashtbl.find_opt pending blk with
-                    | Some v -> Printf.sprintf ", %C post-txn" v
-                    | None -> "")
-              | None -> "prefix consistency: post-txn image is a partial mix"))
+      | () -> judge recovered)
 
 (* --- survival-subset enumeration --------------------------------------- *)
 
@@ -242,10 +265,11 @@ let mask_mem mask j =
 
 (* --- the sweep ---------------------------------------------------------- *)
 
-let explore ?(progress = fun (_ : int) (_ : int) -> ()) cfg =
+let explore ?(progress = fun (_ : int) (_ : int) -> ()) ?driver cfg =
   if cfg.stride < 1 then invalid_arg "Crash_check.explore: stride must be >= 1";
   if cfg.first_event < 1 then invalid_arg "Crash_check.explore: first_event must be >= 1";
-  let span = total_events cfg in
+  let driver = match driver with Some d -> d | None -> default_driver cfg in
+  let span = total_events driver cfg in
   let sample_rng = Tinca_util.Rng.create cfg.sample_seed in
   let crash_points = ref 0 in
   let states_checked = ref 0 in
@@ -259,10 +283,9 @@ let explore ?(progress = fun (_ : int) (_ : int) -> ()) cfg =
     let crash_at = !k in
     progress crash_at span;
     let env = mk_env cfg in
-    let shard = mk_shard cfg env in
-    let oracle = Hashtbl.create 64 and pending = Hashtbl.create 8 in
+    let workload, judge = driver.fresh env in
     Pmem.set_crash_countdown env.pmem (Some crash_at);
-    (match run_workload cfg shard oracle pending with
+    (match workload () with
     | () ->
         (* [span] counts exactly the workload's events, so every armed
            countdown in [1, span] must fire. *)
@@ -310,7 +333,7 @@ let explore ?(progress = fun (_ : int) (_ : int) -> ()) cfg =
             else begin
               Hashtbl.add seen digest ();
               incr states_checked;
-              match check_state env cfg oracle pending with
+              match check_state env judge with
               | Ok () -> ()
               | Error message ->
                   let surviving = ref [] and lost = ref [] in

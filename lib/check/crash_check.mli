@@ -46,6 +46,28 @@ type config = {
     mask cap 256, full sweep (first_event 1, stride 1), 1 shard. *)
 val default_config : config
 
+(** The simulated world one sweep iteration lives in; geometry comes
+    from {!config} ([pmem_bytes], [universe] disk blocks). *)
+type env = {
+  pmem : Tinca_pmem.Pmem.t;
+  disk : Tinca_blockdev.Disk.t;
+  clock : Tinca_sim.Clock.t;
+  metrics : Tinca_sim.Metrics.t;
+}
+
+(** A pluggable workload + oracle pair.  [fresh env] formats the media
+    (so crash points fall inside the workload only) and returns the
+    workload thunk together with the judge run on every recovered
+    shard (after {!Tinca_core.Shard.check_invariants}).  The judge's
+    [Error] message becomes the violation text. *)
+type driver = {
+  fresh : env -> (unit -> unit) * (Tinca_core.Shard.t -> (unit, string) result);
+}
+
+(** The original deterministic fill-byte workload with the
+    prefix-consistency oracle. *)
+val default_driver : config -> driver
+
 type violation = {
   crash_event : int;  (** the pmem event the crash replaced *)
   surviving : int list;  (** torn lines whose new content reached the medium *)
@@ -65,10 +87,13 @@ type report = {
 }
 
 (** [explore cfg] runs the sweep.  [progress crash_at span] is invoked
-    before each crash point (for CLI progress display).  Raises only on
-    misconfiguration ([Invalid_argument]) or an internal checker error;
-    protocol bugs are returned as {!report.violations}. *)
-val explore : ?progress:(int -> int -> unit) -> config -> report
+    before each crash point (for CLI progress display).  [driver]
+    (default {!default_driver}) supplies the workload and the oracle —
+    {!Lockstep} passes a command-sequence driver whose judge is full
+    spec refinement.  Raises only on misconfiguration
+    ([Invalid_argument]) or an internal checker error; protocol bugs are
+    returned as {!report.violations}. *)
+val explore : ?progress:(int -> int -> unit) -> ?driver:driver -> config -> report
 
 val pp_violation : Format.formatter -> violation -> unit
 

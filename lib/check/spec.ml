@@ -1,0 +1,95 @@
+(* Pure executable model of the transactional cache: a block -> bytes
+   map plus an in-flight transaction buffer.  See spec.mli for the
+   obligations; Lockstep drives this and the real Tinca facade in
+   lockstep and fails on the first observable difference. *)
+
+module M = Map.Make (Int)
+
+type t = { nblocks : int; block_size : int; committed : bytes M.t }
+
+type txn = { writes : bytes M.t; is_live : bool }
+
+let create ~nblocks ~block_size =
+  if nblocks <= 0 || block_size <= 0 then invalid_arg "Spec.create";
+  { nblocks; block_size; committed = M.empty }
+
+let nblocks t = t.nblocks
+let block_size t = t.block_size
+
+let zeros t = Bytes.make t.block_size '\000'
+
+let block t blk =
+  match M.find_opt blk t.committed with
+  | Some data -> Bytes.copy data
+  | None -> zeros t
+
+let in_range t blk = blk >= 0 && blk < t.nblocks
+
+let read t blk =
+  if in_range t blk then Ok (block t blk) else Error (Tinca.Block_out_of_range blk)
+
+let init_txn _t = { writes = M.empty; is_live = true }
+
+let live txn = txn.is_live
+
+(* Validation order mirrors the facade: liveness, then size, then range. *)
+let write t txn blk data =
+  if not txn.is_live then Error Tinca.Txn_not_running
+  else if Bytes.length data <> t.block_size then
+    Error (Tinca.Wrong_block_size { expected = t.block_size; got = Bytes.length data })
+  else if not (in_range t blk) then Error (Tinca.Block_out_of_range blk)
+  else Ok { txn with writes = M.add blk (Bytes.copy data) txn.writes }
+
+let read_in t txn blk =
+  if not txn.is_live then Error Tinca.Txn_not_running
+  else if not (in_range t blk) then Error (Tinca.Block_out_of_range blk)
+  else
+    match M.find_opt blk txn.writes with
+    | Some data -> Ok (Bytes.copy data)
+    | None -> Ok (block t blk)
+
+let apply committed writes = M.union (fun _blk staged _old -> Some staged) writes committed
+
+let commit t txn =
+  if not txn.is_live then Error Tinca.Txn_not_running
+  else
+    Ok
+      ( { t with committed = apply t.committed txn.writes },
+        { writes = M.empty; is_live = false } )
+
+let abort t txn =
+  if not txn.is_live then Error Tinca.Txn_not_running
+  else Ok (t, { writes = M.empty; is_live = false })
+
+let reject _txn = { writes = M.empty; is_live = false }
+
+let write_direct t blk data =
+  if Bytes.length data <> t.block_size then
+    Error (Tinca.Wrong_block_size { expected = t.block_size; got = Bytes.length data })
+  else if not (in_range t blk) then Error (Tinca.Block_out_of_range blk)
+  else Ok { t with committed = M.add blk (Bytes.copy data) t.committed }
+
+let pending txn = M.bindings txn.writes
+
+let apply_pending t txn = { t with committed = apply t.committed txn.writes }
+
+(* Structural equality up to the zero-block default: a block explicitly
+   written to zeros equals an absent one. *)
+let equal a b =
+  a.nblocks = b.nblocks && a.block_size = b.block_size
+  &&
+  let rec all blk =
+    blk >= a.nblocks || (Bytes.equal (block a blk) (block b blk) && all (blk + 1))
+  in
+  all 0
+
+let pp_diff ppf (a, b) =
+  let rec first blk =
+    if blk >= a.nblocks then Format.fprintf ppf "states equal"
+    else
+      let da = block a blk and db = block b blk in
+      if Bytes.equal da db then first (blk + 1)
+      else
+        Format.fprintf ppf "block %d: %C vs %C" blk (Bytes.get da 0) (Bytes.get db 0)
+  in
+  first 0

@@ -1,0 +1,90 @@
+(** Executable specification of the transactional cache (ROADMAP item 5).
+
+    The dafny-jrnl journal spec is a [map<Addr, Object>] with read/write
+    obligations; this is the same idea for Tinca, in ~100 lines of pure
+    OCaml: the entire observable state is one [block -> bytes] map (the
+    committed image; absent blocks read as zeros) plus an in-flight
+    transaction buffer.  No geometry, no ring, no COW, no shards — which
+    is exactly what makes it a specification rather than a second
+    implementation.
+
+    Obligations encoded here, checked against the real {!Tinca} facade by
+    {!Lockstep}:
+
+    - [read] returns exactly the committed map;
+    - [commit] applies the whole buffer at once (all-or-nothing — for a
+      multi-shard transaction the seal makes this true across shards);
+    - [abort], a rejected commit, or a crash before the commit point
+      leave the map untouched;
+    - validation errors ([Wrong_block_size], [Block_out_of_range],
+      [Txn_not_running]) are predicted exactly, with the same constructor
+      the facade returns.
+
+    [Transaction_too_large] is the one outcome the spec cannot predict
+    (it depends on cache geometry); {!reject} is the transition the
+    executor applies when the real system reports it: the transaction is
+    terminal and the map is untouched.
+
+    Everything is pure: operations return the successor state, so the
+    lockstep executor and the crash-refinement judge can hold onto
+    arbitrary historical states for free. *)
+
+type t
+(** The committed image: a [block -> bytes] map. *)
+
+type txn
+(** An in-flight (or finished) transaction buffer. *)
+
+val create : nblocks:int -> block_size:int -> t
+(** All [nblocks] blocks zero-filled. *)
+
+val nblocks : t -> int
+val block_size : t -> int
+
+val block : t -> int -> bytes
+(** Committed content of a block (fresh copy; zeros if never written).
+    Total on [0, nblocks); used by the crash-refinement judge. *)
+
+val read : t -> int -> (bytes, Tinca.error) result
+(** The spec of [Tinca.read]. *)
+
+val init_txn : t -> txn
+(** A live transaction with an empty buffer. *)
+
+val live : txn -> bool
+
+val write : t -> txn -> int -> bytes -> (txn, Tinca.error) result
+(** Stage a write into the buffer (last write to a block wins).  Errors
+    exactly when the facade does: finished handle, wrong size, block out
+    of range. *)
+
+val read_in : t -> txn -> int -> (bytes, Tinca.error) result
+(** Read-your-writes inside the transaction: the buffer overlays the
+    committed map.  (The facade exposes no in-transaction read; this is
+    a spec-internal law, pinned by the unit tests.) *)
+
+val commit : t -> txn -> (t * txn, Tinca.error) result
+(** Apply the whole buffer to the map, atomically; the returned handle
+    is finished.  [Error Txn_not_running] on a finished handle. *)
+
+val abort : t -> txn -> (t * txn, Tinca.error) result
+(** Drop the buffer; the map is untouched. *)
+
+val reject : txn -> txn
+(** The [Transaction_too_large] transition: the handle is finished, the
+    map (not returned — it is untouched by definition) unchanged. *)
+
+val write_direct : t -> int -> bytes -> (t, Tinca.error) result
+(** The spec of [Tinca.write_direct]: a one-block atomic commit. *)
+
+val pending : txn -> (int * bytes) list
+(** The buffer, as (block, data) pairs in ascending block order. *)
+
+val apply_pending : t -> txn -> t
+(** The committed map with the buffer fully applied — the "in-flight
+    commit fully applied" side of the crash-consistency oracle. *)
+
+val equal : t -> t -> bool
+
+val pp_diff : Format.formatter -> t * t -> unit
+(** First differing block of two states, for divergence messages. *)

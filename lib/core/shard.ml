@@ -105,6 +105,17 @@ let makespan_ns t = Array.fold_left max 0.0 t.lanes
 let lane_ns t = Array.copy t.lanes
 let reset_lanes t = Array.fill t.lanes 0 (Array.length t.lanes) 0.0
 
+(* --- fault injection (harness self-tests) -------------------------------- *)
+
+(* A deliberately planted commit-path mutation, used by the lockstep
+   refinement harness to prove it would catch the bug class: with
+   [`Skip_seal] the cross-shard commit record is never persisted, so a
+   crash between two shards' finalize steps recovers one shard's
+   sub-commit and rolls the other back — the partial mix the seal
+   exists to prevent.  Never set outside tests. *)
+let fault : [ `Skip_seal ] option ref = ref None
+let set_fault f = fault := f
+
 (* --- the cross-shard commit record -------------------------------------- *)
 
 let seal_value ~mask ~epoch = (mask lsl 32) lor (epoch land 0xFFFFFFFF)
@@ -118,9 +129,11 @@ let persist_seal pmem v =
   Pmem.persist pmem ~off:seal_off ~len:8
 
 let write_seal t mask =
-  t.epoch <- t.epoch + 1;
-  persist_seal t.pmem (seal_value ~mask ~epoch:t.epoch);
-  Metrics.incr t.metrics "tinca.shard.seals" ~by:1
+  if !fault <> Some `Skip_seal then begin
+    t.epoch <- t.epoch + 1;
+    persist_seal t.pmem (seal_value ~mask ~epoch:t.epoch);
+    Metrics.incr t.metrics "tinca.shard.seals" ~by:1
+  end
 
 let clear_seal t = persist_seal t.pmem 0
 

@@ -151,3 +151,13 @@ val stats_kv : stats -> (string * string) list
 (** Per-shard {!Cache.check_invariants} plus: the seal must be clear
     outside a commit. *)
 val check_invariants : t -> unit
+
+(** {1 Fault injection (harness self-tests only)}
+
+    [set_fault (Some `Skip_seal)] suppresses the cross-shard commit
+    record, recreating the bug class the seal prevents (a crash between
+    two shards' finalize steps exposes a partial multi-shard commit).
+    The lockstep refinement harness plants this to prove its crash-state
+    oracle catches real commit-path mutations.  Always reset to [None]
+    (e.g. with [Fun.protect]). *)
+val set_fault : [ `Skip_seal ] option -> unit

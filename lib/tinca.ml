@@ -96,12 +96,30 @@ let pp_error fmt e = Format.pp_print_string fmt (error_message e)
 
 (* The 1:1 bridge to the exception-based Cache interface, used by the
    stack builders (whose Backend contract is exception-based) and pinned
-   by the facade round-trip tests. *)
+   by the facade round-trip tests.  I/O-shaped errors keep their payload
+   (Io_error) instead of flattening into Failure — a caller catching the
+   bridge must be able to tell bad media from bad arguments. *)
+exception Io_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Io_error e -> Some (Printf.sprintf "Tinca.Io_error: %s" (error_message e))
+    | _ -> None)
+
 let to_exn = function
   | Transaction_too_large -> Cache.Transaction_too_large
-  | Unformatted m -> Failure m
+  | Unformatted _ as e -> Io_error e
   | (Txn_not_running | Wrong_block_size _ | Block_out_of_range _ | Invalid_config _) as e ->
       Invalid_argument ("Tinca: " ^ error_message e)
+
+let of_exn = function
+  | Cache.Transaction_too_large -> Some Transaction_too_large
+  (* Cache_exhausted is the raw allocator signal the commit path
+     normally rewrites into Transaction_too_large; a stray one crossing
+     the bridge is the same geometry-pressure class. *)
+  | Cache.Cache_exhausted -> Some Transaction_too_large
+  | Io_error e -> Some e
+  | _ -> None
 
 let ok_exn = function Ok v -> v | Error e -> raise (to_exn e)
 

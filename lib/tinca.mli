@@ -66,11 +66,29 @@ type error =
 val error_message : error -> string
 val pp_error : Format.formatter -> error -> unit
 
+(** I/O-shaped failures crossing the exception bridge: the error is
+    environmental (media, geometry pressure), not a misuse of the API,
+    so {!to_exn} must not flatten it into [Failure]/[Invalid_argument]
+    — callers need to distinguish "the medium is bad" from "your
+    arguments are bad" and can recover the original [error] via
+    {!of_exn}. *)
+exception Io_error of error
+
 (** Map each error to exactly one exception of the retained Cache-level
     interface (pinned by the facade round-trip tests):
     [Transaction_too_large] -> {!Tinca_core.Cache.Transaction_too_large},
-    [Unformatted] -> [Failure], everything else -> [Invalid_argument]. *)
+    [Unformatted] -> {!Io_error} (it used to flatten into [Failure],
+    losing the payload), everything else (API misuse) ->
+    [Invalid_argument]. *)
 val to_exn : error -> exn
+
+(** Partial inverse of {!to_exn}: recover the [error] from a bridge
+    exception.  [of_exn (to_exn e) = Some e] for every I/O-shaped [e]
+    ([Transaction_too_large], [Unformatted]); Cache-level
+    [Cache_exhausted]-class exceptions also map home
+    ({!Tinca_core.Cache.Transaction_too_large} ->
+    [Some Transaction_too_large]).  [None] for foreign exceptions. *)
+val of_exn : exn -> error option
 
 (** [ok_exn r] unwraps [Ok] or raises {!to_exn} of the error — the
     bridge for exception-based callers (the stack backends). *)

@@ -211,11 +211,10 @@ let test_fifo_rotates () =
   done;
   Alcotest.(check int) "all 8 indices visited" 8 (Hashtbl.length seen)
 
-let test_fifo_rebuild_resorts_ascending () =
-  (* Pin the documented quirk (free_monitor.ml): when lazy deletion
-     forces an internal ring rebuild, the pool is re-sorted ascending by
-     index, so Fifo temporarily hands indices out in ascending order
-     rather than oldest-freed-first.  This trace fills the ring so the
+let test_fifo_rebuild_preserves_age_order () =
+  (* A lazy-deletion ring rebuild must preserve oldest-freed-first order
+     (wear-leveling rotation survives recovery rebuilds) instead of the
+     old re-sort-ascending behaviour.  This trace fills the ring so the
      last [free] triggers the rebuild. *)
   let fm = Fm.create ~policy:Fm.Fifo ~n:3 () in
   Fm.mark_used fm 1;
@@ -225,15 +224,43 @@ let test_fifo_rebuild_resorts_ascending () =
   Fm.free fm 0;
   Fm.free fm 1;
   (* Age order is now 2, 0, 1.  Stale-ing 0's entry and re-freeing it
-     finds the ring full, which rebuilds the pool ascending. *)
+     finds the ring full, which forces the rebuild; 0 moves to the
+     youngest position, 2 and 1 keep their relative age. *)
   Fm.mark_used fm 0;
   Fm.free fm 0;
   let a = Fm.alloc fm in
   let b = Fm.alloc fm in
   let c = Fm.alloc fm in
   Alcotest.(check (list (option int)))
-    "post-rebuild order is ascending by index, not by age"
-    [ Some 0; Some 1; Some 2 ] [ a; b; c ]
+    "post-rebuild order is oldest-freed-first, not ascending"
+    [ Some 2; Some 1; Some 0 ] [ a; b; c ]
+
+let test_fifo_order_without_staleness () =
+  (* With no mark_used interference, Fifo is exactly a FIFO queue even
+     across the rebuilds that long free/alloc traffic provokes. *)
+  let n = 5 in
+  let fm = Fm.create ~policy:Fm.Fifo ~n () in
+  let q = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.push i q
+  done;
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 500 do
+    if Random.State.bool rng && Queue.length q > 0 then begin
+      let expect = Queue.pop q in
+      Alcotest.(check (option int)) "fifo pops oldest-freed" (Some expect) (Fm.alloc fm)
+    end
+    else if Queue.length q < n then begin
+      (* Free the longest-allocated index (any used one works; pick the
+         smallest not in the queue for determinism). *)
+      let in_q = Array.make n false in
+      Queue.iter (fun i -> in_q.(i) <- true) q;
+      let rec first i = if in_q.(i) then first (i + 1) else i in
+      let i = first 0 in
+      Fm.free fm i;
+      Queue.push i q
+    end
+  done
 
 let test_lifo_reuses () =
   let fm = Fm.create ~policy:Fm.Lifo ~n:8 () in
@@ -308,8 +335,10 @@ let policy_suite =
     ( "cachelib.alloc_policy",
       [
         Alcotest.test_case "fifo rotates" `Quick test_fifo_rotates;
-        Alcotest.test_case "fifo rebuild re-sorts ascending" `Quick
-          test_fifo_rebuild_resorts_ascending;
+        Alcotest.test_case "fifo rebuild preserves age order" `Quick
+          test_fifo_rebuild_preserves_age_order;
+        Alcotest.test_case "fifo is a queue without staleness" `Quick
+          test_fifo_order_without_staleness;
         Alcotest.test_case "lifo reuses" `Quick test_lifo_reuses;
         q prop_fifo_model;
         Alcotest.test_case "cache fifo spreads wear" `Quick test_cache_fifo_policy_spreads_wear;

@@ -91,7 +91,7 @@ let test_to_exn_mapping () =
   | Cache.Transaction_too_large -> ()
   | e -> Alcotest.failf "Transaction_too_large -> %s" (Printexc.to_string e));
   (match Tinca.to_exn (Tinca.Unformatted "no media") with
-  | Failure m when m = "no media" -> ()
+  | Tinca.Io_error (Tinca.Unformatted m) when m = "no media" -> ()
   | e -> Alcotest.failf "Unformatted -> %s" (Printexc.to_string e));
   List.iter
     (fun (name, err) ->
@@ -109,6 +109,36 @@ let test_to_exn_mapping () =
   match Tinca.ok_exn (Error Tinca.Transaction_too_large) with
   | exception Cache.Transaction_too_large -> ()
   | _ -> Alcotest.fail "ok_exn Error did not raise"
+
+let test_of_exn_round_trip () =
+  (* The I/O-shaped errors survive a round trip through the bridge with
+     their payloads intact — they no longer flatten into Failure. *)
+  let io_shaped =
+    [ Tinca.Transaction_too_large; Tinca.Unformatted "superblock magic 0xdead" ]
+  in
+  List.iter
+    (fun e ->
+      match Tinca.of_exn (Tinca.to_exn e) with
+      | Some e' when e = e' -> ()
+      | Some e' ->
+          Alcotest.failf "round trip changed %s into %s" (Tinca.error_message e)
+            (Tinca.error_message e')
+      | None -> Alcotest.failf "round trip lost %s" (Tinca.error_message e))
+    io_shaped;
+  (* The raw allocator signal maps home to the same geometry class. *)
+  (match Tinca.of_exn Cache.Cache_exhausted with
+  | Some Tinca.Transaction_too_large -> ()
+  | _ -> Alcotest.fail "Cache_exhausted did not map to Transaction_too_large");
+  (* Foreign exceptions are not claimed. *)
+  (match Tinca.of_exn Not_found with
+  | None -> ()
+  | Some e -> Alcotest.failf "of_exn claimed Not_found as %s" (Tinca.error_message e));
+  (* The registered printer keeps the payload readable in logs. *)
+  let s = Printexc.to_string (Tinca.to_exn (Tinca.Unformatted "bad magic")) in
+  Alcotest.(check bool)
+    (Printf.sprintf "printer shows payload (%s)" s)
+    true
+    (String.length s >= 9 && String.sub s 0 5 = "Tinca")
 
 (* --- Config.validate rejection table ------------------------------------- *)
 
@@ -187,6 +217,7 @@ let suite =
       [
         Alcotest.test_case "every error constructor reachable" `Quick test_errors_reachable;
         Alcotest.test_case "to_exn maps 1:1 to the old exceptions" `Quick test_to_exn_mapping;
+        Alcotest.test_case "of_exn round-trips I/O-shaped errors" `Quick test_of_exn_round_trip;
         Alcotest.test_case "Config.validate rejection table" `Quick test_config_validate;
         Alcotest.test_case "round-trip incl. recovery" `Quick test_round_trip;
       ] );

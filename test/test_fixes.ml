@@ -188,6 +188,29 @@ let test_crash_space_quick () =
         Check.pp_violation v);
   Alcotest.(check int) "no violations" 0 (List.length r.Check.violations)
 
+(* The lockstep refinement harness's headline sensitivity guarantee,
+   pinned as a regression: skipping the cross-shard seal (the bug class
+   the seal exists to prevent) is invisible to a crash-free run but
+   must be caught by spec refinement over the crash space at N=2, on
+   the known 4-command minimal reproducer.  A clean run of the same
+   sequence must stay clean (no false positive). *)
+let test_skip_seal_caught_by_refinement () =
+  let module L = Tinca_checker.Lockstep in
+  let module Check = Tinca_checker.Crash_check in
+  let g = { L.default_geometry with L.nshards = 2 } in
+  let cmds = [| L.Begin; L.Write (34, 86); L.Write (23, 108); L.Commit |] in
+  (match L.run ~mutate:L.Skip_seal g cmds with
+  | Ok _ -> ()
+  | Error d ->
+      Alcotest.failf "seal skip visible without a crash: %s"
+        (Format.asprintf "%a" L.pp_divergence d));
+  let clean = L.crash_refine ~cap:16 g cmds in
+  Alcotest.(check int) "unmutated run refines the spec" 0
+    (List.length clean.Check.violations);
+  let mutated = L.crash_refine ~mutate:L.Skip_seal ~cap:16 g cmds in
+  Alcotest.(check bool) "skipped seal caught as a refinement violation" true
+    (mutated.Check.violations <> [])
+
 let suite =
   [
     ( "core.commit_path_fixes",
@@ -207,4 +230,9 @@ let suite =
       ] );
     ( "check.crash_space",
       [ Alcotest.test_case "budgeted exhaustive sweep" `Quick test_crash_space_quick ] );
+    ( "check.refinement_regressions",
+      [
+        Alcotest.test_case "skipped seal caught by spec refinement" `Quick
+          test_skip_seal_caught_by_refinement;
+      ] );
   ]
