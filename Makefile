@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check-crash check-crash-budget check-spec check-psan check-obs check-shard ci bench bench-json experiments examples clean
+.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard ci bench bench-json experiments examples clean
 
 all: build
 
@@ -9,6 +9,18 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis (tinca-lint, DESIGN.md §9): pmem encapsulation, fence
+# discipline, domain-readiness inventory, error discipline, .mli
+# coverage.  Fails on any finding not in lint.baseline (and on stale
+# baseline entries); every baseline entry carries a justification.
+lint:
+	dune exec bin/tinca_lint.exe -- --root . --baseline lint.baseline
+
+# Rewrite lint.baseline from the current findings, preserving existing
+# justifications; new entries get a TODO placeholder you must fill in.
+lint-update:
+	dune exec bin/tinca_lint.exe -- --root . --baseline lint.baseline --update
 
 # Exhaustive crash-space model check of the commit protocol: every pmem
 # event of the default 6-commit workload is a crash point; at each one,
@@ -55,14 +67,14 @@ check-shard:
 	dune exec bin/tinca_check.exe -- --psan --commits 100 --universe 160 --shards 4
 	dune exec bin/tinca_bench.exe -- check-shard
 
-# Everything a gate should run: build, unit tests, the budgeted
+# Everything a gate should run: build, unit tests, the lint, the budgeted
 # crash-space sweep, the spec-refinement gate, the sanitizer pass, the
 # observability gate, the commit-protocol benchmark artifact and the
 # sharding gate.  (The crash sweep used to hide as an unnamed recipe
 # line here — as a prerequisite it is now visible in `make -n ci`,
 # runnable on its own, and not silently skipped when a prerequisite
 # fails earlier in the recipe.)
-ci: build test check-crash-budget check-spec check-psan check-obs bench-json check-shard
+ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:

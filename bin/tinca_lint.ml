@@ -1,0 +1,118 @@
+(* tinca_lint — static analyzer driver (`make lint`).
+
+   Scans lib/ for pmem-discipline violations (see Tinca_lint.Rules),
+   reconciles them against the checked-in baseline and exits non-zero on
+   any fresh finding or stale baseline entry.  `--update` rewrites the
+   baseline from the current tree (new entries get a TODO justification
+   a human must edit); `--inventory` prints only R1's shared-mutable-
+   state inventory. *)
+
+open Tinca_lint
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let by_rule findings rule = List.filter (fun (f : Rules.finding) -> f.rule = rule) findings
+
+let main root baseline_path update inventory_only quiet =
+  let old_baseline =
+    if Sys.file_exists baseline_path then (
+      match Baseline.parse (read_file baseline_path) with
+      | Ok b -> b
+      | Error msg ->
+          Printf.eprintf "tinca-lint: %s: %s\n" baseline_path msg;
+          exit 2)
+    else []
+  in
+  let report = Lint.run ~root in
+  if report.Lint.errors <> [] then begin
+    List.iter (fun (_, msg) -> Printf.eprintf "tinca-lint: %s\n" msg) report.Lint.errors;
+    exit 2
+  end;
+  let inv = Lint.inventory report in
+  if inventory_only then begin
+    Printf.printf "R1 toplevel-mutable-state inventory for lib/ (%d sites):\n" (List.length inv);
+    List.iter (fun f -> print_endline ("  " ^ Lint.pp_finding f)) inv;
+    exit 0
+  end;
+  if update then begin
+    let entries = Lint.to_baseline ~old:old_baseline report in
+    write_file baseline_path (Baseline.emit entries);
+    Printf.printf "tinca-lint: wrote %d entries to %s (edit any TODO justifications)\n"
+      (List.length (List.sort_uniq compare entries))
+      baseline_path;
+    exit 0
+  end;
+  let fresh, stale = Baseline.reconcile old_baseline report.Lint.findings in
+  if not quiet then begin
+    Printf.printf "tinca-lint: scanned %d files under %s/lib\n"
+      (List.length report.Lint.files) root;
+    List.iter
+      (fun rule ->
+        Printf.printf "  %s %-62s %d finding(s)\n" (Rules.rule_name rule) (Rules.rule_title rule)
+          (List.length (by_rule report.Lint.findings rule)))
+      [ Rules.R1; Rules.R2; Rules.R3; Rules.R4; Rules.R5 ];
+    Printf.printf "R1 shared-state inventory (%d sites):\n" (List.length inv);
+    List.iter (fun f -> print_endline ("  " ^ Lint.pp_finding f)) inv;
+    Printf.printf "deferred fence obligations (%d):\n" (List.length report.Lint.deferred);
+    List.iter (fun d -> print_endline ("  " ^ Lint.pp_deferred d)) report.Lint.deferred
+  end;
+  if fresh <> [] then begin
+    Printf.printf "fresh findings (%d) — fix them or baseline them with a justification:\n"
+      (List.length fresh);
+    List.iter (fun f -> print_endline ("  " ^ Lint.pp_finding f)) fresh
+  end;
+  if stale <> [] then begin
+    Printf.printf "stale baseline entries (%d) — the debt was paid; delete them from %s:\n"
+      (List.length stale) baseline_path;
+    List.iter
+      (fun (e : Baseline.entry) ->
+        Printf.printf "  %s %s %s\n" (Rules.rule_name e.Baseline.rule) e.Baseline.file
+          e.Baseline.token)
+      stale
+  end;
+  if fresh = [] && stale = [] then begin
+    if not quiet then
+      Printf.printf "lint clean: %d finding(s), all baselined with justifications\n"
+        (List.length report.Lint.findings);
+    exit 0
+  end
+  else exit 1
+
+open Cmdliner
+
+let root =
+  Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan.")
+
+let baseline_path =
+  Arg.(
+    value
+    & opt string "lint.baseline"
+    & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline (accepted-findings) file.")
+
+let update =
+  Arg.(
+    value & flag
+    & info [ "update" ]
+        ~doc:"Rewrite the baseline from the current tree, keeping existing justifications.")
+
+let inventory_only =
+  Arg.(
+    value & flag
+    & info [ "inventory" ] ~doc:"Print only R1's toplevel-mutable-state inventory and exit.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print failures.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tinca_lint" ~doc:"Static analyzer for pmem discipline (R1-R5); see DESIGN.md")
+    Term.(const main $ root $ baseline_path $ update $ inventory_only $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,21 @@
+(** A plain block-device interface, used to stack layers (journal over
+    cache over NVM/disk) without introducing dependency cycles: each
+    layer constructs one of these records over itself, and consumers
+    (the JBD2 journal, the stacks) program against the record instead of
+    the concrete layer type. *)
+
+type t = {
+  block_size : int;  (** bytes per block; fixed for the device *)
+  nblocks : int;  (** device capacity in blocks *)
+  read_block : int -> bytes;  (** newest content of a block *)
+  write_block : int -> bytes -> unit;
+      (** overwrite a block; durability semantics are the underlying
+          layer's (a raw disk write is durable, a cache write is
+          whatever the cache promises) *)
+}
+
+(** View a simulated disk as a block device. *)
+val of_disk : Disk.t -> t
+
+(** View an NVM block device (persist-per-write) as a block device. *)
+val of_nvm_bdev : Nvm_bdev.t -> t

@@ -42,6 +42,18 @@ exception Cache_exhausted
     in-flight transaction.  [Txn.commit] maps this to
     {!Transaction_too_large} after rolling the partial commit back. *)
 
+exception Corrupt of string
+(** Recovery rejected the media: unformatted NVM, corrupt superblock
+    geometry, or an entry table that contradicts itself.  Typed (not
+    [Failure]) so callers can tell "the medium is bad" from an
+    arbitrary internal error; the facade maps it to
+    [Tinca.Unformatted]. *)
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt m -> Some (Printf.sprintf "Tinca_core.Cache.Corrupt(%S)" m)
+    | _ -> None)
+
 (* DRAM-side bookkeeping for one cached disk block (§4.6: hash table +
    LRU list, reconstructible from the persistent entry table). *)
 type info = {
@@ -113,7 +125,7 @@ let write_super t =
    bound the region this cache may own (a shard of a partitioned device);
    they default to the whole device. *)
 let read_super ~base ~mem_bytes pmem =
-  let corrupt fmt = Printf.ksprintf failwith ("Tinca.Cache: " ^^ fmt) in
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt ("Tinca.Cache: " ^ m))) fmt in
   if mem_bytes < base + 64 || mem_bytes > Pmem.size pmem then
     corrupt "unformatted NVM (region smaller than a superblock)";
   let b = Pmem.read pmem ~off:base ~len:64 in
@@ -389,7 +401,7 @@ let recover_region ~base ~mem_bytes ~pmem ~disk ~clock ~metrics =
   let layout = read_super ~base ~mem_bytes pmem in
   let block_size = layout.Layout.block_size and ring_slots = layout.Layout.ring_slots in
   if Disk.block_size disk <> block_size then
-    failwith "Tinca.Cache.recover: disk block size mismatch";
+    raise (Corrupt "Tinca.Cache.recover: disk block size mismatch");
   let cfg = { default_config with block_size; ring_slots } in
   let t = make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics in
   Trace.begin_span ~clock "tinca.recover";
@@ -406,7 +418,7 @@ let recover_region ~base ~mem_bytes ~pmem ~disk ~clock ~metrics =
     let e = entry_at t i in
     if e.Entry.valid then begin
       if Hashtbl.mem t.index e.Entry.disk_blkno then
-        failwith "Tinca.Cache.recover: duplicate valid entry for a disk block";
+        raise (Corrupt "Tinca.Cache.recover: duplicate valid entry for a disk block");
       let role_log = e.Entry.role = Entry.Log in
       let in_flight = role_log || Hashtbl.mem in_ring e.Entry.disk_blkno in
       let info =

@@ -68,6 +68,13 @@ exception Transaction_too_large
     see one exception type for capacity problems. *)
 exception Cache_exhausted
 
+(** Recovery rejected the media: unformatted NVM, corrupt superblock
+    geometry, or an entry table that contradicts itself.  Typed (not a
+    bare [Failure]) so callers can distinguish "the medium is bad" from
+    an arbitrary internal error; the [Tinca] facade maps it to
+    [Tinca.Unformatted]. *)
+exception Corrupt of string
+
 (** [format ~config ~pmem ~disk ~clock ~metrics] initializes the NVM
     layout (superblock, zeroed pointers and entry table) and returns an
     empty cache. *)
@@ -95,7 +102,7 @@ val format_region :
 (** [recover ~pmem ~disk ~clock ~metrics] re-attaches after a crash:
     validates the superblock, scans the entry table to rebuild the DRAM
     index / LRU / free monitor, and revokes every block of the in-flight
-    transaction (paper §4.5).  Raises [Failure] on unformatted media. *)
+    transaction (paper §4.5).  Raises {!Corrupt} on unformatted media. *)
 val recover :
   pmem:Tinca_pmem.Pmem.t ->
   disk:Tinca_blockdev.Disk.t ->

@@ -1,6 +1,5 @@
 open Tinca_sim
 module Pmem = Tinca_pmem.Pmem
-module Disk = Tinca_blockdev.Disk
 module Trace = Tinca_obs.Trace
 module Codec = Tinca_util.Codec
 
@@ -208,6 +207,11 @@ let roll_forward ~pmem ~nshards ~span ~mask =
     end
   done;
   persist_seal pmem 0
+[@@pmem.defer
+  "every mutated range is persisted in-loop: role switches are fenced by the guarded \
+   flush_lines+sfence (the guard `lines <> []` is true exactly when a switch was written, which \
+   the syntactic dataflow cannot correlate), the Tail advance by its own persist, and the seal \
+   retirement by persist_seal"]
 
 (* Media without the shard directory magic is a plain unsharded Cache
    (the N=1 format above, or pre-sharding media): recover it as one
@@ -216,7 +220,7 @@ let is_sharded_media pmem =
   Pmem.size pmem >= 8 && Pmem.read_u64 pmem ~off:dir_off = magic
 
 let recover_sharded ~pmem ~disk ~clock ~metrics =
-  let corrupt fmt = Printf.ksprintf failwith ("Tinca.Shard: " ^^ fmt) in
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Cache.Corrupt ("Tinca.Shard: " ^ m))) fmt in
   if Pmem.size pmem < header_bytes then corrupt "unformatted NVM (device smaller than the shard header)";
   let b = Pmem.read pmem ~off:dir_off ~len:64 in
   let nshards = Codec.get_u32 b 8 in

@@ -94,6 +94,9 @@ let create ~config ~pmem ~disk ~clock ~metrics =
   Pmem.fill pmem ~off:t.md_off ~len:(Bytes.length t.md_shadow) '\000';
   if config.flush_writes then Pmem.persist pmem ~off:t.md_off ~len:(Bytes.length t.md_shadow);
   t
+[@@pmem.defer
+  "flush_writes=false deliberately models the paper's crash-unsafe no-flush baseline (§3.2); \
+   with flush_writes=true every path persists"]
 
 let nslots t = t.nslots
 
@@ -131,6 +134,9 @@ let update_slot_metadata t slot =
     Metrics.incr t.metrics "flashcache.md_writes" ~by:1;
     Tinca_obs.Trace.end_span "fc.md_sync"
   end
+[@@pmem.defer
+  "flush_writes=false deliberately models the paper's crash-unsafe no-flush baseline (§3.2); \
+   with flush_writes=true every metadata rewrite persists"]
 
 let recover ~config ~pmem ~disk ~clock ~metrics =
   let t = mk ~config ~pmem ~disk ~clock ~metrics in
@@ -223,6 +229,9 @@ let clean_set t set =
       Tinca_obs.Trace.end_span "fc.clean_md"
     end
   end
+[@@pmem.defer
+  "flush_writes=false deliberately models the paper's crash-unsafe no-flush baseline (§3.2); \
+   with flush_writes=true each touched metadata block persists once per cleaning round"]
 
 (* Pick a victim in [set]: an invalid slot if any, else the set's LRU. *)
 let victim_in_set t set =
@@ -266,6 +275,9 @@ let write_data_block t slot data =
   let off = slot_data_off t slot in
   Pmem.write t.pmem ~off data;
   if t.cfg.flush_writes then Pmem.persist t.pmem ~off ~len:t.cfg.block_size
+[@@pmem.defer
+  "flush_writes=false deliberately models the paper's crash-unsafe no-flush baseline (§3.2); \
+   with flush_writes=true every data write persists"]
 
 let write t blkno data =
   if Bytes.length data <> t.cfg.block_size then invalid_arg "Flashcache.write: wrong block size";

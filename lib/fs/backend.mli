@@ -1,0 +1,31 @@
+(** The pluggable storage backend of the file system.
+
+    The file system batches its modified blocks (data and metadata
+    alike: the paper's data-consistency level journals both) into
+    transactions and hands them to one of these records:
+
+    - the {e Tinca} backend maps [commit_blocks] to
+      [tinca_init_txn]/[tinca_commit] — no journal, no checkpoint;
+    - the {e Classic} backend maps it to a JBD2 transaction over a
+      Flashcache-managed NVM cache — commit writes the journal copies,
+      checkpointing later writes the home copies (the double write);
+    - the {e no-journal} backend writes blocks straight through the
+      cache (crash-inconsistent; used by the motivation experiments);
+    - the {e UBJ} backend commits in place in an NVM buffer cache
+      (§5.4.4 comparison).
+
+    Constructors live in [Tinca_stacks] to keep this library free of
+    cache dependencies. *)
+
+type t = {
+  name : string;  (** stack label used in experiment tables *)
+  block_size : int;
+  nblocks : int;
+  read_block : int -> bytes;
+      (** newest version of a block (cache overlay included) *)
+  commit_blocks : (int * bytes) list -> unit;
+      (** atomically and durably apply a set of block writes *)
+  write_blocks : (int * bytes) list -> unit;
+      (** apply block writes with no atomicity/durability promise *)
+  sync : unit -> unit;  (** drain the cache to disk (decommissioning) *)
+}

@@ -7,7 +7,6 @@
     the NVM cache (paper: ~0.4 %). *)
 
 module Stacks = Tinca_stacks.Stacks
-module Cache = Tinca_core.Cache
 module Filebench = Tinca_workloads.Filebench
 module Tabular = Tinca_util.Tabular
 module Histogram = Tinca_util.Histogram

@@ -1,0 +1,96 @@
+(* The checked-in debt ledger: existing findings stay visible here (one
+   line each, with a mandatory justification) while anything not listed
+   fails the lint.  Matching is by (rule, file, token), not line number,
+   so unrelated edits to a file do not invalidate its entries. *)
+
+type entry = { rule : Rules.rule; file : string; token : string; justification : string }
+
+type t = entry list
+
+let header =
+  [
+    "# tinca-lint baseline — accepted findings, one per line:";
+    "#   <rule> <file> <token> \"<justification>\"";
+    "# A finding not listed here fails `make lint`; a listed entry with no";
+    "# matching finding is stale and also fails (delete it).  Justifications";
+    "# are mandatory and must not be empty.";
+  ]
+
+let is_comment line =
+  let line = String.trim line in
+  line = "" || line.[0] = '#'
+
+(* `R2 lib/x.ml token "justification"` — justification is everything
+   between the first and last double quote; embedded quotes are not
+   supported (rejected at emit time too). *)
+let parse_line lineno line =
+  match String.index_opt line '"' with
+  | None -> Error (Printf.sprintf "line %d: missing quoted justification" lineno)
+  | Some q ->
+      let head = String.trim (String.sub line 0 q) in
+      let close = String.rindex line '"' in
+      if close = q then Error (Printf.sprintf "line %d: unterminated justification" lineno)
+      else if String.trim (String.sub line (close + 1) (String.length line - close - 1)) <> ""
+      then Error (Printf.sprintf "line %d: trailing garbage after justification" lineno)
+      else
+        let justification = String.sub line (q + 1) (close - q - 1) in
+        if String.trim justification = "" then
+          Error (Printf.sprintf "line %d: empty justification — every baseline entry must say why"
+                   lineno)
+        else
+          match String.split_on_char ' ' head |> List.filter (fun s -> s <> "") with
+          | [ rule; file; token ] -> (
+              match Rules.rule_of_string rule with
+              | Some rule -> Ok { rule; file; token; justification }
+              | None -> Error (Printf.sprintf "line %d: unknown rule %S" lineno rule))
+          | _ ->
+              Error
+                (Printf.sprintf "line %d: expected `<rule> <file> <token> \"...\"`, got %S" lineno
+                   line)
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if is_comment line then go (lineno + 1) acc rest
+        else (
+          match parse_line lineno line with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+let compare_entry a b =
+  match compare (Rules.rule_name a.rule) (Rules.rule_name b.rule) with
+  | 0 -> ( match compare a.file b.file with 0 -> compare a.token b.token | c -> c)
+  | c -> c
+
+let emit entries =
+  let body =
+    List.sort_uniq compare_entry entries
+    |> List.map (fun e ->
+           if String.contains e.justification '"' then
+             invalid_arg "Baseline.emit: justification must not contain double quotes";
+           Printf.sprintf "%s %s %s \"%s\"" (Rules.rule_name e.rule) e.file e.token
+             (String.trim e.justification))
+  in
+  String.concat "\n" (header @ body) ^ "\n"
+
+let covers entries (f : Rules.finding) =
+  List.find_opt (fun e -> e.rule = f.rule && e.file = f.file && e.token = f.token) entries
+
+(* Split a run's findings against the ledger: [fresh] findings have no
+   entry; [stale] entries matched no finding this run. *)
+let reconcile entries findings =
+  let fresh = List.filter (fun f -> covers entries f = None) findings in
+  let stale =
+    List.filter
+      (fun e ->
+        not
+          (List.exists
+             (fun (f : Rules.finding) -> e.rule = f.rule && e.file = f.file && e.token = f.token)
+             findings))
+      entries
+  in
+  (fresh, stale)

@@ -1,0 +1,35 @@
+(** The checked-in debt ledger ([lint.baseline] at the repo root):
+    existing findings stay visible — one line each, with a mandatory
+    non-empty justification — while any finding not listed fails the
+    lint, and any entry matching no current finding is stale and fails
+    too.  Matching is by (rule, file, token), never by line number, so
+    unrelated edits do not invalidate entries. *)
+
+type entry = {
+  rule : Rules.rule;
+  file : string;
+  token : string;
+  justification : string;  (** why this finding is accepted; never empty *)
+}
+
+type t = entry list
+
+(** Parse the baseline file format: [#]-comments and blank lines are
+    skipped; every other line must be
+    [<rule> <file> <token> "<justification>"].  Fails on unknown rules,
+    malformed lines and {e empty} justifications. *)
+val parse : string -> (t, string) result
+
+(** Canonical serialization: header comment + entries sorted by
+    (rule, file, token).  [parse (emit t)] returns exactly
+    [List.sort_uniq] of [t] — the round-trip pinned by [test_lint].
+    Raises [Invalid_argument] on justifications containing a double quote. *)
+val emit : t -> string
+
+(** The entry accepting this finding, if any. *)
+val covers : t -> Rules.finding -> entry option
+
+(** [reconcile t findings] = [(fresh, stale)]: findings with no entry,
+    and entries with no finding this run.  Both must be empty for the
+    lint to pass. *)
+val reconcile : t -> Rules.finding list -> Rules.finding list * t

@@ -67,7 +67,7 @@ let parse_string p =
             if p.pos + 4 > String.length p.src then error p "truncated \\u escape";
             let hex = String.sub p.src p.pos 4 in
             let code =
-              try int_of_string ("0x" ^ hex) with _ -> error p "bad \\u escape %S" hex
+              try int_of_string ("0x" ^ hex) with Failure _ -> error p "bad \\u escape %S" hex
             in
             p.pos <- p.pos + 4;
             (* Encode the BMP code point as UTF-8 (surrogates land as-is;

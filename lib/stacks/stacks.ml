@@ -2,7 +2,6 @@ open Tinca_sim
 module Pmem = Tinca_pmem.Pmem
 module Disk = Tinca_blockdev.Disk
 module Block_io = Tinca_blockdev.Block_io
-module Cache = Tinca_core.Cache
 module Fc = Tinca_flashcache.Flashcache
 module Journal = Tinca_jbd2.Journal
 module Backend = Tinca_fs.Backend

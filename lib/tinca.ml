@@ -1,5 +1,4 @@
 open Tinca_sim
-module Pmem = Tinca_pmem.Pmem
 module Disk = Tinca_blockdev.Disk
 module Cache = Tinca_core.Cache
 module Shard = Tinca_core.Shard
@@ -154,7 +153,7 @@ let format ~config ~pmem ~disk ~clock ~metrics =
 let recover ~pmem ~disk ~clock ~metrics =
   match Shard.recover ~pmem ~disk ~clock ~metrics with
   | shard -> Ok (of_shard ~disk shard)
-  | exception Failure m -> Error (Unformatted m)
+  | exception Cache.Corrupt m -> Error (Unformatted m)
 
 (* --- introspection ------------------------------------------------------ *)
 

@@ -126,6 +126,9 @@ let read t blkno =
       info.node <- Some (Lru.push_mru t.lru info);
       Hashtbl.replace t.index blkno info;
       data
+[@@pmem.defer
+  "read-miss fill of a clean block: its durable home is the disk, so the NVM copy carries no \
+   persistence obligation until a write freezes it into a commit"]
 
 let write_nvm_block t nvm data =
   let off = block_off t nvm in

@@ -214,7 +214,7 @@ let test_recover_unformatted_rejected () =
     (try
        ignore (Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics);
        false
-     with Failure _ -> true)
+     with Cache.Corrupt _ -> true)
 
 let suite =
   [

@@ -111,12 +111,12 @@ let recover_fails_with env fragment =
   match
     Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
   with
-  | exception Failure msg ->
+  | exception Cache.Corrupt msg ->
       Alcotest.(check bool)
         (Printf.sprintf "diagnostic %S mentions %S" msg fragment)
         true (contains_substring msg fragment)
   | exception e ->
-      Alcotest.failf "expected a clean Failure, got %s" (Printexc.to_string e)
+      Alcotest.failf "expected a typed Cache.Corrupt, got %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "recovery accepted corrupt media"
 
 (* Zeroed geometry in an otherwise valid superblock must surface as a
