@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard ci bench bench-json experiments examples clean
+.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard check-group ci bench bench-json experiments examples clean
 
 all: build
 
@@ -67,14 +67,26 @@ check-shard:
 	dune exec bin/tinca_check.exe -- --psan --commits 100 --universe 160 --shards 4
 	dune exec bin/tinca_bench.exe -- check-shard
 
+# Group-commit gate (ISSUE 8): the sanitizer pass with an async
+# batch-scoped phase (commit_async streams drained under one fence
+# sequence per batch), then tinca_bench's three-property verdict — the
+# window=0 async path is media-, cost- and fence-identical to the
+# synchronous pipeline, sfences/commit < 1 at >= 8 streams, and p99
+# ack-to-durable latency stays within the configured window.  (The
+# lockstep side — gen_async equivalence, grouped crash refinement and
+# the planted Drop_durable_notify fault — already runs in check-spec.)
+check-group:
+	dune exec bin/tinca_check.exe -- --psan --commits 120 --universe 160 --group-window 400000
+	dune exec bin/tinca_bench.exe -- check-group
+
 # Everything a gate should run: build, unit tests, the lint, the budgeted
 # crash-space sweep, the spec-refinement gate, the sanitizer pass, the
-# observability gate, the commit-protocol benchmark artifact and the
-# sharding gate.  (The crash sweep used to hide as an unnamed recipe
-# line here — as a prerequisite it is now visible in `make -n ci`,
-# runnable on its own, and not silently skipped when a prerequisite
-# fails earlier in the recipe.)
-ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard
+# observability gate, the commit-protocol benchmark artifact, the
+# sharding gate and the group-commit gate.  (The crash sweep used to
+# hide as an unnamed recipe line here — as a prerequisite it is now
+# visible in `make -n ci`, runnable on its own, and not silently
+# skipped when a prerequisite fails earlier in the recipe.)
+ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard check-group
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:

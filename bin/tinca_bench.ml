@@ -203,7 +203,10 @@ let bench_json_cmd =
   in
   let run out =
     let t0 = Unix.gettimeofday () in
-    let json = Tinca_harness.Exp_commit.bench_json () in
+    let json =
+      Tinca_harness.Exp_commit.bench_json
+        ~group_block:Tinca_harness.Exp_group.json_block ()
+    in
     let oc = open_out out in
     output_string oc json;
     close_out oc;
@@ -351,6 +354,56 @@ let check_shard_cmd =
   in
   Cmd.v (Cmd.info "check-shard" ~doc) Term.(const run_check_shard $ json)
 
+(* `check-group` subcommand: the async group-commit CI gate (ISSUE 8) —
+   window=0 media/cost equivalence with the synchronous pipeline,
+   sfences/commit < 1 at >= 8 streams, p99 ack latency bounded by the
+   window. *)
+let run_check_group window streams =
+  let module Exp_group = Tinca_harness.Exp_group in
+  let module Tabular = Tinca_util.Tabular in
+  if window <= 0 then begin
+    Printf.eprintf "check-group: --group-window must be > 0\n";
+    exit 1
+  end;
+  (if streams > 0 then
+     let s = Exp_group.run_point ~streams ~window in
+     Printf.printf
+       "streams=%d window=%d ns: %.2f sfences/commit, %d batches (%.1f txns/batch), ack \
+        p50/p99 = %.0f/%.0f ns\n\n"
+       s.Exp_group.streams s.Exp_group.window_ns s.Exp_group.sfences_per_commit
+       s.Exp_group.batches s.Exp_group.txns_per_batch s.Exp_group.ack_p50_ns
+       s.Exp_group.ack_p99_ns);
+  let tables, ok = Exp_group.check ~window () in
+  List.iter
+    (fun t ->
+      print_string (Tabular.render t);
+      print_newline ())
+    tables;
+  if not ok then begin
+    Printf.printf "check-group: FAILED\n";
+    exit 1
+  end;
+  Printf.printf "check-group: all checks passed\n"
+
+let check_group_cmd =
+  let doc =
+    "Validate the async group-commit path (window=0 equivalence pin, amortized fences, ack \
+     latency bound)."
+  in
+  let window =
+    Arg.(value & opt int Tinca_harness.Exp_group.default_window_ns
+         & info [ "group-window" ] ~docv:"NS"
+             ~doc:"Group-commit window in simulated nanoseconds for the sweep and the gate.")
+  in
+  let streams =
+    Arg.(value & opt int 0
+         & info [ "streams" ] ~docv:"K"
+             ~doc:
+               "Additionally run and print one (K streams, window) point before the gate \
+                (0 = sweep only).")
+  in
+  Cmd.v (Cmd.info "check-group" ~doc) Term.(const run_check_group $ window $ streams)
+
 (* `check-obs` subcommand: CI gate for the observability layer.  Runs a
    traced 8-block-commit workload, validates the exported Chrome JSON
    against the trace_event schema, pins the per-span fence attribution
@@ -488,4 +541,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; trace_cmd; fio_cmd; bench_json_cmd; stats_cmd; check_obs_cmd;
-            check_shard_cmd ]))
+            check_shard_cmd; check_group_cmd ]))

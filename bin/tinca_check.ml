@@ -56,7 +56,61 @@ let psan_summary label psan =
   List.iter (fun v -> Format.printf "  %a@." Psan.pp_violation v) r.Psan.violations;
   Psan.violation_count psan
 
-let run_psan commits seed universe shards =
+(* Group-commit phase: drive the facade's async path directly.  The
+   sanitizer scope brackets a whole batch — [txn_begin] before the first
+   [commit_async], [txn_end] only after every ticket's [await] — because
+   under a nonzero window the acknowledgement point is the durable
+   (await) point, not the commit_async return: unfenced-ack then checks
+   that the ONE batched drain really made every store of the batch
+   durable. *)
+let run_psan_group ~commits ~seed ~universe ~shards ~window =
+  let env = Stacks.make_env ~seed ~nvm_bytes:(512 * 1024) ~disk_blocks:universe () in
+  let config =
+    {
+      Tinca.Config.default with
+      Tinca.Config.nvm_bytes = Pmem.size env.Stacks.pmem;
+      ring_slots = 256;
+      nshards = shards;
+      group_window_ns = window;
+      group_max_batch = 8;
+    }
+  in
+  let tc =
+    Tinca.ok_exn
+      (Tinca.format ~config ~pmem:env.Stacks.pmem ~disk:env.Stacks.disk ~clock:env.Stacks.clock
+         ~metrics:env.Stacks.metrics)
+  in
+  let psan = Psan.attach ~layouts:(Tinca.layouts tc) env.Stacks.pmem in
+  let rng = Rng.create (seed + 3) in
+  for _ = 1 to commits do
+    Psan.txn_begin psan;
+    let nbatch = 1 + Rng.int rng 4 in
+    let tickets =
+      List.init nbatch (fun _ ->
+          let txn = Tinca.init_txn tc in
+          let n = 1 + Rng.int rng 3 in
+          for _ = 1 to n do
+            Tinca.ok_exn
+              (Tinca.write txn (Rng.int rng universe)
+                 (Bytes.make 4096 (Char.chr (Rng.int rng 256))))
+          done;
+          Tinca.ok_exn (Tinca.commit_async txn))
+    in
+    List.iter (fun tk -> Tinca.ok_exn (Tinca.await tk)) tickets;
+    Psan.txn_end psan;
+    if Rng.chance rng 0.3 then ignore (Tinca.ok_exn (Tinca.read tc (Rng.int rng universe)))
+  done;
+  Tinca.sync tc;
+  let n =
+    psan_summary
+      (Printf.sprintf "Tinca (async group commit, window %d ns, %d shard%s)" window shards
+         (if shards = 1 then "" else "s"))
+      psan
+  in
+  Psan.detach psan;
+  n
+
+let run_psan commits seed universe shards group_window =
   let nbad = ref 0 in
   (* Tinca: full region classification (layout-aware rules active, one
      layout per shard), including a crash + recovery + second workload
@@ -105,6 +159,9 @@ let run_psan commits seed universe shards =
   stack.Stacks.backend.Backend.sync ();
   nbad := !nbad + psan_summary "Flashcache (no journal)" psan;
   Psan.detach psan;
+  (* Async group-commit phase (ISSUE 8), when a window was given. *)
+  if group_window > 0 then
+    nbad := !nbad + run_psan_group ~commits ~seed ~universe ~shards ~window:group_window;
   if !nbad = 0 then begin
     Printf.printf "\npsan: no persistence-ordering violations across the three stacks.\n";
     0
@@ -124,94 +181,118 @@ let print_repro ~fails cmds =
     Lockstep.pp_cmds small;
   small
 
-let geom n = { Lockstep.default_geometry with Lockstep.nshards = n }
+let geom ?(group_window = 0) n =
+  { Lockstep.default_geometry with Lockstep.nshards = n; group_window_ns = group_window }
 
 (* Lockstep equivalence over [seeds] generated sequences per shard
-   count.  Returns the failure count (after printing shrunk repros). *)
-let lockstep_equiv ~seeds ~len ~quiet =
+   count, once with synchronous commits and once through the async
+   group-commit path (nonzero window, [gen_async] sequences carrying
+   mixed acked/unacked transactions).  Returns the failure count (after
+   printing shrunk repros). *)
+let lockstep_equiv ~seeds ~len ~awin ~quiet =
   let bad = ref 0 in
-  List.iter
-    (fun n ->
-      let g = geom n in
-      let ops = ref 0 and blocks = ref 0 in
-      for seed = 1 to seeds do
-        let cmds = Lockstep.gen ~seed ~len ~universe:g.Lockstep.universe in
-        match Lockstep.run g cmds with
-        | Ok s ->
-            ops := !ops + s.Lockstep.ops;
-            blocks := !blocks + s.Lockstep.blocks_compared
-        | Error d ->
-            incr bad;
-            Format.printf "lockstep: DIVERGENCE at N=%d seed %d: %a@." n seed
-              Lockstep.pp_divergence d;
-            ignore
-              (print_repro ~fails:(fun c -> Result.is_error (Lockstep.run g c)) cmds)
-      done;
-      if not quiet then
-        Printf.printf
-          "lockstep: N=%d: %d seeds x %d commands clean (%d ops, %d blocks compared)\n" n seeds
-          len !ops !blocks)
-    [ 1; 2; 4 ];
+  let pass ~label ~window genf =
+    List.iter
+      (fun n ->
+        let g = geom ~group_window:window n in
+        let ops = ref 0 and blocks = ref 0 in
+        for seed = 1 to seeds do
+          let cmds = genf ~seed ~len ~universe:g.Lockstep.universe in
+          match Lockstep.run g cmds with
+          | Ok s ->
+              ops := !ops + s.Lockstep.ops;
+              blocks := !blocks + s.Lockstep.blocks_compared
+          | Error d ->
+              incr bad;
+              Format.printf "lockstep%s: DIVERGENCE at N=%d seed %d: %a@." label n seed
+                Lockstep.pp_divergence d;
+              ignore
+                (print_repro ~fails:(fun c -> Result.is_error (Lockstep.run g c)) cmds)
+        done;
+        if not quiet then
+          Printf.printf
+            "lockstep%s: N=%d: %d seeds x %d commands clean (%d ops, %d blocks compared)\n"
+            label n seeds len !ops !blocks)
+      [ 1; 2; 4 ]
+  in
+  pass ~label:"" ~window:0 Lockstep.gen;
+  pass ~label:" (group)" ~window:awin Lockstep.gen_async;
   !bad
 
 (* Crash-space refinement: every recovered state of every explored
    survival subset must equal the spec (last acknowledged commit, or
    that plus the in-flight commit).  Budgeted by [cap] and [stride];
    coverage is printed, never silently truncated. *)
-let lockstep_crash ~len ~cap ~stride ~quiet =
+let lockstep_crash ~len ~cap ~stride ~awin ~quiet =
   let bad = ref 0 in
   (* Pick the first seed whose sequence carries real commit traffic —
      a commit-free sequence has almost no pmem events to crash — and,
      at N > 1, at least one commit that stripes across shards (so the
-     sweep covers the cross-shard seal, not just per-shard commits). *)
+     sweep covers the cross-shard seal, not just per-shard commits).
+     Under a nonzero window, additionally require at least two
+     [Commit_async] and one [Await], so crash points see a standing
+     batch AND post-drain acked-durable transactions (mixed
+     acked/unacked at crash). *)
   let busy g cmds =
     let count p = Array.fold_left (fun k c -> if p c then k + 1 else k) 0 cmds in
-    count (function Lockstep.Commit -> true | _ -> false) >= 2
+    count (function Lockstep.Commit | Lockstep.Commit_async -> true | _ -> false) >= 2
     && count (function Lockstep.Write _ -> true | _ -> false) >= 3
     && (g.Lockstep.nshards = 1 || Lockstep.multi_shard_commits g cmds >= 1)
+    && (g.Lockstep.group_window_ns = 0
+       || count (function Lockstep.Commit_async -> true | _ -> false) >= 2
+          && count (function Lockstep.Await -> true | _ -> false) >= 1)
   in
-  List.iter
-    (fun n ->
-      let g = geom n in
-      let cmds =
-        let rec pick seed =
-          if seed > 50 then Lockstep.gen ~seed:1 ~len ~universe:g.Lockstep.universe
-          else
-            let c = Lockstep.gen ~seed ~len ~universe:g.Lockstep.universe in
-            if busy g c then c else pick (seed + 1)
+  let pass ~label ~window genf shard_counts =
+    List.iter
+      (fun n ->
+        let g = geom ~group_window:window n in
+        let cmds =
+          let rec pick seed =
+            if seed > 50 then genf ~seed:1 ~len ~universe:g.Lockstep.universe
+            else
+              let c = genf ~seed ~len ~universe:g.Lockstep.universe in
+              if busy g c then c else pick (seed + 1)
+          in
+          pick 1
         in
-        pick 1
-      in
-      let progress =
-        if quiet then fun _ _ -> ()
-        else fun k span ->
-          if k mod 50 = 0 || k = span then
-            Printf.eprintf "\rlockstep crash refinement N=%d: crash point %d/%d%!" n k span
-      in
-      let r = Lockstep.crash_refine ~cap ~stride ~progress g cmds in
-      if not quiet then Printf.eprintf "\r%!";
-      Printf.printf
-        "lockstep: N=%d crash refinement: %d crash points, %d recovered states checked (%d \
-         deduped, %.0f subsets in full space, %d capped points, stride %d)\n"
-        n r.Check.crash_points r.Check.states_checked r.Check.states_deduped
-        r.Check.subsets_total r.Check.capped_points stride;
-      match r.Check.violations with
-      | [] -> ()
-      | vs ->
-          bad := !bad + List.length vs;
-          Format.printf "lockstep: N=%d crash refinement: %d VIOLATION(S):@." n (List.length vs);
-          List.iter (fun v -> Format.printf "  %a@." Check.pp_violation v) vs;
-          ignore
-            (print_repro
-               ~fails:(fun c ->
-                 (Lockstep.crash_refine ~cap ~stride g c).Check.violations <> [])
-               cmds))
-    [ 1; 2; 4 ];
+        let progress =
+          if quiet then fun _ _ -> ()
+          else fun k span ->
+            if k mod 50 = 0 || k = span then
+              Printf.eprintf "\rlockstep%s crash refinement N=%d: crash point %d/%d%!" label n k
+                span
+        in
+        let r = Lockstep.crash_refine ~cap ~stride ~progress g cmds in
+        if not quiet then Printf.eprintf "\r%!";
+        Printf.printf
+          "lockstep%s: N=%d crash refinement: %d crash points, %d recovered states checked (%d \
+           deduped, %.0f subsets in full space, %d capped points, stride %d)\n"
+          label n r.Check.crash_points r.Check.states_checked r.Check.states_deduped
+          r.Check.subsets_total r.Check.capped_points stride;
+        match r.Check.violations with
+        | [] -> ()
+        | vs ->
+            bad := !bad + List.length vs;
+            Format.printf "lockstep%s: N=%d crash refinement: %d VIOLATION(S):@." label n
+              (List.length vs);
+            List.iter (fun v -> Format.printf "  %a@." Check.pp_violation v) vs;
+            ignore
+              (print_repro
+                 ~fails:(fun c ->
+                   (Lockstep.crash_refine ~cap ~stride g c).Check.violations <> [])
+                 cmds))
+      shard_counts
+  in
+  pass ~label:"" ~window:0 Lockstep.gen [ 1; 2; 4 ];
+  (* The group sweep runs at N in {1,2}: N=1 covers the single-shard
+     batch pivot, N=2 the batched cross-shard seal; N=4 adds cost but no
+     new mechanism (the sync pass already sweeps it). *)
+  pass ~label:" (group)" ~window:awin Lockstep.gen_async [ 1; 2 ];
   !bad
 
 (* Self-validation: each planted commit-path mutation must be caught,
    and the shrunk reproducer must stay small (<= 6 commands). *)
-let lockstep_selftest ~quiet =
+let lockstep_selftest ~awin ~quiet =
   let bad = ref 0 in
   let check label found fails cmds =
     match found with
@@ -249,7 +330,8 @@ let lockstep_selftest ~quiet =
          (match mutate with
          | Lockstep.Lose_writes -> "Lose_writes"
          | Lockstep.Abort_commits -> "Abort_commits"
-         | Lockstep.Skip_seal -> "Skip_seal")
+         | Lockstep.Skip_seal -> "Skip_seal"
+         | Lockstep.Drop_durable_notify -> "Drop_durable_notify")
          n)
       (Option.map fst found)
       (fun c -> Result.is_error (Lockstep.run ~mutate g c))
@@ -288,15 +370,55 @@ let lockstep_selftest ~quiet =
   in
   check "planted Skip_seal at N=2 (crash sweep)" (Option.map fst found) crash_fails
     (match found with Some (_, cmds) -> cmds | None -> [||]);
+  (* Drop_durable_notify publishes a batch but skips its commit point:
+     the facade still answers reads from the sealed data and tells
+     awaiters they are durable, so the plain async run must stay clean —
+     only the crash sweep can flag the lost acked-durable transactions
+     (a crash after the drain revokes the whole batch). *)
+  let g = geom ~group_window:awin 1 in
+  let crash_fails c =
+    (Lockstep.crash_refine ~mutate:Lockstep.Drop_durable_notify ~cap:16 ~stride:1 g c)
+      .Check.violations
+    <> []
+  in
+  let probe cmds =
+    match Lockstep.run ~mutate:Lockstep.Drop_durable_notify g cmds with
+    | Error d ->
+        Some (Format.asprintf "unexpectedly visible without a crash: %a" Lockstep.pp_divergence d)
+    | Ok _ -> (
+        let r =
+          Lockstep.crash_refine ~mutate:Lockstep.Drop_durable_notify ~cap:16 ~stride:1 g cmds
+        in
+        match r.Check.violations with
+        | [] -> None
+        | v :: _ -> Some (Format.asprintf "crash sweep: %a" Check.pp_violation v))
+  in
+  let found =
+    let rec go seed = if seed > 20 then None else
+      let cmds = Lockstep.gen_async ~seed ~len:12 ~universe:g.Lockstep.universe in
+      match Lockstep.run ~mutate:Lockstep.Drop_durable_notify g cmds with
+      | Error _ -> go (seed + 1) (* want the crash sweep, not a plain divergence *)
+      | Ok _ -> (match probe cmds with Some d -> Some (d, cmds) | None -> go (seed + 1))
+    in
+    go 1
+  in
+  check "planted Drop_durable_notify (group window, crash sweep)" (Option.map fst found)
+    crash_fails
+    (match found with Some (_, cmds) -> cmds | None -> [||]);
   ignore quiet;
   !bad
 
-let run_lockstep seeds len cap stride quiet =
+let run_lockstep seeds len cap stride group_window quiet =
   let t0 = Unix.gettimeofday () in
+  (* Window for the async passes: wide in simulated time, so batches
+     survive between commands and drains come from Await, same-block
+     conflicts, ring pressure and the max-batch cap — mixed
+     acked/unacked transactions at every crash point. *)
+  let awin = if group_window > 0 then group_window else 1_000_000 in
   let bad =
-    lockstep_equiv ~seeds ~len ~quiet
-    + lockstep_crash ~len:(min len 14) ~cap ~stride ~quiet
-    + lockstep_selftest ~quiet
+    lockstep_equiv ~seeds ~len ~awin ~quiet
+    + lockstep_crash ~len:(min len 14) ~cap ~stride ~awin ~quiet
+    + lockstep_selftest ~awin ~quiet
   in
   Printf.printf "(wall time %.1fs)\n" (Unix.gettimeofday () -. t0);
   if bad = 0 then begin
@@ -310,13 +432,13 @@ let run_lockstep seeds len cap stride quiet =
   end
 
 let run psan lockstep commits seed universe ring_slots pmem_kb cap sample_seed from stride shards
-    lockstep_seeds lockstep_len verbose quiet =
+    lockstep_seeds lockstep_len group_window verbose quiet =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  if psan then run_psan commits seed universe shards
-  else if lockstep then run_lockstep lockstep_seeds lockstep_len cap stride quiet
+  if psan then run_psan commits seed universe shards group_window
+  else if lockstep then run_lockstep lockstep_seeds lockstep_len cap stride group_window quiet
   else
   let cfg =
     {
@@ -450,10 +572,21 @@ let cmd =
                "Commands per generated sequence in --lockstep mode (the crash-refinement stage \
                 uses a shorter prefix budget of at most 14).")
   in
+  let group_window =
+    Arg.(value & opt int 0
+         & info [ "group-window" ] ~docv:"NS"
+             ~doc:
+               "Async group-commit window in simulated nanoseconds (ISSUE 8).  Under --psan, a \
+                nonzero value adds a Tinca phase driving $(b,commit_async)/$(b,await) with the \
+                sanitizer acknowledgement scope ending at the durable (await) point.  Under \
+                --lockstep it overrides the window of the async (group) passes, which otherwise \
+                default to 1000000 ns.")
+  in
   let info = Cmd.info "tinca_check" ~doc in
   Cmd.v info
     Term.(
       const run $ psan $ lockstep $ commits $ seed $ universe $ ring_slots $ pmem_kb $ cap
-      $ sample_seed $ from $ stride $ shards $ lockstep_seeds $ lockstep_len $ verbose $ quiet)
+      $ sample_seed $ from $ stride $ shards $ lockstep_seeds $ lockstep_len $ group_window
+      $ verbose $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,6 +19,8 @@ type cmd =
   | Read of int
   | Write_direct of int * int
   | Bad_size_write of int
+  | Commit_async
+  | Await
 
 let pp_cmd ppf = function
   | Begin -> Format.pp_print_string ppf "Begin"
@@ -28,6 +30,8 @@ let pp_cmd ppf = function
   | Read b -> Format.fprintf ppf "Read %d" b
   | Write_direct (b, v) -> Format.fprintf ppf "Write_direct (%d, %d)" b v
   | Bad_size_write b -> Format.fprintf ppf "Bad_size_write %d" b
+  | Commit_async -> Format.pp_print_string ppf "Commit_async"
+  | Await -> Format.pp_print_string ppf "Await"
 
 let pp_cmds ppf cmds =
   Format.fprintf ppf "[| ";
@@ -36,11 +40,18 @@ let pp_cmds ppf cmds =
     cmds;
   Format.fprintf ppf " |]"
 
-type geometry = { nvm_kb : int; ring_slots : int; nshards : int; universe : int }
+type geometry = {
+  nvm_kb : int;
+  ring_slots : int;
+  nshards : int;
+  universe : int;
+  group_window_ns : int;
+}
 
-let default_geometry = { nvm_kb = 160; ring_slots = 64; nshards = 1; universe = 48 }
+let default_geometry =
+  { nvm_kb = 160; ring_slots = 64; nshards = 1; universe = 48; group_window_ns = 0 }
 
-type mutation = Lose_writes | Abort_commits | Skip_seal
+type mutation = Lose_writes | Abort_commits | Skip_seal | Drop_durable_notify
 
 type divergence = { step : int; cmd : cmd; reason : string }
 
@@ -51,7 +62,7 @@ type run_stats = { ops : int; sweeps : int; blocks_compared : int }
 
 (* --- generator ----------------------------------------------------------- *)
 
-let gen ~seed ~len ~universe =
+let gen_with ~async ~seed ~len ~universe =
   let rng = Rng.create seed in
   let out = ref [] in
   let n = ref 0 in
@@ -78,7 +89,7 @@ let gen ~seed ~len ~universe =
       else if r < 0.55 then emit (Write_direct (blk (), byte ()))
       else if r < 0.75 then emit (Read (blk ()))
       else if r < 0.81 then emit (Write (blk (), byte ())) (* finished-handle probe *)
-      else if r < 0.86 then emit Commit (* no-handle probe *)
+      else if r < 0.86 then emit (if async then Await else Commit) (* no-handle / drain probe *)
       else if r < 0.91 then emit Abort (* no-handle probe *)
       else if len - !n > universe then begin
         (* Transaction_too_large probe: one transaction touching (almost)
@@ -99,7 +110,7 @@ let gen ~seed ~len ~universe =
       let b = if Rng.chance rng 0.06 then universe + Rng.int rng 4 else blk () in
       emit (Write (b, byte ()))
     else if r < 0.70 then begin
-      emit Commit;
+      emit (if async && Rng.chance rng 0.75 then Commit_async else Commit);
       open_ := false
     end
     else if r < 0.78 then begin
@@ -113,6 +124,9 @@ let gen ~seed ~len ~universe =
   done;
   Array.of_list (List.rev !out)
 
+let gen ~seed ~len ~universe = gen_with ~async:false ~seed ~len ~universe
+let gen_async ~seed ~len ~universe = gen_with ~async:true ~seed ~len ~universe
+
 let multi_shard_commits g cmds =
   let shards = Hashtbl.create 8 in
   let in_txn = ref false in
@@ -124,7 +138,7 @@ let multi_shard_commits g cmds =
           Hashtbl.reset shards
       | Write (b, _) when !in_txn && b < g.universe ->
           Hashtbl.replace shards (Shard.stripe ~nshards:g.nshards b) ()
-      | Commit ->
+      | Commit | Commit_async ->
           if !in_txn && Hashtbl.length shards >= 2 then incr count;
           in_txn := false;
           Hashtbl.reset shards
@@ -154,6 +168,7 @@ let tinca_config g =
     Tinca.Config.nvm_bytes = g.nvm_kb * 1024;
     ring_slots = g.ring_slots;
     nshards = g.nshards;
+    group_window_ns = g.group_window_ns;
   }
 
 let mk_tinca g (env : Check.env) =
@@ -165,6 +180,9 @@ let with_fault mutate f =
   match mutate with
   | Some Skip_seal ->
       Shard.set_fault (Some `Skip_seal);
+      Fun.protect ~finally:(fun () -> Shard.set_fault None) f
+  | Some Drop_durable_notify ->
+      Shard.set_fault (Some `Drop_durable_notify);
       Fun.protect ~finally:(fun () -> Shard.set_fault None) f
   | _ -> f ()
 
@@ -180,7 +198,15 @@ type state = {
   tc : Tinca.t;
   mutable spec : Spec.t;
   mutable cur : (Tinca.txn * Spec.txn) option;
+  mutable tickets : Tinca.ticket list; (* outstanding, oldest first *)
 }
+
+(* The group committer drains oldest-first and always drains the whole
+   standing batch, so after any command the spec's sealed queue need
+   only be folded down to the real [group_pending] count — whatever
+   trigger fired (window expiry, conflict, capacity, max-batch, await)
+   is thereby modeled without re-implementing the trigger policy. *)
+let reconcile st = st.spec <- Spec.flush_sealed ~keep:(Tinca.group_pending st.tc) st.spec
 
 (* Execute one command on both systems; Error reason on divergence.
    [Transaction_too_large] is the one real outcome the spec cannot
@@ -196,7 +222,7 @@ let exec_cmd ?mutate st cmd =
   | Begin ->
       st.cur <- Some (Tinca.init_txn st.tc, Spec.init_txn st.spec);
       Ok ()
-  | (Write _ | Bad_size_write _ | Commit | Abort) when st.cur = None -> Ok ()
+  | (Write _ | Bad_size_write _ | Commit | Commit_async | Abort) when st.cur = None -> Ok ()
   | Write (b, v) ->
       let rtxn, stxn = Option.get st.cur in
       let data = fill v in
@@ -261,6 +287,30 @@ let exec_cmd ?mutate st cmd =
       | Error Tinca.Transaction_too_large, Ok _ -> Ok ()
       | Error e, Error e' when e = e' -> Ok ()
       | real, spec -> mismatch (Printf.sprintf "write_direct %d" b) real spec)
+  | Commit_async -> (
+      let rtxn, stxn = Option.get st.cur in
+      match (Tinca.commit_async rtxn, Spec.seal st.spec stxn) with
+      | Ok tk, Ok (spec', stxn') ->
+          st.spec <- spec';
+          st.cur <- Some (rtxn, stxn');
+          if not (Tinca.ticket_durable tk) then st.tickets <- st.tickets @ [ tk ];
+          Ok ()
+      | Error Tinca.Transaction_too_large, Ok _ ->
+          st.cur <- Some (rtxn, Spec.reject stxn);
+          Ok ()
+      | Error e, Error e' when e = e' -> Ok ()
+      | real, spec -> mismatch "commit_async" real spec)
+  | Await -> (
+      match st.tickets with
+      | [] -> Ok ()
+      | tk :: rest -> (
+          st.tickets <- rest;
+          match Tinca.await tk with
+          | Ok () ->
+              if not (Tinca.ticket_durable tk) then
+                Error "await: ticket still not durable after await"
+              else Ok ()
+          | Error e -> Error (Printf.sprintf "await: %s" (Tinca.error_message e))))
 
 (* Full observational equivalence: every block read through the facade
    equals the spec map, and the media invariant audit holds. *)
@@ -278,13 +328,22 @@ let sweep g st =
           Error (Printf.sprintf "sweep: read %d: real %s vs spec %s" blk (show real) (show spec))
   in
   match Tinca.check_invariants st.tc with
+  | exception Tinca_core.Cache.Invariant_violation m ->
+      Error (Printf.sprintf "sweep: invariant audit: %s" m)
   | exception Failure m -> Error (Printf.sprintf "sweep: invariant audit: %s" m)
   | () -> go 0
 
 let run ?mutate g cmds =
   with_fault mutate @@ fun () ->
   let env = mk_env g in
-  let st = { tc = mk_tinca g env; spec = Spec.create ~nblocks:g.universe ~block_size:4096; cur = None } in
+  let st =
+    {
+      tc = mk_tinca g env;
+      spec = Spec.create ~nblocks:g.universe ~block_size:4096;
+      cur = None;
+      tickets = [];
+    }
+  in
   let stats = ref { ops = 0; sweeps = 0; blocks_compared = 0 } in
   let diverged = ref None in
   (try
@@ -295,7 +354,7 @@ let run ?mutate g cmds =
            raise Exit
          in
          (match exec_cmd ?mutate st cmd with
-         | Ok () -> ()
+         | Ok () -> reconcile st
          | Error reason -> fail reason
          | exception e -> fail (Printf.sprintf "raised %s" (Printexc.to_string e)));
          (match sweep g st with
@@ -344,9 +403,20 @@ let shrink ~fails cmds =
 (* --- crash-space integration --------------------------------------------- *)
 
 (* Crash_check driver: run the command sequence against a fresh facade,
-   tracking the spec as of the last acknowledged commit plus (around
-   every commit window) the in-flight image.  The judge then demands
-   that a recovered state equal one of the two — full spec refinement
+   tracking a spec whose sealed queue mirrors the real standing batch
+   (reconciled against [Tinca.group_pending] after every command) plus
+   (around every commit window) the in-flight image.  The judge then
+   demands that a recovered state equal one of
+
+   - the durable image (sealed queue dropped — an undrained batch and
+     any sealed-unacked transactions legitimately roll back),
+   - the durable image with the WHOLE batch drained (a crash during or
+     after the drain: the batch is all-or-nothing, so acked-durable
+     transactions must survive together and partial batches are a
+     violation),
+   - the in-flight image (a synchronous commit window, fully applied —
+     the batch drained and the committing transaction applied on top),
+
    at every recovered state of every survival subset of every crash
    point.  Command outcomes are not compared here (the plain lockstep
    run covers that); geometry rejections just leave the spec alone. *)
@@ -355,19 +425,21 @@ let crash_driver g cmds =
     Check.fresh =
       (fun (env : Check.env) ->
         let tc = mk_tinca g env in
-        let committed = ref (Spec.create ~nblocks:g.universe ~block_size:4096) in
+        let spec = ref (Spec.create ~nblocks:g.universe ~block_size:4096) in
         let in_flight = ref None in
         let cur = ref None in
+        let tickets = ref [] in
+        let reconcile () = spec := Spec.flush_sealed ~keep:(Tinca.group_pending tc) !spec in
         let exec cmd =
-          match cmd with
-          | Begin -> cur := Some (Tinca.init_txn tc, Spec.init_txn !committed)
+          (match cmd with
+          | Begin -> cur := Some (Tinca.init_txn tc, Spec.init_txn !spec)
           | Write (b, v) -> (
               match !cur with
               | None -> ()
               | Some (rtxn, stxn) -> (
                   let data = fill v in
                   ignore (Tinca.write rtxn b data);
-                  match Spec.write !committed stxn b data with
+                  match Spec.write !spec stxn b data with
                   | Ok stxn' -> cur := Some (rtxn, stxn')
                   | Error _ -> ()))
           | Bad_size_write b -> (
@@ -378,15 +450,43 @@ let crash_driver g cmds =
               match !cur with
               | None -> ()
               | Some (rtxn, stxn) when Spec.live stxn -> (
-                  let post = Spec.apply_pending !committed stxn in
+                  let post = Spec.apply_pending (Spec.flush_sealed !spec) stxn in
                   in_flight := Some post;
                   cur := Some (rtxn, Spec.reject stxn);
                   match Tinca.commit rtxn with
                   | Ok () ->
-                      committed := post;
+                      spec := post;
                       in_flight := None
                   | Error _ -> in_flight := None)
               | Some (rtxn, _) -> ignore (Tinca.commit rtxn))
+          | Commit_async -> (
+              match !cur with
+              | None -> ()
+              | Some (rtxn, stxn) when Spec.live stxn -> (
+                  (* A drain triggered inside commit_async (window,
+                     conflict, capacity, max-batch) can cover the new
+                     transaction too, so the in-flight candidate is
+                     "everything drained, this transaction included". *)
+                  in_flight := Some (Spec.apply_pending (Spec.flush_sealed !spec) stxn);
+                  match Tinca.commit_async rtxn with
+                  | Ok tk -> (
+                      in_flight := None;
+                      if not (Tinca.ticket_durable tk) then tickets := !tickets @ [ tk ];
+                      match Spec.seal !spec stxn with
+                      | Ok (spec', stxn') ->
+                          spec := spec';
+                          cur := Some (rtxn, stxn')
+                      | Error _ -> cur := Some (rtxn, Spec.reject stxn))
+                  | Error _ ->
+                      in_flight := None;
+                      cur := Some (rtxn, Spec.reject stxn))
+              | Some (rtxn, _) -> ignore (Tinca.commit_async rtxn))
+          | Await -> (
+              match !tickets with
+              | [] -> ()
+              | tk :: rest ->
+                  tickets := rest;
+                  ignore (Tinca.await tk))
           | Abort -> (
               match !cur with
               | None -> ()
@@ -396,15 +496,16 @@ let crash_driver g cmds =
           | Read b -> ignore (Tinca.read tc b)
           | Write_direct (b, v) -> (
               let data = fill v in
-              match Spec.write_direct !committed b data with
+              match Spec.write_direct !spec b data with
               | Error _ -> ignore (Tinca.write_direct tc b data)
               | Ok post -> (
                   in_flight := Some post;
                   match Tinca.write_direct tc b data with
                   | Ok () ->
-                      committed := post;
+                      spec := post;
                       in_flight := None
-                  | Error _ -> in_flight := None))
+                  | Error _ -> in_flight := None)));
+          reconcile ()
         in
         let workload () = Array.iter exec cmds in
         let judge recovered =
@@ -420,7 +521,10 @@ let crash_driver g cmds =
             in
             go 0
           in
-          if matches !committed then Ok ()
+          let durable = Spec.drop_sealed !spec in
+          let drained = Spec.flush_sealed !spec in
+          if matches durable then Ok ()
+          else if matches drained then Ok ()
           else
             match !in_flight with
             | Some post when matches post -> Ok ()
@@ -428,14 +532,15 @@ let crash_driver g cmds =
                 let rec first blk =
                   if blk >= g.universe then "unreachable"
                   else
-                    let d = logical blk and e = Spec.block !committed blk in
+                    let d = logical blk and e = Spec.block durable blk in
                     if Bytes.equal d e then first (blk + 1)
                     else
                       Printf.sprintf
-                        "spec refinement: block %d is %C (spec pre-commit %C%s) — recovered \
-                         state matches neither the last acknowledged spec state nor the \
-                         in-flight commit fully applied"
+                        "spec refinement: block %d is %C (durable spec %C, batch-drained %C%s) — \
+                         recovered state matches neither the durable image, nor the whole \
+                         batch drained, nor the in-flight commit fully applied"
                         blk (Bytes.get d 0) (Bytes.get e 0)
+                        (Bytes.get (Spec.block drained blk) 0)
                         (match !in_flight with
                         | Some post ->
                             Printf.sprintf ", in-flight %C" (Bytes.get (Spec.block post blk) 0)

@@ -35,6 +35,12 @@ type cmd =
   | Read of int
   | Write_direct of int * int
   | Bad_size_write of int  (** wrong-block-size probe on the open txn *)
+  | Commit_async
+      (** [Tinca.commit_async] on the open txn: seal now, durable at the
+          next batch drain (the ticket joins the outstanding queue) *)
+  | Await
+      (** [Tinca.await] the oldest outstanding ticket (drains the
+          standing batch); a no-op probe when none is outstanding *)
 
 val pp_cmd : Format.formatter -> cmd -> unit
 
@@ -51,6 +57,9 @@ type geometry = {
   ring_slots : int;
   nshards : int;
   universe : int;  (** disk blocks; also the sweep width *)
+  group_window_ns : int;
+      (** [Tinca.Config.group_window_ns] for the facade under test;
+          0 (the default) = synchronous commits only *)
 }
 
 val default_geometry : geometry
@@ -62,8 +71,14 @@ val default_geometry : geometry
     [Skip_seal] suppresses the cross-shard commit record via
     {!Tinca_core.Shard.set_fault} (observable only through
     {!crash_refine} with [nshards >= 2] — without a crash the seal is
-    invisible, which is itself a useful property to have pinned). *)
-type mutation = Lose_writes | Abort_commits | Skip_seal
+    invisible, which is itself a useful property to have pinned);
+    [Drop_durable_notify] makes the group committer publish a batch but
+    skip its seal and finalize steps while the facade still acknowledges
+    durability — the lost-ack bug, likewise observable only through
+    {!crash_refine} (with [group_window_ns > 0]): a crash after the
+    drain revokes transactions whose awaiters were told they are
+    durable. *)
+type mutation = Lose_writes | Abort_commits | Skip_seal | Drop_durable_notify
 
 type divergence = { step : int;  (** 0-based command index *) cmd : cmd; reason : string }
 
@@ -82,6 +97,12 @@ type run_stats = {
     generator tracks (approximately) whether a transaction is open, so
     even short sequences carry real commit traffic. *)
 val gen : seed:int -> len:int -> universe:int -> cmd array
+
+(** Like {!gen} (same determinism contract) but most commits become
+    [Commit_async] and the no-handle commit probe becomes [Await], so
+    sequences carry mixed acked/unacked transactions for the
+    group-commit sweeps. *)
+val gen_async : seed:int -> len:int -> universe:int -> cmd array
 
 (** Commits in the sequence whose staged in-range writes stripe to at
     least two shards of [geometry] — the transactions that exercise the

@@ -5,20 +5,39 @@
 
 module M = Map.Make (Int)
 
-type t = { nblocks : int; block_size : int; committed : bytes M.t }
+type t = {
+  nblocks : int;
+  block_size : int;
+  committed : bytes M.t;
+  sealed : bytes M.t list;
+      (* write-sets acknowledged by commit_async but not yet drained by
+         the group committer, oldest first.  Reads see them (they are
+         applied volatilely); a crash may drop the whole queue. *)
+}
 
 type txn = { writes : bytes M.t; is_live : bool }
 
 let create ~nblocks ~block_size =
   if nblocks <= 0 || block_size <= 0 then invalid_arg "Spec.create";
-  { nblocks; block_size; committed = M.empty }
+  { nblocks; block_size; committed = M.empty; sealed = [] }
 
 let nblocks t = t.nblocks
 let block_size t = t.block_size
 
 let zeros t = Bytes.make t.block_size '\000'
 
+let apply committed writes = M.union (fun _blk staged _old -> Some staged) writes committed
+
+(* The image reads observe: committed overlaid by every sealed
+   write-set, oldest first (so the newest seal wins). *)
+let visible t = List.fold_left apply t.committed t.sealed
+
 let block t blk =
+  match M.find_opt blk (visible t) with
+  | Some data -> Bytes.copy data
+  | None -> zeros t
+
+let durable_block t blk =
   match M.find_opt blk t.committed with
   | Some data -> Bytes.copy data
   | None -> zeros t
@@ -48,11 +67,44 @@ let read_in t txn blk =
     | Some data -> Ok (Bytes.copy data)
     | None -> Ok (block t blk)
 
-let apply committed writes = M.union (fun _blk staged _old -> Some staged) writes committed
+let sealed_count t = List.length t.sealed
 
+(* Fold the oldest sealed write-sets into the committed map, keeping the
+   newest [keep] still sealed — the model of a group-committer drain
+   (which always drains the whole standing batch, so the executor
+   reconciles [keep] with the real [Tinca.group_pending]). *)
+let flush_sealed ?(keep = 0) t =
+  if keep < 0 || keep > List.length t.sealed then invalid_arg "Spec.flush_sealed";
+  let ndrain = List.length t.sealed - keep in
+  let rec drain committed sealed n =
+    match sealed with
+    | ws :: rest when n > 0 -> drain (apply committed ws) rest (n - 1)
+    | _ -> (committed, sealed)
+  in
+  let committed, sealed = drain t.committed t.sealed ndrain in
+  { t with committed; sealed }
+
+(* A crash drops every sealed-unacked write-set: nothing of the standing
+   batch was fenced durable. *)
+let drop_sealed t = { t with sealed = [] }
+
+(* [seal] = Tinca.commit_async under a nonzero window: the write-set is
+   acknowledged and becomes visible at once, but its durability is
+   deferred to a later drain. *)
+let seal t txn =
+  if not txn.is_live then Error Tinca.Txn_not_running
+  else
+    Ok
+      ( { t with sealed = t.sealed @ [ txn.writes ] },
+        { writes = M.empty; is_live = false } )
+
+(* [commit] = the synchronous path (window 0, or commit_async + await):
+   the facade drains the standing batch before the transaction itself
+   becomes durable, so the whole sealed queue folds in first. *)
 let commit t txn =
   if not txn.is_live then Error Tinca.Txn_not_running
   else
+    let t = flush_sealed t in
     Ok
       ( { t with committed = apply t.committed txn.writes },
         { writes = M.empty; is_live = false } )
@@ -63,18 +115,25 @@ let abort t txn =
 
 let reject _txn = { writes = M.empty; is_live = false }
 
+(* [write_direct] commits synchronously through the ring, so it too
+   drains the standing batch first. *)
 let write_direct t blk data =
   if Bytes.length data <> t.block_size then
     Error (Tinca.Wrong_block_size { expected = t.block_size; got = Bytes.length data })
   else if not (in_range t blk) then Error (Tinca.Block_out_of_range blk)
-  else Ok { t with committed = M.add blk (Bytes.copy data) t.committed }
+  else
+    let t = flush_sealed t in
+    Ok { t with committed = M.add blk (Bytes.copy data) t.committed }
 
 let pending txn = M.bindings txn.writes
 
-let apply_pending t txn = { t with committed = apply t.committed txn.writes }
+let apply_pending t txn =
+  { t with committed = apply t.committed txn.writes }
 
 (* Structural equality up to the zero-block default: a block explicitly
-   written to zeros equals an absent one. *)
+   written to zeros equals an absent one.  Compares the {e visible}
+   image — two states with different sealed-queue factorizations of the
+   same content are equal. *)
 let equal a b =
   a.nblocks = b.nblocks && a.block_size = b.block_size
   &&

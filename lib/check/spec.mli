@@ -42,8 +42,14 @@ val nblocks : t -> int
 val block_size : t -> int
 
 val block : t -> int -> bytes
-(** Committed content of a block (fresh copy; zeros if never written).
-    Total on [0, nblocks); used by the crash-refinement judge. *)
+(** {e Visible} content of a block — the committed map overlaid by the
+    sealed queue, newest seal winning (fresh copy; zeros if never
+    written).  Total on [0, nblocks); used by the crash-refinement
+    judge. *)
+
+val durable_block : t -> int -> bytes
+(** Committed (durable) content only — what survives a crash that drops
+    the whole sealed queue. *)
 
 val read : t -> int -> (bytes, Tinca.error) result
 (** The spec of [Tinca.read]. *)
@@ -65,7 +71,38 @@ val read_in : t -> txn -> int -> (bytes, Tinca.error) result
 
 val commit : t -> txn -> (t * txn, Tinca.error) result
 (** Apply the whole buffer to the map, atomically; the returned handle
-    is finished.  [Error Txn_not_running] on a finished handle. *)
+    is finished.  Drains the sealed queue first (the facade's
+    synchronous commit awaits the standing batch).  [Error
+    Txn_not_running] on a finished handle. *)
+
+(** {1 Async group commit (ISSUE 8)}
+
+    [Tinca.commit_async] under a nonzero window acknowledges a
+    transaction whose durability is deferred: the spec models this as a
+    queue of {e sealed} write-sets layered over the committed map.
+    Reads see the sealed queue (it is applied volatilely in the real
+    cache); a crash may drop it wholesale ({!drop_sealed}) — but never
+    partially, because the real committer drains a batch under one
+    all-or-nothing pivot.  A drain ({!flush_sealed}) folds sealed
+    write-sets into the committed map in seal order. *)
+
+val seal : t -> txn -> (t * txn, Tinca.error) result
+(** The spec of [Tinca.commit_async] (nonzero window): append the
+    buffer to the sealed queue; the handle is finished.  Same
+    validation as {!commit}. *)
+
+val sealed_count : t -> int
+
+val flush_sealed : ?keep:int -> t -> t
+(** Fold the oldest sealed write-sets into the committed map, leaving
+    the newest [keep] (default 0) still sealed.  The lockstep executor
+    reconciles [keep] with the real [Tinca.group_pending] after every
+    operation.  Raises [Invalid_argument] if [keep] exceeds the queue
+    length. *)
+
+val drop_sealed : t -> t
+(** The crash transition for the sealed queue: everything unacked
+    vanishes; the committed (durable) map is untouched. *)
 
 val abort : t -> txn -> (t * txn, Tinca.error) result
 (** Drop the buffer; the map is untouched. *)

@@ -49,9 +49,17 @@ exception Corrupt of string
     arbitrary internal error; the facade maps it to
     [Tinca.Unformatted]. *)
 
+exception Invariant_violation of string
+(** An internal-invariant audit failed ([check_invariants], or a
+    bookkeeping structure caught mid-corruption): a programming error,
+    never an API or media error.  Typed (not [Failure]) so the lockstep
+    sweep and the crash checker can key on the audit outcome without
+    pattern-matching exception payloads of unrelated [Failure]s. *)
+
 let () =
   Printexc.register_printer (function
     | Corrupt m -> Some (Printf.sprintf "Tinca_core.Cache.Corrupt(%S)" m)
+    | Invariant_violation m -> Some (Printf.sprintf "Tinca_core.Cache.Invariant_violation(%S)" m)
     | _ -> None)
 
 (* DRAM-side bookkeeping for one cached disk block (§4.6: hash table +
@@ -195,7 +203,9 @@ let entry_of_info ~role info =
 (* --- allocation & replacement (§4.6) ----------------------------------- *)
 
 let node_exn info =
-  match info.node with Some n -> n | None -> failwith "Tinca.Cache: info without LRU node"
+  match info.node with
+  | Some n -> n
+  | None -> raise (Invariant_violation "Tinca.Cache: info without LRU node")
 
 (* All dirty-bit transitions go through here so the background flusher
    can watch the dirty population. *)
@@ -520,11 +530,18 @@ module Txn = struct
     staged : (int, bytes) Hashtbl.t;
     mutable order : int list; (* reversed insertion order *)
     mutable state : state;
+    (* Volatile seal bookkeeping ([seal]): the dirtied data+entry lines
+       and staged ring-slot lines of this transaction, waiting for the
+       group committer to flush them in one batch ([flush_sealed]). *)
+    mutable sealed_lines : int list;
+    mutable slot_lines : int list;
+    mutable sealed_slots : int;
   }
 
   let init cache =
     Trace.instant ~clock:cache.clock "tinca.txn.init";
-    { cache; staged = Hashtbl.create 16; order = []; state = Running }
+    { cache; staged = Hashtbl.create 16; order = []; state = Running;
+      sealed_lines = []; slot_lines = []; sealed_slots = 0 }
 
   let add h blkno data =
     if h.state <> Running then invalid_arg "Tinca.Txn.add: transaction not running";
@@ -584,124 +601,151 @@ module Txn = struct
         write_entry t entry_idx (entry_of_info ~role:Entry.Log info);
         info.node <- Some (Lru.push_mru t.lru info);
         Hashtbl.replace t.index blkno info);
-    Ring.record t.ring blkno
+    Ring.record t.ring blkno;
+    Metrics.incr t.metrics "tinca.head_advance" ~by:1
 
-  (* Group commit, stages A–B (§4.4 steps 1–3, fence-coalesced).
+  (* Group commit, stages A–B (§4.4 steps 1–3, fence-coalesced), built
+     from two passes shared with the volatile [seal] path below.
 
-     Pass 1 (volatile): pin every staged cached block, then allocate all
+     Stage A = pass 2's dirtied lines flushed once + one fence, however
+     many blocks.  Stage B: stage all ring slots ([Ring.record_batch]:
+     atomic slot writes, one flush pass, one fence) — Head still
+     excludes them; the caller advances it with [Ring.publish] (one
+     persist).  Entries and slots are durable strictly before Head
+     covers them — the invariant recovery's union scan (ring range ∪
+     log-role entries) relies on.  The split lets the sharded scheduler
+     stage every shard's sub-commit before any Head moves. *)
+
+  (* The hit/miss classification pass 1 records per block.  Pinning
+     makes it stable for the rest of the commit — a pinned hit cannot be
+     evicted and nothing inserts missing blocks mid-commit — so pass 2
+     branches on the record instead of re-probing the index (which would
+     need an unreachable-by-construction failure arm). *)
+  type staged_alloc = Hit of info | Miss of int  (* fresh entry slot *)
+
+  (* Pass 1 (volatile): pin every staged cached block, then allocate all
      COW data blocks and fresh entry slots up front, so replacement —
      including its persistent entry invalidations — runs to completion
      before the first staged store.  A failure here is rolled back
-     completely (every pass-1 allocation freed, every pin dropped) and
+     completely (every allocation freed, every pin dropped) and
      re-raised with the cache exactly as before the call; nothing has
-     been written, the ring is untouched.
+     been written, the ring is untouched. *)
+  let alloc_group t blocks =
+    List.iter
+      (fun blkno ->
+        match Hashtbl.find_opt t.index blkno with
+        | Some info -> info.txn_pinned <- true
+        | None -> ())
+      blocks;
+    (* (disk blkno, COW data block, classification), reversed *)
+    let allocs = ref [] in
+    Trace.begin_span ~clock:t.clock "tinca.commit.alloc";
+    (try
+       List.iter
+         (fun blkno ->
+           let new_blk = alloc_data t in
+           match Hashtbl.find_opt t.index blkno with
+           | Some info -> allocs := (blkno, new_blk, Hit info) :: !allocs
+           | None ->
+               let entry_idx =
+                 try alloc_entry t
+                 with e ->
+                   Free_monitor.free t.free_data new_blk;
+                   raise e
+               in
+               allocs := (blkno, new_blk, Miss entry_idx) :: !allocs)
+         blocks
+     with e ->
+       List.iter
+         (fun (_, data_blk, kind) ->
+           Free_monitor.free t.free_data data_blk;
+           match kind with
+           | Miss i -> Free_monitor.free t.free_entries i
+           | Hit _ -> ())
+         !allocs;
+       List.iter
+         (fun blkno ->
+           match Hashtbl.find_opt t.index blkno with
+           | Some info -> info.txn_pinned <- false
+           | None -> ())
+         blocks;
+       Trace.end_span "tinca.commit.alloc";
+       raise e);
+    Trace.end_span "tinca.commit.alloc";
+    List.rev !allocs
 
-     Pass 2 (cannot fail): write all COW data blocks (vectored), swing
-     all entries with 16 B atomic writes, then flush each dirtied line
-     exactly once and fence — stage A, one fence however many blocks.
-     The relative durability order of data vs. entry lines within the
-     stage is irrelevant: until Head covers the blocks, recovery revokes
-     whatever subset became durable.
+  (* Pass 2 (cannot fail): write all COW data blocks (vectored), swing
+     all entries with 16 B atomic writes, and return every dirtied line
+     — the caller decides when (and with how many peer transactions)
+     the lines are flushed.  The relative durability order of data vs.
+     entry lines within the stage is irrelevant: until Head covers the
+     blocks, recovery revokes whatever subset became durable. *)
+  let store_group t staged allocs =
+    Pmem.set_site t.pmem "commit.data";
+    Pmem.writev t.pmem
+      (List.map
+         (fun (blkno, data_blk, _) ->
+           (Layout.data_block_off t.layout data_blk, Hashtbl.find staged blkno))
+         allocs);
+    Pmem.set_site t.pmem "commit.entry";
+    let lines = Hashtbl.create 64 in
+    let note_range off len =
+      for l = off / Pmem.line_size to (off + len - 1) / Pmem.line_size do
+        Hashtbl.replace lines l ()
+      done
+    in
+    List.iter
+      (fun (blkno, new_blk, kind) ->
+        note_range (Layout.data_block_off t.layout new_blk) t.cfg.block_size;
+        match kind with
+        | Hit info ->
+            (* Write hit: COW block write (§4.3). *)
+            t.write_hits <- t.write_hits + 1;
+            Metrics.incr t.metrics "tinca.write_hits" ~by:1;
+            info.pre_dirty <- info.dirty;
+            info.prev <- Some info.cur;
+            info.cur <- new_blk;
+            info.role_log <- true;
+            note_dirty t info true;
+            t.pinned <- t.pinned + 1;
+            t.cow_pinned <- t.cow_pinned + 1;
+            if t.cow_pinned > t.peak_cow then t.peak_cow <- t.cow_pinned;
+            let off = Layout.entry_off t.layout info.entry_idx in
+            Pmem.atomic_write16 t.pmem ~off (Entry.encode (entry_of_info ~role:Entry.Log info));
+            note_range off Entry.size
+        | Miss entry_idx ->
+            (* Write miss: fresh entry, previous version = FRESH. *)
+            t.write_misses <- t.write_misses + 1;
+            Metrics.incr t.metrics "tinca.write_misses" ~by:1;
+            let info =
+              { disk_blkno = blkno; entry_idx; cur = new_blk; prev = None; role_log = true;
+                dirty = false; pre_dirty = false; txn_pinned = true; node = None }
+            in
+            note_dirty t info true;
+            t.pinned <- t.pinned + 1;
+            let off = Layout.entry_off t.layout entry_idx in
+            Pmem.atomic_write16 t.pmem ~off (Entry.encode (entry_of_info ~role:Entry.Log info));
+            note_range off Entry.size;
+            info.node <- Some (Lru.push_mru t.lru info);
+            Hashtbl.replace t.index blkno info)
+      allocs;
+    Hashtbl.fold (fun l () acc -> l :: acc) lines []
+  [@@pmem.defer
+    "group-commit stage A deliberately returns its dirtied lines unflushed: the caller folds \
+     every batched transaction's data + entry lines into ONE flush_lines + sfence (the point of \
+     the fence amortization), and until Head covers the blocks recovery revokes any subset that \
+     became durable"]
 
-     Stage B: stage all ring slots ([Ring.record_batch]: atomic slot
-     writes, one flush pass, one fence) — Head still excludes them; the
-     caller advances it with [Ring.publish] (one persist).  Entries and
-     slots are durable strictly before Head covers them — the invariant
-     recovery's union scan (ring range ∪ log-role entries) relies on.
-     The split lets the sharded scheduler stage every shard's sub-commit
-     before any Head moves. *)
   let stage_group t staged blocks =
     match blocks with
     | [] -> ()
     | blocks ->
-        List.iter
-          (fun blkno ->
-            match Hashtbl.find_opt t.index blkno with
-            | Some info -> info.txn_pinned <- true
-            | None -> ())
-          blocks;
-        (* (disk blkno, COW data block, entry slot for misses), reversed *)
-        let allocs = ref [] in
-        Trace.begin_span ~clock:t.clock "tinca.commit.alloc";
-        (try
-           List.iter
-             (fun blkno ->
-               let new_blk = alloc_data t in
-               let entry_slot = ref None in
-               allocs := (blkno, new_blk, entry_slot) :: !allocs;
-               if not (Hashtbl.mem t.index blkno) then entry_slot := Some (alloc_entry t))
-             blocks
-         with e ->
-           List.iter
-             (fun (_, data_blk, entry_slot) ->
-               Free_monitor.free t.free_data data_blk;
-               match !entry_slot with
-               | Some i -> Free_monitor.free t.free_entries i
-               | None -> ())
-             !allocs;
-           List.iter
-             (fun blkno ->
-               match Hashtbl.find_opt t.index blkno with
-               | Some info -> info.txn_pinned <- false
-               | None -> ())
-             blocks;
-           Trace.end_span "tinca.commit.alloc";
-           raise e);
-        Trace.end_span "tinca.commit.alloc";
-        let allocs = List.rev !allocs in
+        let allocs = alloc_group t blocks in
         Trace.begin_span ~clock:t.clock "tinca.commit.stage_a";
-        Pmem.set_site t.pmem "commit.data";
-        Pmem.writev t.pmem
-          (List.map
-             (fun (blkno, data_blk, _) ->
-               (Layout.data_block_off t.layout data_blk, Hashtbl.find staged blkno))
-             allocs);
-        Pmem.set_site t.pmem "commit.entry";
-        let lines = Hashtbl.create 64 in
-        let note_range off len =
-          for l = off / Pmem.line_size to (off + len - 1) / Pmem.line_size do
-            Hashtbl.replace lines l ()
-          done
-        in
-        List.iter
-          (fun (blkno, new_blk, entry_slot) ->
-            note_range (Layout.data_block_off t.layout new_blk) t.cfg.block_size;
-            match Hashtbl.find_opt t.index blkno with
-            | Some info ->
-                (* Write hit: COW block write (§4.3). *)
-                t.write_hits <- t.write_hits + 1;
-                Metrics.incr t.metrics "tinca.write_hits" ~by:1;
-                info.pre_dirty <- info.dirty;
-                info.prev <- Some info.cur;
-                info.cur <- new_blk;
-                info.role_log <- true;
-                note_dirty t info true;
-                t.pinned <- t.pinned + 1;
-                t.cow_pinned <- t.cow_pinned + 1;
-                if t.cow_pinned > t.peak_cow then t.peak_cow <- t.cow_pinned;
-                let off = Layout.entry_off t.layout info.entry_idx in
-                Pmem.atomic_write16 t.pmem ~off (Entry.encode (entry_of_info ~role:Entry.Log info));
-                note_range off Entry.size
-            | None ->
-                (* Write miss: fresh entry, previous version = FRESH. *)
-                let entry_idx = match !entry_slot with Some i -> i | None -> assert false in
-                t.write_misses <- t.write_misses + 1;
-                Metrics.incr t.metrics "tinca.write_misses" ~by:1;
-                let info =
-                  { disk_blkno = blkno; entry_idx; cur = new_blk; prev = None; role_log = true;
-                    dirty = false; pre_dirty = false; txn_pinned = true; node = None }
-                in
-                note_dirty t info true;
-                t.pinned <- t.pinned + 1;
-                let off = Layout.entry_off t.layout entry_idx in
-                Pmem.atomic_write16 t.pmem ~off (Entry.encode (entry_of_info ~role:Entry.Log info));
-                note_range off Entry.size;
-                info.node <- Some (Lru.push_mru t.lru info);
-                Hashtbl.replace t.index blkno info)
-          allocs;
+        let lines = store_group t staged allocs in
         (* Stage A fence: every dirtied data and entry line, flushed once. *)
         Pmem.set_site t.pmem "commit.flush";
-        Pmem.flush_lines t.pmem (Hashtbl.fold (fun l () acc -> l :: acc) lines []);
+        Pmem.flush_lines t.pmem lines;
         Pmem.sfence t.pmem;
         Trace.end_span "tinca.commit.stage_a";
         (* Stage B: slots durable (one fence); Head moves in the caller. *)
@@ -778,68 +822,85 @@ module Txn = struct
     | Batched ->
         Trace.begin_span ~clock:t.clock "tinca.commit.head";
         Ring.publish t.ring (List.length blocks);
+        Metrics.incr t.metrics "tinca.head_advance" ~by:1;
         Trace.end_span "tinca.commit.head"
     | Per_block -> ()
 
-  (* §4.4 steps 4–5 plus in-DRAM post-commit work: batched role switch
-     (one fence, strictly before Tail), Tail := Head (the durable commit
-     point), previous-version reclamation, LRU promotion, stats, and the
-     write-through propagation when configured. *)
-  let finish_commit h blocks n =
-    let t = h.cache in
-    (* §4.4 step 4: role switches for every block, batched under a
-       single fence, which must complete BEFORE the Tail update so a
-       crash cannot surface a half-switched committed transaction. *)
-    let infos = List.map (fun blkno -> Hashtbl.find t.index blkno) blocks in
-    Pmem.set_site t.pmem "commit.role_switch";
-    Trace.begin_span ~clock:t.clock "tinca.commit.role_switch";
-    write_entries_batched t
-      (List.map
-         (fun info ->
-           info.role_log <- false;
-           info.txn_pinned <- false;
-           t.pinned <- t.pinned - 1;
-           (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
-         infos);
-    Trace.end_span "tinca.commit.role_switch";
-    (* §4.4 step 5: Tail := Head — the durable commit point. *)
-    Trace.begin_span ~clock:t.clock "tinca.commit.tail";
-    Ring.commit_point t.ring;
-    Trace.end_span "tinca.commit.tail";
-    (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
-    List.iter
-      (fun info ->
-        (match info.prev with
-        | Some p ->
-            Free_monitor.free t.free_data p;
-            info.prev <- None;
-            t.cow_pinned <- t.cow_pinned - 1
-        | None -> ());
-        Lru.touch t.lru (node_exn info))
-      infos;
-    t.committing <- false;
-    h.state <- Finished;
-    Log.debug (fun m -> m "committed transaction of %d blocks (ring head %d)" n (Ring.head t.ring));
-    Histogram.add t.txn_sizes (float_of_int n);
-    Metrics.incr t.metrics "tinca.commits" ~by:1;
-    Metrics.incr t.metrics "tinca.commit.blocks" ~by:n;
-    (* Write-through: propagate to disk immediately (kept for the
-       ablation study; write-back is the paper's default).  The clean
-       marks ride one batched entry update — one fence, not one per
-       block. *)
-    if t.cfg.mode = Write_through then begin
-      Pmem.set_site t.pmem "cache.writeback";
-      Trace.begin_span ~clock:t.clock "tinca.commit.writeback";
-      write_entries_batched t
-        (List.map
-           (fun info ->
-             writeback t info;
-             note_dirty t info false;
-             (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
-           infos)
-      ;
-      Trace.end_span "tinca.commit.writeback"
-    end
+  (* §4.4 steps 4–5 plus in-DRAM post-commit work, over a whole batch of
+     transactions: batched role switch (one fence covering every
+     transaction's blocks, strictly before Tail), Tail := Head (the
+     durable commit point for them all), previous-version reclamation,
+     LRU promotion, stats, and the write-through propagation when
+     configured.  A single synchronous commit is the one-element case. *)
+  let finish_commit_group pairs =
+    match pairs with
+    | [] -> ()
+    | (h0, _, _) :: _ ->
+        let t = h0.cache in
+        (* §4.4 step 4: role switches for every block, batched under a
+           single fence, which must complete BEFORE the Tail update so a
+           crash cannot surface a half-switched committed transaction. *)
+        let per_txn =
+          List.map
+            (fun (h, blocks, n) -> (h, List.map (fun blkno -> Hashtbl.find t.index blkno) blocks, n))
+            pairs
+        in
+        let all_infos = List.concat_map (fun (_, infos, _) -> infos) per_txn in
+        Pmem.set_site t.pmem "commit.role_switch";
+        Trace.begin_span ~clock:t.clock "tinca.commit.role_switch";
+        write_entries_batched t
+          (List.map
+             (fun info ->
+               info.role_log <- false;
+               info.txn_pinned <- false;
+               t.pinned <- t.pinned - 1;
+               (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
+             all_infos);
+        Trace.end_span "tinca.commit.role_switch";
+        (* §4.4 step 5: Tail := Head — the durable commit point. *)
+        Trace.begin_span ~clock:t.clock "tinca.commit.tail";
+        Ring.commit_point t.ring;
+        Trace.end_span "tinca.commit.tail";
+        (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
+        List.iter
+          (fun info ->
+            (match info.prev with
+            | Some p ->
+                Free_monitor.free t.free_data p;
+                info.prev <- None;
+                t.cow_pinned <- t.cow_pinned - 1
+            | None -> ());
+            Lru.touch t.lru (node_exn info))
+          all_infos;
+        t.committing <- false;
+        List.iter
+          (fun (h, _, n) ->
+            h.state <- Finished;
+            Log.debug (fun m ->
+                m "committed transaction of %d blocks (ring head %d)" n (Ring.head t.ring));
+            Histogram.add t.txn_sizes (float_of_int n);
+            Metrics.incr t.metrics "tinca.commits" ~by:1;
+            Metrics.incr t.metrics "tinca.commit.blocks" ~by:n)
+          per_txn;
+        (* Write-through: propagate to disk immediately (kept for the
+           ablation study; write-back is the paper's default).  The clean
+           marks ride one batched entry update — one fence, not one per
+           block. *)
+        if t.cfg.mode = Write_through then begin
+          Pmem.set_site t.pmem "cache.writeback";
+          Trace.begin_span ~clock:t.clock "tinca.commit.writeback";
+          write_entries_batched t
+            (List.map
+               (fun info ->
+                 writeback t info;
+                 note_dirty t info false;
+                 (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
+               all_infos)
+          ;
+          Trace.end_span "tinca.commit.writeback"
+        end
+
+  let finish_commit h blocks n = finish_commit_group [ (h, blocks, n) ]
 
   let commit h =
     if h.state <> Running then invalid_arg "Tinca.Txn.commit: transaction not running";
@@ -901,6 +962,121 @@ module Txn = struct
     finish_commit h blocks (List.length blocks);
     maybe_clean h.cache
 
+  (* --- group commit across transactions (async commit, ISSUE 8) --------
+     [seal] volatilely applies a whole transaction — admission, pass-1
+     allocation, COW data + entry stores, ring-slot staging — without a
+     single flush or fence: the DRAM index already serves reads from the
+     new versions, but nothing is durable and Head excludes the staged
+     slots, so a crash at any point rolls the transaction back (surviving
+     log-role entry lines are revoked by recovery's entry scan; staged
+     slots are invisible to the ring range).  [flush_sealed] then makes a
+     whole batch of sealed transactions durable with ONE stage-A
+     flush+fence, ONE slot flush+fence and ONE Head persist covering all
+     their slots, and [finalize_sealed] retires them with one batched
+     role switch and one Tail persist — the per-commit fence bill drops
+     from ~5 to ~5/K at batch size K. *)
+
+  let seal_group t h blocks =
+    let allocs = alloc_group t blocks in
+    let lines = store_group t h.staged allocs in
+    let slot_lines = Ring.stage_batch t.ring blocks in
+    h.sealed_lines <- lines;
+    h.slot_lines <- slot_lines;
+    h.sealed_slots <- List.length blocks
+
+  let seal h =
+    if h.state <> Running then invalid_arg "Tinca.Txn.seal: transaction not running";
+    let t = h.cache in
+    if t.cfg.commit_pipeline <> Batched then
+      invalid_arg "Tinca.Txn.seal: group commit requires the Batched pipeline";
+    let blocks = List.rev h.order in
+    let n = List.length blocks in
+    if n = 0 then invalid_arg "Tinca.Txn.seal: empty transaction";
+    admit h blocks n;
+    h.state <- Committing;
+    t.committing <- true;
+    charge_op t;
+    Trace.begin_span ~clock:t.clock "tinca.commit.seal";
+    (try seal_group t h blocks
+     with Cache_exhausted ->
+       Trace.end_span "tinca.commit.seal";
+       (* Pass-1 rollback left the cache untouched; earlier sealed
+          transactions (staged ring slots) keep the commit window open. *)
+       if Ring.staged t.ring = 0 then t.committing <- false;
+       h.state <- Finished;
+       raise Transaction_too_large);
+    Trace.end_span "tinca.commit.seal"
+
+  (* Drop a sealed-but-unflushed transaction: revoke its blocks (all in
+     log role, with exact pre-images in DRAM) and un-stage its ring
+     slots.  Only valid while the transaction's slots are the newest
+     staged ones on this cache — the sharded scheduler unwinds a
+     partially sealed multi-shard transaction immediately, before any
+     later seal. *)
+  let unseal h =
+    if h.state <> Committing then invalid_arg "Tinca.Txn.unseal: transaction not sealed";
+    let t = h.cache in
+    List.iter (fun blkno -> revoke_block t blkno) (List.rev h.order);
+    Ring.unstage t.ring h.sealed_slots;
+    h.sealed_lines <- [];
+    h.slot_lines <- [];
+    h.sealed_slots <- 0;
+    if Ring.staged t.ring = 0 && Ring.in_flight t.ring = 0 then t.committing <- false;
+    h.state <- Finished;
+    Metrics.incr t.metrics "tinca.aborts" ~by:1
+
+  (* Stages A–B + Head advance for a whole batch of sealed transactions
+     on one cache.  All-or-nothing under crash: until the single Head
+     persist lands, every transaction of the batch rolls back; after it,
+     the batch is named by the ring range in its entirety (and committed
+     by the Tail persist of [finalize_sealed], or revoked as one unit by
+     recovery if the crash lands in between). *)
+  let flush_sealed handles =
+    match handles with
+    | [] -> ()
+    | h0 :: _ ->
+        let t = h0.cache in
+        List.iter
+          (fun h ->
+            if h.state <> Committing then
+              invalid_arg "Tinca.Txn.flush_sealed: transaction not sealed";
+            if h.cache != t then invalid_arg "Tinca.Txn.flush_sealed: mixed caches")
+          handles;
+        Trace.begin_span ~clock:t.clock "tinca.commit.stage_a";
+        Pmem.set_site t.pmem "commit.flush";
+        Pmem.flush_lines t.pmem (List.concat_map (fun h -> h.sealed_lines) handles);
+        Pmem.sfence t.pmem;
+        Trace.end_span "tinca.commit.stage_a";
+        Trace.begin_span ~clock:t.clock "tinca.commit.stage_b";
+        Pmem.set_site t.pmem "ring.record";
+        Pmem.flush_lines t.pmem (List.concat_map (fun h -> h.slot_lines) handles);
+        Pmem.sfence t.pmem;
+        Trace.end_span "tinca.commit.stage_b";
+        Trace.begin_span ~clock:t.clock "tinca.commit.head";
+        Ring.publish t.ring (List.fold_left (fun acc h -> acc + h.sealed_slots) 0 handles);
+        Metrics.incr t.metrics "tinca.head_advance" ~by:1;
+        Trace.end_span "tinca.commit.head"
+
+  (* Steps 4–5 for the whole batch: one batched role switch, one Tail
+     persist, then per-transaction post-commit bookkeeping. *)
+  let finalize_sealed handles =
+    match handles with
+    | [] -> ()
+    | h0 :: _ ->
+        finish_commit_group
+          (List.map
+             (fun h ->
+               let blocks = List.rev h.order in
+               (h, blocks, List.length blocks))
+             handles);
+        List.iter
+          (fun h ->
+            h.sealed_lines <- [];
+            h.slot_lines <- [];
+            h.sealed_slots <- 0)
+          handles;
+        maybe_clean h0.cache
+
   (* Failure injection for tests and the crash-space checker: run the
      commit protocol for the first [k] staged blocks and stop, as an
      injected mid-commit failure would.  [abort] then exercises the
@@ -916,7 +1092,10 @@ module Txn = struct
     match t.cfg.commit_pipeline with
     | Batched ->
         stage_group t h.staged prefix;
-        if prefix <> [] then Ring.publish t.ring (List.length prefix)
+        if prefix <> [] then begin
+          Ring.publish t.ring (List.length prefix);
+          Metrics.incr t.metrics "tinca.head_advance" ~by:1
+        end
     | Per_block ->
         List.iter (fun blkno -> commit_block t blkno (Hashtbl.find h.staged blkno)) prefix
 
@@ -1075,7 +1254,9 @@ let stats_kv s =
 (* --- invariant audit ----------------------------------------------------- *)
 
 let check_invariants t =
-  let fail fmt = Printf.ksprintf failwith ("Tinca.Cache invariant: " ^^ fmt) in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Invariant_violation m)) ("Tinca.Cache invariant: " ^^ fmt)
+  in
   if Lru.length t.lru <> Hashtbl.length t.index then
     fail "LRU length %d <> index size %d" (Lru.length t.lru) (Hashtbl.length t.index);
   if (not t.committing) && Ring.head t.ring <> Ring.tail t.ring then

@@ -75,6 +75,13 @@ exception Cache_exhausted
     [Tinca.Unformatted]. *)
 exception Corrupt of string
 
+(** An internal-invariant audit failed ({!check_invariants}, or a
+    bookkeeping structure caught mid-corruption): always a programming
+    error, never an API or media error.  Typed (not a bare [Failure])
+    so the lockstep sweep and the crash checker key on the audit
+    outcome rather than on exception payloads. *)
+exception Invariant_violation of string
+
 (** [format ~config ~pmem ~disk ~clock ~metrics] initializes the NVM
     layout (superblock, zeroed pointers and entry table) and returns an
     empty cache. *)
@@ -209,6 +216,53 @@ module Txn : sig
       stats, optional write-through propagation, background cleaning. *)
   val finalize : handle -> unit
 
+  (** {2 Group commit across transactions (async commit)}
+
+      The fence bill of a commit is constant but still per-transaction;
+      the group-commit path amortizes it over a whole batch.  [seal]
+      applies a transaction {e volatilely} — admission control, pass-1
+      allocation, all COW data and entry stores, ring-slot staging —
+      with no flush and no fence: reads already see the new versions
+      (the DRAM index points at them) but nothing is durable and Head
+      excludes the staged slots, so a crash rolls the transaction back
+      completely (surviving log-role entry lines are revoked by
+      recovery's entry scan).  [flush_sealed] then makes a whole batch
+      durable with one stage-A flush+fence, one slot flush+fence and a
+      single Head persist covering every transaction's slots, and
+      [finalize_sealed] retires the batch with one batched role switch
+      and one Tail persist — ~5 fences per {e batch} instead of per
+      commit.  Crash atomicity is batch-granular: before the Head
+      persist the whole batch rolls back, after it the ring range names
+      the whole batch.
+
+      Sealed handles must all be flushed together (in seal order) by
+      the group committer that owns the cache; {!abort} must not be
+      called on one (its Head rewind would drop peer transactions'
+      staged slots) — use {!unseal} instead. *)
+
+  (** Volatilely apply the transaction as described above.  Raises
+      {!Transaction_too_large} exactly as {!commit} does (handle
+      finished, cache untouched, peer sealed transactions undisturbed);
+      [Invalid_argument] on an empty transaction or under the
+      [Per_block] pipeline. *)
+  val seal : handle -> unit
+
+  (** Drop a sealed-but-unflushed transaction: revoke its blocks and
+      un-stage its ring slots.  Only valid while its slots are the
+      newest staged ones (the scheduler unwinds a partially sealed
+      multi-shard transaction immediately, before any later seal). *)
+  val unseal : handle -> unit
+
+  (** One stage-A flush+fence, one slot flush+fence and one Head
+      persist covering every sealed handle in the list (seal order).
+      All handles must be sealed on the same cache. *)
+  val flush_sealed : handle list -> unit
+
+  (** One batched role switch and one Tail persist retiring the whole
+      flushed batch, then per-transaction post-commit bookkeeping and
+      background cleaning. *)
+  val finalize_sealed : handle list -> unit
+
   (** {2 Failure injection (tests and the crash-space checker)} *)
 
   (** [commit_prefix h k] runs the commit protocol (§4.4 steps 1–3) for
@@ -300,6 +354,6 @@ val entry_at : t -> int -> Entry.t
 val peek : t -> int -> bytes option
 
 (** Full consistency audit of DRAM structures vs NVM media; raises
-    [Failure] with a description on any violation.  Used by tests after
-    every recovery. *)
+    {!Invariant_violation} with a description on any violation.  Used by
+    tests after every recovery. *)
 val check_invariants : t -> unit

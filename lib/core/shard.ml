@@ -106,13 +106,23 @@ let reset_lanes t = Array.fill t.lanes 0 (Array.length t.lanes) 0.0
 
 (* --- fault injection (harness self-tests) -------------------------------- *)
 
-(* A deliberately planted commit-path mutation, used by the lockstep
-   refinement harness to prove it would catch the bug class: with
-   [`Skip_seal] the cross-shard commit record is never persisted, so a
-   crash between two shards' finalize steps recovers one shard's
-   sub-commit and rolls the other back — the partial mix the seal
-   exists to prevent.  Never set outside tests. *)
-let fault : [ `Skip_seal ] option ref = ref None
+(* Deliberately planted commit-path mutations, used by the lockstep
+   refinement harness to prove it would catch the bug classes:
+
+   - [`Skip_seal] — the cross-shard commit record is never persisted,
+     so a crash between two shards' finalize steps recovers one shard's
+     sub-commit and rolls the other back — the partial mix the seal
+     exists to prevent.
+   - [`Drop_durable_notify] — the group committer publishes a batch
+     (data, slots and Heads durable) but then "forgets" to seal and
+     finalize it, while the facade still reports the member
+     transactions durable to their awaiters.  A crash before the next
+     (healing) commit point finds the batch inside [Tail, Head) and
+     revokes it — acknowledged-durable transactions vanish, exactly
+     the lost-ack bug class the crash sweep must observe.
+
+   Never set outside tests. *)
+let fault : [ `Skip_seal | `Drop_durable_notify ] option ref = ref None
 let set_fault f = fault := f
 
 (* --- the cross-shard commit record -------------------------------------- *)
@@ -271,7 +281,7 @@ let peek t blkno = Cache.peek t.caches.(shard_of t blkno) blkno
 (* --- the striped commit scheduler --------------------------------------- *)
 
 module Txn = struct
-  type state = Running | Finished
+  type state = Running | Sealed | Finished
 
   type handle = {
     s : t;
@@ -396,10 +406,123 @@ module Txn = struct
   let abort h =
     match h.state with
     | Finished -> invalid_arg "Tinca.Shard.Txn.abort: transaction already finished"
+    | Sealed -> invalid_arg "Tinca.Shard.Txn.abort: transaction already sealed"
     | Running ->
         List.iter (fun (i, sub) -> exec h.s i (fun () -> Cache.Txn.abort sub)) h.subs;
         h.state <- Finished
+
+  (* --- group commit (async commit, ISSUE 8) ----------------------------- *)
+
+  (* [seal h] volatilely applies the whole transaction on every shard it
+     touches (Cache.Txn.seal: admission, COW data stores, entry swings,
+     ring-slot staging — no flush, no fence).  The facade's group
+     committer later drains many sealed transactions with one
+     [commit_group].  A capacity rejection on any shard unwinds the
+     already-sealed sub-commits ([Cache.Txn.unseal]; their staged slots
+     are the newest on their shards' rings because the facade seals
+     transactions one at a time) and aborts the not-yet-sealed ones —
+     all-or-nothing in the failure direction. *)
+  let seal h =
+    if h.state <> Running then invalid_arg "Tinca.Shard.Txn.seal: transaction not running";
+    let subs = List.rev h.subs in
+    if subs = [] then invalid_arg "Tinca.Shard.Txn.seal: empty transaction";
+    let nsealed = ref 0 in
+    (try
+       List.iter
+         (fun (i, sub) ->
+           exec h.s i (fun () -> Cache.Txn.seal sub);
+           incr nsealed)
+         subs
+     with Cache.Transaction_too_large ->
+       (* The rejecting sub-handle finished itself; earlier subs are
+          sealed (unseal revokes their volatile staging), later ones
+          still running (abort just drops them). *)
+       List.iteri
+         (fun k (i, sub) ->
+           if k < !nsealed then exec h.s i (fun () -> Cache.Txn.unseal sub)
+           else if k > !nsealed then exec h.s i (fun () -> Cache.Txn.abort sub))
+         subs;
+       h.state <- Finished;
+       raise Cache.Transaction_too_large);
+    h.state <- Sealed
+
+  let shard_mask h = List.fold_left (fun m (i, _) -> m lor (1 lsl i)) 0 h.subs
 end
+
+(* One durability sequence for a whole batch of sealed transactions —
+   the group-commit analogue of [Txn.commit_multi]:
+
+   Flush    each touched shard runs stages A–B plus its single Head
+            advance over ALL its member sub-commits
+            (Cache.Txn.flush_sealed): two fences and one Head persist
+            per shard, however many transactions the batch holds.  A
+            crash before a shard's Head advance revokes its
+            sub-commits via the log-role entry scan; after, via the
+            ring range — and with no seal yet, every other shard rolls
+            back too, so the batch disappears as one unit.
+   Seal     when the batch touches >= 2 shards, one cross-shard commit
+            record over the union mask, persisted after all Heads —
+            from here recovery rolls the entire batch forward on every
+            shard instead.  Single-shard batches need no seal: their
+            one Head persist is already the all-or-nothing pivot.
+   Finalize each shard retires its members with one batched role
+            switch and one Tail persist (Cache.Txn.finalize_sealed),
+            then the seal (if any) retires.
+
+   Under the planted [`Drop_durable_notify] fault the batch is
+   published but neither sealed nor finalized — the lost-ack bug the
+   crash sweep must catch (the caller still acknowledges durability). *)
+let commit_group s handles =
+  match handles with
+  | [] -> ()
+  | handles ->
+      List.iter
+        (fun h ->
+          if h.Txn.state <> Txn.Sealed then
+            invalid_arg "Tinca.Shard.commit_group: transaction not sealed";
+          if h.Txn.s != s then invalid_arg "Tinca.Shard.commit_group: mixed shard sets")
+        handles;
+      let groups = Array.make (nshards s) [] in
+      List.iter
+        (fun h ->
+          List.iter (fun (i, sub) -> groups.(i) <- sub :: groups.(i)) (List.rev h.Txn.subs))
+        handles;
+      let group i = List.rev groups.(i) in
+      let touched = List.filter (fun i -> groups.(i) <> []) (List.init (nshards s) Fun.id) in
+      let mask = List.fold_left (fun m h -> m lor Txn.shard_mask h) 0 handles in
+      let multi = List.length touched > 1 in
+      List.iter
+        (fun i ->
+          Trace.begin_span ~clock:s.clock "tinca.gcommit.flush";
+          Trace.attr "shard" (string_of_int i);
+          exec s i (fun () -> Cache.Txn.flush_sealed (group i));
+          Trace.end_span "tinca.gcommit.flush")
+        touched;
+      barrier s;
+      if !fault = Some `Drop_durable_notify then
+        List.iter (fun h -> h.Txn.state <- Txn.Finished) handles
+      else begin
+        if multi then begin
+          Trace.begin_span ~clock:s.clock "tinca.gcommit.seal";
+          exec_global s (fun () -> write_seal s mask);
+          Trace.end_span "tinca.gcommit.seal"
+        end;
+        List.iter
+          (fun i ->
+            Trace.begin_span ~clock:s.clock "tinca.gcommit.finalize";
+            Trace.attr "shard" (string_of_int i);
+            exec s i (fun () -> Cache.Txn.finalize_sealed (group i));
+            Trace.end_span "tinca.gcommit.finalize")
+          touched;
+        if multi then begin
+          Trace.begin_span ~clock:s.clock "tinca.gcommit.retire";
+          exec_global s (fun () -> clear_seal s);
+          Trace.end_span "tinca.gcommit.retire"
+        end;
+        List.iter (fun h -> h.Txn.state <- Txn.Finished) handles;
+        Metrics.incr s.metrics "tinca.shard.group_commits" ~by:1;
+        Metrics.incr s.metrics "tinca.shard.group_commit.txns" ~by:(List.length handles)
+      end
 
 (* --- stats -------------------------------------------------------------- *)
 
@@ -481,5 +604,6 @@ let stats_kv st =
 let check_invariants t =
   (* One-shard media has no header, hence no seal word to audit. *)
   if Array.length t.caches > 1 && read_seal t.pmem <> 0 then
-    failwith "Tinca.Shard invariant: cross-shard seal set outside a commit";
+    raise
+      (Cache.Invariant_violation "Tinca.Shard invariant: cross-shard seal set outside a commit");
   Array.iter Cache.check_invariants t.caches

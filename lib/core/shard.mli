@@ -111,7 +111,29 @@ module Txn : sig
   val commit : handle -> unit
 
   val abort : handle -> unit
+
+  (** Volatilely seal the whole transaction on every shard it touches
+      ({!Cache.Txn.seal} per sub-commit: admission, COW stores, entry
+      swings, slot staging — no flush, no fence).  A sealed transaction
+      waits for {!commit_group} to make it durable; nothing of it can
+      survive a crash before then.  Raises {!Cache.Transaction_too_large}
+      if any shard rejects its sub-commit (already-sealed shards are
+      unwound, so the failure is all-or-nothing) and [Invalid_argument]
+      on an empty or non-running transaction. *)
+  val seal : handle -> unit
 end
+
+(** [commit_group s handles] — one durability sequence for a whole batch
+    of sealed transactions (the async group commit, ISSUE 8): per
+    touched shard, ONE stage-A flush+fence and ONE slot flush+fence over
+    all member sub-commits followed by a single Head advance; when the
+    batch spans >= 2 shards, one cross-shard seal over the union mask
+    (all-or-nothing across the {e whole batch} at crash); then per shard
+    one batched role switch and one Tail persist.  [handles] must all be
+    sealed and belong to [s]; they are finished on return.  A batch is
+    atomic under crash: recovery yields either none of its transactions
+    or all of them. *)
+val commit_group : t -> Txn.handle list -> unit
 
 (** {1 Parallel-throughput model}
 
@@ -157,7 +179,11 @@ val check_invariants : t -> unit
     [set_fault (Some `Skip_seal)] suppresses the cross-shard commit
     record, recreating the bug class the seal prevents (a crash between
     two shards' finalize steps exposes a partial multi-shard commit).
-    The lockstep refinement harness plants this to prove its crash-state
-    oracle catches real commit-path mutations.  Always reset to [None]
-    (e.g. with [Fun.protect]). *)
-val set_fault : [ `Skip_seal ] option -> unit
+    [set_fault (Some `Drop_durable_notify)] makes {!commit_group}
+    publish a batch but skip its seal and finalize steps while the
+    facade still acknowledges durability — a crash before the next
+    commit point then revokes acknowledged transactions (the lost-ack
+    bug class).  The lockstep refinement harness plants these to prove
+    its crash-state oracle catches real commit-path mutations.  Always
+    reset to [None] (e.g. with [Fun.protect]). *)
+val set_fault : [ `Skip_seal | `Drop_durable_notify ] option -> unit

@@ -30,6 +30,15 @@ type sample = {
 let txn_sizes = [ 1; 8; 64 ]
 let instrs = [ Latency.Clflush; Latency.Clflushopt; Latency.Clwb ]
 
+(* Measured commit sizes form a mixed stream around the config size [n]:
+   commit [c] writes [1 + (c * 7919 mod (2n - 1))] blocks (uniform over
+   [1, 2n-1], mean n), so the latency histogram carries real spread
+   instead of the degenerate p50 == p99 == max a single repeated commit
+   produced.  [n = 1] stays a pure single-block stream.  Exported so
+   Exp_shard's facade replay (the N=1 pin) and Exp_group use the exact
+   same stream. *)
+let measured_size ~n c = if n <= 1 then 1 else 1 + (c * 7919 mod ((2 * n) - 1))
+
 (* 4 warm-up commits walk the whole 256-block universe once (at n = 64),
    so measured commits mix COW write hits with misses like a steady-state
    workload; 32 measured commits keep the sweep fast. *)
@@ -47,24 +56,29 @@ let micro ~pipeline ~instr ~n =
   in
   let universe = 256 in
   let payload = Bytes.make 4096 'c' in
-  let commit c =
+  (* The stream walks the universe sequentially; [next] carries the
+     block cursor across commits so varying sizes shift transaction
+     boundaries without changing the footprint. *)
+  let next = ref 0 in
+  let commit size =
     let h = Cache.Txn.init cache in
-    for b = 0 to n - 1 do
-      Cache.Txn.add h (((c * n) + b) mod universe) payload
+    for _ = 1 to size do
+      Cache.Txn.add h (!next mod universe) payload;
+      incr next
     done;
     Cache.Txn.commit h
   in
   let warmup = 4 and measured = 32 in
-  for c = 0 to warmup - 1 do
-    commit c
+  for _ = 1 to warmup do
+    commit n
   done;
   let t0 = Clock.now_ns clock in
   let sf0 = Metrics.get metrics "pmem.sfence" in
   let wb0 = Metrics.get metrics "pmem.clflush_writebacks" in
   let lat = Hist.create () in
-  for c = warmup to warmup + measured - 1 do
+  for c = 0 to measured - 1 do
     let c0 = Clock.now_ns clock in
-    commit c;
+    commit (measured_size ~n c);
     Hist.add lat (Clock.now_ns clock -. c0)
   done;
   let per x = float_of_int x /. float_of_int measured in
@@ -144,10 +158,12 @@ let trace_throughput () =
   ]
 
 (* The CI benchmark artifact: commit-protocol cost for every (pipeline,
-   flush instruction, transaction size) point, plus end-to-end
-   trace-replay throughput per stack so a regression anywhere in the
-   write path shows up in the JSON diff. *)
-let bench_json () =
+   flush instruction, transaction size) point, the async group-commit
+   sweep ([group_block], injected by the caller — usually
+   [Exp_group.json_block] — because Exp_group sits above this module),
+   plus end-to-end trace-replay throughput per stack so a regression
+   anywhere in the write path shows up in the JSON diff. *)
+let bench_json ~group_block () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"commit\": [\n";
   let first = ref true in
@@ -174,7 +190,9 @@ let bench_json () =
             txn_sizes)
         instrs)
     [ Cache.Per_block; Cache.Batched ];
-  Buffer.add_string buf "\n  ],\n  \"trace_replay\": [\n";
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf (group_block ());
+  Buffer.add_string buf ",\n  \"trace_replay\": [\n";
   let tput = trace_throughput () in
   List.iteri
     (fun i (stack, (ops_per_s, lat)) ->

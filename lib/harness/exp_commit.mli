@@ -12,12 +12,20 @@ type sample = {
   max_ns : float;
 }
 
+(** Size of measured commit [c] in a config-[n] stream: uniform over
+    [1, 2n-1] (mean [n]) by a fixed multiplicative walk, so percentile
+    columns carry real spread; [n <= 1] stays a single-block stream.
+    Shared by {!micro}, {!Exp_shard}'s N=1 pin replay and
+    {!Exp_group}. *)
+val measured_size : n:int -> int -> int
+
 (** [micro ~pipeline ~instr ~n] — the single-ring commit-path
-    micro-benchmark: n-block transactions against an 8 MiB PCM device,
-    4 warm-up + 32 measured commits over a 256-block universe.  This is
-    the exact workload behind [BENCH_commit.json]'s commit points;
-    {!Exp_shard} replays it through the sharded facade for the N=1
-    equivalence pin. *)
+    micro-benchmark: a mixed-size stream (mean [n] blocks, see
+    {!measured_size}) against an 8 MiB PCM device, 4 warm-up + 32
+    measured commits walking a 256-block universe.  This is the exact
+    workload behind [BENCH_commit.json]'s commit points; {!Exp_shard}
+    replays it through the sharded facade for the N=1 equivalence
+    pin. *)
 val micro :
   pipeline:Tinca_core.Cache.pipeline ->
   instr:Tinca_sim.Latency.flush_instr ->
@@ -30,6 +38,8 @@ val micro :
     batched group commit. *)
 val fig_commit_batch : unit -> Tinca_util.Tabular.t list
 
-(** Render the same sweep (plus trace-replay throughput per stack) as a
-    JSON document — the [BENCH_commit.json] CI artifact. *)
-val bench_json : unit -> string
+(** Render the same sweep (plus [group_block ()] — normally
+    [Exp_group.json_block], injected to avoid a dependency cycle — and
+    trace-replay throughput per stack) as a JSON document: the
+    [BENCH_commit.json] CI artifact. *)
+val bench_json : group_block:(unit -> string) -> unit -> string

@@ -22,16 +22,29 @@ type config = {
   universe : int;  (* disk blocks the streams draw from *)
   zipf_theta : float;  (* 0.0 = uniform *)
   seed : int;
+  async : bool;  (* open-loop commit_async streams (ISSUE 8) *)
+  mixed_sizes : bool;  (* per-txn size from Exp_commit.measured_size *)
 }
 
 let default =
-  { streams = 8; txns_per_stream = 32; txn_blocks = 8; universe = 256; zipf_theta = 0.0; seed = 11 }
+  {
+    streams = 8;
+    txns_per_stream = 32;
+    txn_blocks = 8;
+    universe = 256;
+    zipf_theta = 0.0;
+    seed = 11;
+    async = false;
+    mixed_sizes = false;
+  }
 
 type result = {
   commits : int;
   block_writes : int;
   multi_shard_commits : int;
   sfences : int;
+  head_advances : int;
+  group_batches : int;
   serial_ns : float;
   makespan_ns : float;
 }
@@ -55,28 +68,51 @@ let run ~clock ~metrics cfg tc =
   in
   Shard.reset_lanes shard;
   let sf0 = Metrics.get metrics "pmem.sfence" in
+  let ha0 = Metrics.get metrics "tinca.head_advance" in
+  let gb0 = Metrics.get metrics "tinca.shard.group_commits" in
   let t0 = Clock.now_ns clock in
   let commits = ref 0 and block_writes = ref 0 and multi = ref 0 in
+  (* Open-loop async streams run at pipeline depth 1: a stream awaits
+     its previous ticket before submitting the next transaction, so the
+     oldest waiter of each round drains the whole standing batch (~K
+     transactions) with one fence sequence — the JBD2 group-commit
+     shape on the NVM side. *)
+  let tickets = Array.make cfg.streams None in
+  let issued = Array.make cfg.streams 0 in
   for _round = 1 to cfg.txns_per_stream do
     for k = 0 to cfg.streams - 1 do
+      (match tickets.(k) with
+      | Some tk ->
+          Tinca.ok_exn (Tinca.await tk);
+          tickets.(k) <- None
+      | None -> ());
+      let size =
+        if cfg.mixed_sizes then Exp_commit.measured_size ~n:cfg.txn_blocks issued.(k)
+        else cfg.txn_blocks
+      in
+      issued.(k) <- issued.(k) + 1;
       let txn = Tinca.init_txn tc in
       let touched = Hashtbl.create 8 in
-      for _ = 1 to cfg.txn_blocks do
+      for _ = 1 to size do
         let blk = pick.(k) () in
         Tinca.ok_exn (Tinca.write txn blk payload);
         incr block_writes;
         Hashtbl.replace touched (Shard.stripe ~nshards blk) ()
       done;
-      Tinca.ok_exn (Tinca.commit txn);
+      if cfg.async then tickets.(k) <- Some (Tinca.ok_exn (Tinca.commit_async txn))
+      else Tinca.ok_exn (Tinca.commit txn);
       incr commits;
       if Hashtbl.length touched > 1 then incr multi
     done
   done;
+  Array.iter (function Some tk -> Tinca.ok_exn (Tinca.await tk) | None -> ()) tickets;
   {
     commits = !commits;
     block_writes = !block_writes;
     multi_shard_commits = !multi;
     sfences = Metrics.get metrics "pmem.sfence" - sf0;
+    head_advances = Metrics.get metrics "tinca.head_advance" - ha0;
+    group_batches = Metrics.get metrics "tinca.shard.group_commits" - gb0;
     serial_ns = Clock.now_ns clock -. t0;
     makespan_ns = Shard.makespan_ns shard;
   }

@@ -15,9 +15,22 @@ type config = {
   universe : int;  (** disk blocks the streams draw from *)
   zipf_theta : float;  (** 0.0 = uniform; 0.99 = YCSB-style skew *)
   seed : int;
+  async : bool;
+      (** open-loop [Tinca.commit_async] streams at pipeline depth 1
+          (ISSUE 8): each stream awaits its previous ticket before
+          submitting the next transaction, so the oldest waiter drains
+          the standing ~K-transaction batch once per round.  Requires a
+          facade with [Config.group_window_ns > 0] to actually batch;
+          with window 0 it degenerates to the synchronous path. *)
+  mixed_sizes : bool;
+      (** draw each transaction's block count from
+          [Exp_commit.measured_size] (uniform over [1, 2n-1], mean
+          [txn_blocks]) instead of the fixed [txn_blocks], so latency
+          percentiles carry real spread *)
 }
 
-(** 8 streams x 32 txns of 8 blocks over a 256-block universe, uniform. *)
+(** 8 streams x 32 txns of 8 blocks over a 256-block universe, uniform,
+    synchronous. *)
 val default : config
 
 type result = {
@@ -25,6 +38,8 @@ type result = {
   block_writes : int;
   multi_shard_commits : int;  (** commits whose blocks striped to > 1 shard *)
   sfences : int;  (** pmem.sfence delta over the run *)
+  head_advances : int;  (** tinca.head_advance delta (one per batch per shard) *)
+  group_batches : int;  (** tinca.shard.group_commits delta (async drains) *)
   serial_ns : float;
   makespan_ns : float;
 }

@@ -152,6 +152,12 @@ let all : experiment list =
       run = Exp_shard.fig_shard;
     };
     {
+      id = "fig_group";
+      title = "Async group commit: fences amortized over the standing batch";
+      paper_ref = "extension (ISSUE 8: one durability sequence per ~K-txn batch)";
+      run = Exp_group.fig_group;
+    };
+    {
       id = "fig_obs";
       title = "Observability surface: /proc snapshot, latency ladders, span flame";
       paper_ref = "extension (observability; beyond the paper)";

@@ -4,6 +4,7 @@ module Cache = Tinca_core.Cache
 module Shard = Tinca_core.Shard
 module Layout = Tinca_core.Layout
 module Histogram = Tinca_util.Histogram
+module Trace = Tinca_obs.Trace
 
 (* Re-exported with type equations, so facade users and the retained
    Cache interface agree on the same constructors. *)
@@ -21,6 +22,8 @@ module Config = struct
     write_policy : write_policy;
     clean_threshold : float;
     alloc_policy : Tinca_cachelib.Free_monitor.policy;
+    group_window_ns : int;
+    group_max_batch : int;
   }
 
   let default =
@@ -34,6 +37,8 @@ module Config = struct
       write_policy = Cache.default_config.Cache.mode;
       clean_threshold = Cache.default_config.Cache.clean_threshold;
       alloc_policy = Cache.default_config.Cache.alloc_policy;
+      group_window_ns = 0;
+      group_max_batch = 32;
     }
 
   let validate c =
@@ -46,6 +51,12 @@ module Config = struct
     else if not (c.clean_threshold > 0.0 && c.clean_threshold <= 1.0) then
       err "clean_threshold %g not in (0, 1]" c.clean_threshold
     else if c.nvm_bytes <= 0 then err "nvm_bytes %d must be positive" c.nvm_bytes
+    else if c.group_window_ns < 0 then
+      err "group_window_ns %d must be non-negative" c.group_window_ns
+    else if c.group_max_batch < 1 then
+      err "group_max_batch %d must be positive" c.group_max_batch
+    else if c.group_window_ns > 0 && c.commit_pipeline <> Batched then
+      err "group_window_ns requires the Batched commit pipeline"
     else
       (* Geometry must fit: every shard's span must host the ring plus at
          least one data block and entry — the same check Layout.compute
@@ -122,21 +133,60 @@ let of_exn = function
 
 let ok_exn = function Ok v -> v | Error e -> raise (to_exn e)
 
-type t = {
+(* A transaction acknowledged by [commit_async] but not yet drained by
+   the group committer.  [handle] is the sealed shard-level handle the
+   drain will commit; [ticket] is the caller-visible durability token. *)
+type ticket = {
+  t_owner : t;
+  tk_blocks : int;
+  sealed_at : float;
+  mutable durable : bool;
+  mutable durable_at : float;
+  mutable callbacks : (unit -> unit) list; (* reversed registration order *)
+}
+
+and pending = { ph : Shard.Txn.handle; ticket : ticket; pblocks : int list }
+
+and t = {
   shard : Shard.t;
   nblocks : int; (* disk blocks, for the range check *)
   block_size : int;
   txn_sizes : Histogram.t;
       (* cross-shard blocks-per-commit distribution; the per-shard Cache
          histograms only see their own sub-commits *)
+  clock : Clock.t;
+  metrics : Metrics.t;
+  window_ns : int; (* Config.group_window_ns, captured at construction *)
+  max_batch : int; (* Config.group_max_batch *)
+  ring_slots : int; (* per shard — the conservative batch-capacity bound *)
+  ack_to_durable : Histogram.t; (* commit_async return -> batch drain, ns *)
+  group : group; (* the standing batch — the only mutable facade state *)
 }
 
-let of_shard ~disk shard =
+(* Mutable group-committer state, split out so the handle record itself
+   stays immutable (and so reads as such to the R1 lint). *)
+and group = {
+  mutable pending : pending list; (* newest first *)
+  pending_blocks : (int, unit) Hashtbl.t; (* blocks written by pending txns *)
+  mutable pending_slots : int; (* ring slots the pending batch has staged *)
+  mutable batch_deadline : float; (* drain due time once pending <> [] *)
+}
+
+let of_shard ~disk ~clock ~metrics ~window_ns ~max_batch shard =
   {
     shard;
     nblocks = Disk.nblocks disk;
     block_size = (Cache.config (Shard.cache shard 0)).Cache.block_size;
     txn_sizes = Histogram.create ();
+    clock;
+    metrics;
+    window_ns;
+    max_batch;
+    ring_slots = (Cache.config (Shard.cache shard 0)).Cache.ring_slots;
+    ack_to_durable = Histogram.create ();
+    group =
+      { pending = []; pending_blocks = Hashtbl.create 64; pending_slots = 0;
+        batch_deadline = 0.0 };
   }
 
 let format ~config ~pmem ~disk ~clock ~metrics =
@@ -147,12 +197,16 @@ let format ~config ~pmem ~disk ~clock ~metrics =
         Shard.format ~nshards:config.Config.nshards
           ~config:(Config.to_cache_config config) ~pmem ~disk ~clock ~metrics
       with
-      | shard -> Ok (of_shard ~disk shard)
+      | shard ->
+          Ok
+            (of_shard ~disk ~clock ~metrics ~window_ns:config.Config.group_window_ns
+               ~max_batch:config.Config.group_max_batch shard)
       | exception Invalid_argument m -> Error (Invalid_config m))
 
 let recover ~pmem ~disk ~clock ~metrics =
   match Shard.recover ~pmem ~disk ~clock ~metrics with
-  | shard -> Ok (of_shard ~disk shard)
+  | shard ->
+      Ok (of_shard ~disk ~clock ~metrics ~window_ns:0 ~max_batch:32 shard)
   | exception Cache.Corrupt m -> Error (Unformatted m)
 
 (* --- introspection ------------------------------------------------------ *)
@@ -174,11 +228,56 @@ let peak_cow_blocks t =
   let s = Shard.stats t.shard in
   s.Shard.agg.Cache.peak_cow
 
+(* --- the group committer (async commit, ISSUE 8) ------------------------ *)
+
+(* Drain the pending batch: ONE Shard.commit_group over every sealed
+   transaction acknowledged since the last drain, then mark their
+   tickets durable and fire their callbacks.  The batch is atomic under
+   crash (commit_group's contract), so the spec's crash candidates are
+   exactly {without the batch, with the whole batch}. *)
+let flush_pending t =
+  match t.group.pending with
+  | [] -> ()
+  | newest_first ->
+      let batch = List.rev newest_first in
+      t.group.pending <- [];
+      Hashtbl.reset t.group.pending_blocks;
+      t.group.pending_slots <- 0;
+      Trace.begin_span ~clock:t.clock "tinca.group_commit";
+      Trace.attr "txns" (string_of_int (List.length batch));
+      Trace.attr "blocks"
+        (string_of_int (List.fold_left (fun acc p -> acc + p.ticket.tk_blocks) 0 batch));
+      let sf0 = Metrics.get t.metrics "pmem.sfence" in
+      Shard.commit_group t.shard (List.map (fun p -> p.ph) batch);
+      Trace.attr "sfences" (string_of_int (Metrics.get t.metrics "pmem.sfence" - sf0));
+      Trace.end_span "tinca.group_commit";
+      let now = Clock.now_ns t.clock in
+      List.iter
+        (fun p ->
+          let tk = p.ticket in
+          tk.durable <- true;
+          tk.durable_at <- now;
+          Histogram.add t.txn_sizes (float_of_int tk.tk_blocks);
+          Histogram.add t.ack_to_durable (now -. tk.sealed_at);
+          let cbs = List.rev tk.callbacks in
+          tk.callbacks <- [];
+          List.iter (fun f -> f ()) cbs)
+        batch
+
+let group_pending t = List.length t.group.pending
+let group_flush = flush_pending
+let group_ack_to_durable t = t.ack_to_durable
+
 (* --- the paper's primitives -------------------------------------------- *)
 
-type txn = { owner : t; h : Shard.Txn.handle; mutable live : bool }
+type txn = {
+  owner : t;
+  h : Shard.Txn.handle;
+  mutable live : bool;
+  mutable blocks : int list; (* staged block numbers, for conflict checks *)
+}
 
-let init_txn t = { owner = t; h = Shard.Txn.init t.shard; live = true }
+let init_txn t = { owner = t; h = Shard.Txn.init t.shard; live = true; blocks = [] }
 
 let check_block t blkno = blkno >= 0 && blkno < t.nblocks
 
@@ -187,19 +286,84 @@ let write txn blkno data =
   else if Bytes.length data <> txn.owner.block_size then
     Error (Wrong_block_size { expected = txn.owner.block_size; got = Bytes.length data })
   else if not (check_block txn.owner blkno) then Error (Block_out_of_range blkno)
-  else Ok (Shard.Txn.add txn.h blkno data)
+  else begin
+    txn.blocks <- blkno :: txn.blocks;
+    Ok (Shard.Txn.add txn.h blkno data)
+  end
 
-let commit txn =
+let durable_ticket t n =
+  let now = Clock.now_ns t.clock in
+  { t_owner = t; tk_blocks = n; sealed_at = now; durable = true; durable_at = now; callbacks = [] }
+
+(* [commit_async] — validate and volatilely seal NOW (later reads see
+   the transaction immediately), return a ticket, and let the group
+   committer amortize one durability sequence over every transaction
+   sealed inside the window.  The batch drains when: the window
+   deadline has passed (checked on the next commit_async), the batch
+   hits [group_max_batch], a new transaction conflicts with a pending
+   one (same block — the per-block COW chain is one level deep), the
+   staged slots could overrun a ring, or someone awaits / syncs.
+
+   With [group_window_ns = 0] this IS the synchronous pipeline — the
+   sealed path is never entered, so media traffic, fences and the
+   simulated clock match today's [commit] byte for byte. *)
+let commit_async txn =
   if not txn.live then Error Txn_not_running
   else begin
     txn.live <- false;
+    let t = txn.owner in
     let n = Shard.Txn.block_count txn.h in
-    match Shard.Txn.commit txn.h with
-    | () ->
-        Histogram.add txn.owner.txn_sizes (float_of_int n);
-        Ok ()
-    | exception Cache.Transaction_too_large -> Error Transaction_too_large
+    if t.window_ns <= 0 || n = 0 then (
+      (* Synchronous fast path (and empty transactions, which carry no
+         durability obligation): drain any standing batch first so
+         commit order equals durability order. *)
+      flush_pending t;
+      match Shard.Txn.commit txn.h with
+      | () ->
+          Histogram.add t.txn_sizes (float_of_int n);
+          Ok (durable_ticket t n)
+      | exception Cache.Transaction_too_large -> Error Transaction_too_large)
+    else begin
+      if Clock.now_ns t.clock >= t.group.batch_deadline then flush_pending t;
+      if List.exists (fun b -> Hashtbl.mem t.group.pending_blocks b) txn.blocks then flush_pending t;
+      if t.group.pending_slots + n > t.ring_slots then flush_pending t;
+      match Shard.Txn.seal txn.h with
+      | () ->
+          let tk =
+            {
+              t_owner = t;
+              tk_blocks = n;
+              sealed_at = Clock.now_ns t.clock;
+              durable = false;
+              durable_at = 0.0;
+              callbacks = [];
+            }
+          in
+          if t.group.pending = [] then
+            t.group.batch_deadline <- Clock.now_ns t.clock +. float_of_int t.window_ns;
+          t.group.pending <- { ph = txn.h; ticket = tk; pblocks = txn.blocks } :: t.group.pending;
+          List.iter (fun b -> Hashtbl.replace t.group.pending_blocks b ()) txn.blocks;
+          t.group.pending_slots <- t.group.pending_slots + n;
+          if List.length t.group.pending >= t.max_batch then flush_pending t;
+          Ok tk
+      | exception Cache.Transaction_too_large -> Error Transaction_too_large
+    end
   end
+
+let await tk =
+  if not tk.durable then flush_pending tk.t_owner;
+  Ok ()
+
+let ticket_durable tk = tk.durable
+
+let ticket_latency_ns tk = if tk.durable then Some (tk.durable_at -. tk.sealed_at) else None
+
+let on_durable tk f = if tk.durable then f () else tk.callbacks <- f :: tk.callbacks
+
+let commit txn =
+  match commit_async txn with
+  | Error _ as e -> e
+  | Ok tk -> await tk
 
 let abort txn =
   if not txn.live then Error Txn_not_running
@@ -216,11 +380,17 @@ let write_direct t blkno data =
   if Bytes.length data <> t.block_size then
     Error (Wrong_block_size { expected = t.block_size; got = Bytes.length data })
   else if not (check_block t blkno) then Error (Block_out_of_range blkno)
-  else
+  else begin
+    (* The direct write commits synchronously through the shard's ring;
+       drain the batch first so its staged slots stay newest. *)
+    flush_pending t;
     match Shard.write_direct t.shard blkno data with
     | () ->
         Histogram.add t.txn_sizes 1.0;
         Ok ()
     | exception Cache.Transaction_too_large -> Error Transaction_too_large
+  end
 
-let sync t = Array.iter Cache.flush_all (Shard.caches t.shard)
+let sync t =
+  flush_pending t;
+  Array.iter Cache.flush_all (Shard.caches t.shard)

@@ -35,6 +35,15 @@ module Config : sig
     write_policy : write_policy;  (** default [Write_back] *)
     clean_threshold : float;  (** in (0, 1]; default 0.7 *)
     alloc_policy : Tinca_cachelib.Free_monitor.policy;  (** default [Lifo] *)
+    group_window_ns : int;
+        (** async group-commit window: transactions sealed by
+            {!commit_async} within this many simulated ns share ONE
+            durability sequence.  [0] (default) = fully synchronous —
+            {!commit_async} degenerates to today's {!commit}, byte for
+            byte.  Requires the [Batched] pipeline when nonzero. *)
+    group_max_batch : int;
+        (** drain the pending batch at this many transactions even if
+            the window has not elapsed; >= 1, default 32 *)
   }
 
   val default : t
@@ -108,7 +117,9 @@ val format :
 
 (** Re-attach after a crash (shard directory, cross-shard roll-forward
     or rollback, per-shard recovery).  [Error (Unformatted _)] on
-    unformatted or corrupt media. *)
+    unformatted or corrupt media.  The group-commit policy is volatile
+    (not recorded on media), so a recovered handle is synchronous
+    ([group_window_ns = 0]). *)
 val recover :
   pmem:Tinca_pmem.Pmem.t ->
   disk:Tinca_blockdev.Disk.t ->
@@ -126,8 +137,62 @@ val init_txn : t -> txn
 (** [tinca_write]: stage one block write into the transaction. *)
 val write : txn -> int -> bytes -> (unit, error) result
 
-(** [tinca_commit]: atomically and durably apply the transaction. *)
+(** [tinca_commit]: atomically and durably apply the transaction.
+    Equal to {!commit_async} followed by {!await} — with
+    [group_window_ns = 0] (the default) that is exactly the classic
+    synchronous pipeline. *)
 val commit : txn -> (unit, error) result
+
+(** {1 Async group commit (ISSUE 8)}
+
+    [commit_async] validates and {e volatilely seals} the transaction
+    immediately — subsequent reads see it, no flush or fence is paid —
+    and returns a {!ticket}.  A group committer drains every
+    transaction sealed within [Config.group_window_ns] (or
+    [group_max_batch], whichever comes first) with ONE stage-A
+    flush+fence, one slot flush+fence, a single Head advance, one
+    batched role switch and one Tail persist per touched shard, so
+    sfences-per-commit falls like [1/K] with batch size [K].
+
+    Ack vs durable: a sealed-unacked transaction (ticket returned,
+    batch not yet drained) may roll back at a crash; once {!await}
+    returns (or {!on_durable} fires) the transaction is durable and
+    must survive any later crash.  Batches are atomic: a crash
+    recovers either none or all of a batch's transactions. *)
+
+type ticket
+
+(** Seal now, become durable with the next batch drain.  Returns an
+    already-durable ticket when [group_window_ns = 0] (synchronous
+    path) and for empty transactions. *)
+val commit_async : txn -> (ticket, error) result
+
+(** Block (in simulated time: drain the pending batch) until the
+    ticket's transaction is durable. *)
+val await : ticket -> (unit, error) result
+
+(** [on_durable tk f] runs [f] once [tk]'s transaction is durable —
+    immediately if it already is, else from the batch drain.
+    Callbacks run in registration order. *)
+val on_durable : ticket -> (unit -> unit) -> unit
+
+val ticket_durable : ticket -> bool
+
+(** Sealed-to-durable latency of a drained ticket in simulated ns
+    ([None] while still pending). *)
+val ticket_latency_ns : ticket -> float option
+
+(** Transactions sealed but not yet drained (the standing batch). *)
+val group_pending : t -> int
+
+(** Drain the standing batch now (also implied by {!await} on a
+    pending ticket, {!write_direct}, {!sync}, window expiry, a
+    same-block conflict, ring pressure and [group_max_batch]). *)
+val group_flush : t -> unit
+
+(** Ack-to-durable latency distribution (ns) across all drained
+    tickets — the [fig_group] p50/p99 source. *)
+val group_ack_to_durable : t -> Tinca_util.Histogram.t
 
 (** [tinca_abort]. *)
 val abort : txn -> (unit, error) result

@@ -345,6 +345,95 @@ let test_writev_scatter () =
   Alcotest.(check string) "chunk 1" "alpha" (Bytes.to_string (Pmem.read p ~off:0 ~len:5));
   Alcotest.(check string) "chunk 2" "beta" (Bytes.to_string (Pmem.read p ~off:4096 ~len:4))
 
+(* --- Async group commit (ISSUE 8) ---------------------------------------- *)
+
+module Mq_driver = Tinca_harness.Mq_driver
+
+let mk_facade ~window () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:(8 * 1024 * 1024) () in
+  let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:4096 ~block_size:4096 in
+  let config =
+    {
+      Tinca.Config.default with
+      Tinca.Config.nvm_bytes = 8 * 1024 * 1024;
+      ring_slots = 1024;
+      group_window_ns = window;
+    }
+  in
+  (clock, metrics, Tinca.ok_exn (Tinca.format ~config ~pmem ~disk ~clock ~metrics))
+
+let run_group ~window ~streams =
+  let clock, metrics, tc = mk_facade ~window () in
+  let cfg =
+    {
+      Mq_driver.default with
+      Mq_driver.streams;
+      txns_per_stream = 16;
+      txn_blocks = 2;
+      universe = 2048;
+      async = true;
+      mixed_sizes = true;
+    }
+  in
+  let r = Mq_driver.run ~clock ~metrics cfg tc in
+  Tinca.check_invariants tc;
+  r
+
+(* The tentpole's budget: with a nonzero window and >= 8 open-loop
+   commit_async streams, the standing batch amortizes the ~5-fence
+   durability sequence so well that sfences PER COMMIT drops below 1 —
+   the synchronous pipeline pays ~5. *)
+let test_group_fence_amortization () =
+  let r = run_group ~window:4_000_000 ~streams:8 in
+  let spc = float_of_int r.Mq_driver.sfences /. float_of_int r.Mq_driver.commits in
+  Alcotest.(check bool)
+    (Printf.sprintf "8-stream async: %.2f sfences/commit <= 1" spc)
+    true (spc <= 1.0);
+  Alcotest.(check bool) "batches actually formed" true (r.Mq_driver.group_batches > 0);
+  Alcotest.(check bool) "batches hold multiple txns" true
+    (r.Mq_driver.commits > r.Mq_driver.group_batches)
+
+(* Each batch drain publishes its whole slot run under a SINGLE Head
+   advance (per touched shard; exactly one at N=1) — the per-txn Head
+   persist is what the batching eliminates. *)
+let test_group_one_head_advance_per_batch () =
+  let r = run_group ~window:4_000_000 ~streams:8 in
+  Alcotest.(check int) "one Head advance per batch at N=1" r.Mq_driver.group_batches
+    r.Mq_driver.head_advances
+
+(* window = 0 is the pinned degeneracy: commit_async + await through the
+   async plumbing must be media-, cost- and fence-identical to the
+   synchronous pipeline on the same stream workload. *)
+let test_group_window0_equivalence () =
+  let run ~async =
+    let clock, metrics, tc = mk_facade ~window:0 () in
+    let cfg =
+      {
+        Mq_driver.default with
+        Mq_driver.streams = 4;
+        txns_per_stream = 8;
+        txn_blocks = 2;
+        universe = 512;
+        async;
+        mixed_sizes = true;
+      }
+    in
+    let r = Mq_driver.run ~clock ~metrics cfg tc in
+    let ns = Clock.now_ns clock in
+    let buf = Buffer.create (256 * 4096) in
+    for blk = 0 to 255 do
+      Buffer.add_bytes buf (Tinca.ok_exn (Tinca.read tc blk))
+    done;
+    (Digest.to_hex (Digest.string (Buffer.contents buf)), ns, r.Mq_driver.sfences)
+  in
+  let d_sync, ns_sync, sf_sync = run ~async:false in
+  let d_async, ns_async, sf_async = run ~async:true in
+  Alcotest.(check string) "media identical" d_sync d_async;
+  Alcotest.(check (float 0.0)) "simulated cost identical" ns_sync ns_async;
+  Alcotest.(check int) "sfence count identical" sf_sync sf_async
+
 let test_writev_validates_before_writing () =
   let env = mk_env ~pmem_bytes:(64 * 1024) () in
   let p = env.pmem in
@@ -388,5 +477,14 @@ let suite =
           test_flush_lines_pipelining;
         Alcotest.test_case "writev scatter roundtrip" `Quick test_writev_scatter;
         Alcotest.test_case "writev validates first" `Quick test_writev_validates_before_writing;
+      ] );
+    ( "facade.group_budget",
+      [
+        Alcotest.test_case "sfences/commit <= 1 at 8 async streams" `Quick
+          test_group_fence_amortization;
+        Alcotest.test_case "one Head advance per batch" `Quick
+          test_group_one_head_advance_per_batch;
+        Alcotest.test_case "window=0 equals synchronous pipeline" `Quick
+          test_group_window0_equivalence;
       ] );
   ]

@@ -259,6 +259,45 @@ let test_facade_unformatted () =
   | Error e -> Alcotest.failf "expected Unformatted, got %s" (Tinca.error_message e)
   | Ok _ -> Alcotest.fail "facade accepted unformatted media"
 
+(* Second tranche (ISSUE 8): the invariant audits now raise the typed
+   Cache.Invariant_violation, never a bare Failure — the lockstep sweep
+   and the crash checker key on the exception constructor instead of
+   pattern-matching Failure payloads.  (The third conversion of the
+   tranche, the commit-path `assert false` on a missing entry slot, was
+   removed structurally: the slot now travels inside the allocation's
+   [Miss] constructor, so the impossible state is unrepresentable and
+   has no runtime path left to test.) *)
+let test_invariant_violation_is_typed () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:(512 * 1024) () in
+  let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:64 ~block_size:4096 in
+  let shard =
+    Shard.format ~nshards:2
+      ~config:{ Cache.default_config with Cache.ring_slots = 16 }
+      ~pmem ~disk ~clock ~metrics
+  in
+  Shard.check_invariants shard;
+  (* Plant a stuck cross-shard seal (offset 64 in the shard directory
+     line): the audit must refuse it with the typed exception. *)
+  Pmem.atomic_write8_int pmem ~off:64 0xBEEF;
+  (match Shard.check_invariants shard with
+  | exception Cache.Invariant_violation msg ->
+      Alcotest.(check bool) "diagnostic names the seal" true (contains msg "seal")
+  | exception e ->
+      Alcotest.failf "expected Cache.Invariant_violation, got %s" (Printexc.to_string e)
+  | () -> Alcotest.fail "stuck seal passed the audit");
+  Pmem.atomic_write8_int pmem ~off:64 0;
+  Shard.check_invariants shard
+
+(* The typed exception registers a printer, so a violation escaping to
+   the top level still prints its diagnostic. *)
+let test_invariant_violation_printer () =
+  Alcotest.(check bool) "printer renders the payload" true
+    (contains
+       (Printexc.to_string (Cache.Invariant_violation "LRU length 3 <> index size 4"))
+       "LRU length 3 <> index size 4")
+
 (* Jsonv's \u escape handler now matches only int_of_string's Failure;
    a bad escape is still a clean parse error, not a crash. *)
 let test_jsonv_bad_escape () =
@@ -289,5 +328,9 @@ let suite =
         Alcotest.test_case "corrupt media raises typed Corrupt" `Quick test_corrupt_is_typed;
         Alcotest.test_case "facade maps Corrupt to Unformatted" `Quick test_facade_unformatted;
         Alcotest.test_case "jsonv bad escape is a parse error" `Quick test_jsonv_bad_escape;
+        Alcotest.test_case "invariant audits raise typed exception" `Quick
+          test_invariant_violation_is_typed;
+        Alcotest.test_case "Invariant_violation printer registered" `Quick
+          test_invariant_violation_printer;
       ] );
   ]
