@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard check-group ci bench bench-json experiments examples clean
+.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard check-group check-flight ci bench bench-json experiments examples clean
 
 all: build
 
@@ -79,6 +79,19 @@ check-group:
 	dune exec bin/tinca_check.exe -- --psan --commits 120 --universe 160 --group-window 400000
 	dune exec bin/tinca_bench.exe -- check-group
 
+# Flight-recorder gate (ISSUE 9): tinca_bench's five-property verdict —
+# zero added fences and <= 2% aggregate commit overhead on
+# fig_commit_batch's stream, a recorder-on group workload psan-clean at
+# N=1 and N=4, the crash sweep's recovery-semantics pin (flight replay
+# on/off recovers identical logical state) with the dossier agreeing
+# with the acked-durability oracle at every explored state, and the
+# planted Drop_durable_notify fault convicted by the dossier alone —
+# then a denser standalone sweep at N=1 and N=4.
+check-flight:
+	dune exec bin/tinca_bench.exe -- check-flight
+	dune exec bin/tinca_check.exe -- --flight --stride 9 -q
+	dune exec bin/tinca_check.exe -- --flight --stride 13 --shards 4 -q
+
 # Everything a gate should run: build, unit tests, the lint, the budgeted
 # crash-space sweep, the spec-refinement gate, the sanitizer pass, the
 # observability gate, the commit-protocol benchmark artifact, the
@@ -86,7 +99,7 @@ check-group:
 # hide as an unnamed recipe line here — as a prerequisite it is now
 # visible in `make -n ci`, runnable on its own, and not silently
 # skipped when a prerequisite fails earlier in the recipe.)
-ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard check-group
+ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard check-group check-flight
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:

@@ -169,7 +169,7 @@ let bench_recovery =
     Cache.write_direct cache i block
   done;
   Test.make ~name:"recoverability: cache recovery scan"
-    (Staged.stage (fun () -> ignore (Cache.recover ~pmem ~disk ~clock ~metrics)))
+    (Staged.stage (fun () -> ignore (Cache.recover ~pmem ~disk ~clock ~metrics ())))
 
 (* core primitives *)
 let bench_entry_codec =

@@ -62,7 +62,7 @@ let run_cmd =
 
 (* Shared --shards plumbing: only the tinca stack is sharded; asking for
    N > 1 on any other stack is a usage error, not something to ignore. *)
-let stack_with_shards ~stack_name ~shards env =
+let stack_with_shards ?(flight_slots = 0) ~stack_name ~shards env =
   let module Stacks = Tinca_stacks.Stacks in
   if shards < 1 then begin
     Printf.eprintf "--shards must be >= 1\n";
@@ -72,9 +72,16 @@ let stack_with_shards ~stack_name ~shards env =
     Printf.eprintf "--shards %d: only the tinca stack is sharded\n" shards;
     exit 1
   end;
+  if flight_slots > 0 && stack_name <> "tinca" then begin
+    Printf.eprintf "--flight-slots %d: only the tinca stack has a flight recorder\n" flight_slots;
+    exit 1
+  end;
   match stack_name with
   | "tinca" ->
-      Stacks.tinca ~config:{ Tinca.Config.default with Tinca.Config.nshards = shards } env
+      Stacks.tinca
+        ~config:
+          { Tinca.Config.default with Tinca.Config.nshards = shards; Tinca.Config.flight_slots }
+        env
   | "classic" -> Stacks.classic ~journal_len:4096 env
   | "ubj" -> Stacks.ubj env
   | "nojournal" -> Stacks.nojournal env
@@ -216,7 +223,7 @@ let bench_json_cmd =
 
 (* `stats` subcommand: run a synthetic workload over a psan-instrumented
    stack and print the /proc/tinca-style health snapshot. *)
-let run_stats stack_name shards synth_ops read_pct =
+let run_stats stack_name shards flight_slots synth_ops read_pct =
   let module Stacks = Tinca_stacks.Stacks in
   let module Fs = Tinca_fs.Fs in
   let module Workload = Tinca_workloads.Trace in
@@ -225,7 +232,7 @@ let run_stats stack_name shards synth_ops read_pct =
   let module Procfs = Tinca_obs.Procfs in
   let open Tinca_sim in
   let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
-  let stack, psan = Stacks.instrument (stack_with_shards ~stack_name ~shards env) in
+  let stack, psan = Stacks.instrument (stack_with_shards ~flight_slots ~stack_name ~shards env) in
   let fs =
     Fs.format
       ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
@@ -281,7 +288,13 @@ let stats_cmd =
     Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P"
            ~doc:"Synthesized read fraction in [0,1].")
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ stack $ shards_arg $ ops $ read_pct)
+  let flight =
+    Arg.(value & opt int 0 & info [ "flight-slots" ] ~docv:"N"
+           ~doc:"Flight-recorder ring slots per shard for the tinca stack (0 = recorder off); \
+                 the recorder's own media writes show up as the wear.*.flight rows.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ stack $ shards_arg $ flight $ ops $ read_pct)
 
 (* `fio` subcommand: the Fig 7 Fio micro-benchmark on one stack, with a
    configurable shard count for the tinca stack. *)
@@ -534,6 +547,134 @@ let check_obs_cmd =
   in
   Cmd.v (Cmd.info "check-obs" ~doc) Term.(const run_check_obs $ out)
 
+(* `forensics` subcommand: the flight recorder's quick-start story —
+   run a group-commit workload with the recorder on, pull the plug
+   mid-flight (random cache-line survival), recover, and print the
+   post-crash dossier; optionally export its Chrome-trace timeline. *)
+let run_forensics shards commits seed crash_frac timeline_out =
+  let module Stacks = Tinca_stacks.Stacks in
+  let module Pmem = Tinca_pmem.Pmem in
+  let module Forensics = Tinca_obs.Forensics in
+  let module Rng = Tinca_util.Rng in
+  if crash_frac <= 0.0 || crash_frac >= 1.0 then begin
+    Printf.eprintf "forensics: --crash-frac must be in (0, 1)\n";
+    exit 1
+  end;
+  let universe = 64 in
+  let mk () = Stacks.make_env ~seed ~nvm_bytes:(512 * 1024) ~disk_blocks:universe () in
+  let fmt env =
+    Tinca.ok_exn
+      (Tinca.format
+         ~config:
+           {
+             Tinca.Config.default with
+             Tinca.Config.nvm_bytes = Pmem.size env.Stacks.pmem;
+             ring_slots = 256;
+             nshards = shards;
+             flight_slots = 128;
+             group_window_ns = 1_000_000_000;
+             group_max_batch = 4;
+           }
+         ~pmem:env.Stacks.pmem ~disk:env.Stacks.disk ~clock:env.Stacks.clock
+         ~metrics:env.Stacks.metrics)
+  in
+  let workload tc =
+    let rng = Rng.create seed in
+    for _ = 1 to commits do
+      let txn = Tinca.init_txn tc in
+      for _ = 1 to 1 + Rng.int rng 3 do
+        Tinca.ok_exn
+          (Tinca.write txn (Rng.int rng universe)
+             (Bytes.make 4096 (Char.chr (1 + Rng.int rng 255))))
+      done;
+      ignore (Tinca.ok_exn (Tinca.commit_async txn))
+    done;
+    Tinca.group_flush tc
+  in
+  (* Crash-free span first, so --crash-frac lands proportionally. *)
+  let env0 = mk () in
+  let tc0 = fmt env0 in
+  let before = Pmem.event_count env0.Stacks.pmem in
+  workload tc0;
+  let span = Pmem.event_count env0.Stacks.pmem - before in
+  let crash_at = max 1 (int_of_float (crash_frac *. float_of_int span)) in
+  let env = mk () in
+  let tc = fmt env in
+  Pmem.set_crash_countdown env.Stacks.pmem (Some crash_at);
+  (try workload tc with Pmem.Crash_point -> ());
+  Pmem.set_crash_countdown env.Stacks.pmem None;
+  Pmem.crash ~seed:(seed + 1) env.Stacks.pmem;
+  Printf.printf "crashed at pmem event %d of %d (%d commit_async txns issued)\n\n" crash_at span
+    commits;
+  match
+    Tinca.recover ~pmem:env.Stacks.pmem ~disk:env.Stacks.disk ~clock:env.Stacks.clock
+      ~metrics:env.Stacks.metrics
+  with
+  | Error e ->
+      Printf.eprintf "forensics: recovery failed: %s\n" (Tinca.error_message e);
+      exit 1
+  | Ok t2 -> (
+      match Tinca.last_crash_report t2 with
+      | None -> Printf.printf "no dossier: no flight records survived the crash\n"
+      | Some d -> (
+          print_string (Forensics.render d);
+          match timeline_out with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc d.Forensics.timeline_json;
+              close_out oc;
+              Printf.printf "\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n" path))
+
+let forensics_cmd =
+  let doc =
+    "Crash a recorder-enabled workload mid-flight and print the post-crash forensic dossier \
+     (batch ledger, acked-vs-survived verdict, torn records, recovery decisions)."
+  in
+  let commits =
+    Arg.(value & opt int 12 & info [ "commits" ] ~docv:"N" ~doc:"Async transactions to issue.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload RNG seed.") in
+  let crash_frac =
+    Arg.(value & opt float 0.6
+         & info [ "crash-frac" ] ~docv:"F"
+             ~doc:"Crash at this fraction of the workload's pmem events, in (0, 1).")
+  in
+  let timeline =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"FILE"
+             ~doc:"Also write the dossier's Chrome trace_event timeline JSON to $(docv).")
+  in
+  Cmd.v (Cmd.info "forensics" ~doc)
+    Term.(const run_forensics $ shards_arg $ commits $ seed $ crash_frac $ timeline)
+
+(* `check-flight` subcommand: the flight-recorder CI gate (ISSUE 9). *)
+let run_check_flight () =
+  let module Tabular = Tinca_util.Tabular in
+  let t0 = Unix.gettimeofday () in
+  let tables, errs, ok = Tinca_harness.Exp_flight.check () in
+  List.iter
+    (fun t ->
+      print_string (Tabular.render t);
+      print_newline ())
+    tables;
+  List.iter (fun e -> Printf.printf "  %s\n" e) errs;
+  Printf.printf "(wall time %.1fs)\n" (Unix.gettimeofday () -. t0);
+  if not ok then begin
+    Printf.printf "check-flight: FAILED\n";
+    exit 1
+  end;
+  Printf.printf "check-flight: all checks passed\n"
+
+let check_flight_cmd =
+  let doc =
+    "Validate the flight recorder: zero added fences and <= 2% commit overhead \
+     (fig_commit_batch's stream), recorder-on workload psan-clean, crash-sweep recovery pin \
+     (replay on/off identical), dossier agrees with the oracle, and the planted \
+     Drop_durable_notify is convicted by the dossier alone."
+  in
+  Cmd.v (Cmd.info "check-flight" ~doc) Term.(const run_check_flight $ const ())
+
 let () =
   let doc = "Tinca (SC'17) reproduction: regenerate the paper's tables and figures." in
   let info = Cmd.info "tinca_bench" ~doc in
@@ -541,4 +682,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; trace_cmd; fio_cmd; bench_json_cmd; stats_cmd; check_obs_cmd;
-            check_shard_cmd; check_group_cmd ]))
+            check_shard_cmd; check_group_cmd; check_flight_cmd; forensics_cmd ]))

@@ -26,6 +26,8 @@ open Cmdliner
 module Check = Tinca_checker.Crash_check
 module Psan = Tinca_checker.Psan
 module Lockstep = Tinca_checker.Lockstep
+module FCheck = Tinca_checker.Flight_check
+module Forensics = Tinca_obs.Forensics
 module Stacks = Tinca_stacks.Stacks
 module Backend = Tinca_fs.Backend
 module Pmem = Tinca_pmem.Pmem
@@ -431,14 +433,69 @@ let run_lockstep seeds len cap stride group_window quiet =
     1
   end
 
-let run psan lockstep commits seed universe ring_slots pmem_kb cap sample_seed from stride shards
-    lockstep_seeds lockstep_len group_window verbose quiet =
+(* --- flight-recorder mode ------------------------------------------------ *)
+
+(* Crash sweep with the recorder ON (recovery-semantics pin + dossier
+   agreement at every explored state), then the planted-fault scenario:
+   the dossier alone must convict the acked tickets Drop_durable_notify
+   killed. *)
+let run_flight commits seed universe shards from stride quiet =
+  let t0 = Unix.gettimeofday () in
+  let cfg =
+    {
+      FCheck.default_config with
+      FCheck.ncommits = commits;
+      seed;
+      universe;
+      nshards = shards;
+      first_event = from;
+      stride;
+    }
+  in
+  let progress =
+    if quiet then fun _ _ -> ()
+    else fun k span ->
+      if k mod 20 = 0 || k = span then Printf.eprintf "\rflight crash point %d/%d%!" k span
+  in
+  let report =
+    try FCheck.sweep ~progress cfg
+    with Invalid_argument msg ->
+      Printf.eprintf "tinca_check --flight: %s\n" msg;
+      exit 2
+  in
+  if not quiet then Printf.eprintf "\r%!";
+  Tinca_util.Tabular.print (FCheck.report_table report);
+  let bad = ref (List.length report.FCheck.violations) in
+  List.iter (fun m -> Printf.printf "  %s\n" m) report.FCheck.violations;
+  (match FCheck.drop_notify_scenario cfg with
+  | Ok dossier ->
+      Printf.printf
+        "drop-notify scenario: dossier convicted every acked ticket of the dead batch.\n";
+      if not quiet then print_string (Forensics.render dossier)
+  | Error msg ->
+      incr bad;
+      Printf.printf "drop-notify scenario: FAILED — %s\n" msg);
+  Printf.printf "(wall time %.1fs)\n" (Unix.gettimeofday () -. t0);
+  if !bad = 0 then begin
+    Printf.printf
+      "flight: recorder is a pure observer (replay on/off states identical) and the dossier \
+       agrees with the judge at every explored crash state.\n";
+    0
+  end
+  else begin
+    Printf.printf "flight: %d FAILURE(S).\n" !bad;
+    1
+  end
+
+let run psan lockstep flight commits seed universe ring_slots pmem_kb cap sample_seed from stride
+    shards lockstep_seeds lockstep_len group_window verbose quiet =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
   if psan then run_psan commits seed universe shards group_window
   else if lockstep then run_lockstep lockstep_seeds lockstep_len cap stride group_window quiet
+  else if flight then run_flight commits seed universe shards from stride quiet
   else
   let cfg =
     {
@@ -560,6 +617,18 @@ let cmd =
                 $(b,--lockstep-seeds), $(b,--lockstep-len), $(b,--cap), $(b,--stride) and \
                 $(b,-q); the other sweep flags are ignored.")
   in
+  let flight =
+    Arg.(value & flag
+         & info [ "flight" ]
+             ~doc:
+               "Flight-recorder mode (ISSUE 9): crash-sweep a group-commit workload with the \
+                NVM flight recorder enabled, checking at every explored post-crash state that \
+                (a) recovery with flight replay on and off yields bit-identical logical cache \
+                state (the recorder is a pure observer) and (b) the forensic dossier's verdict \
+                agrees with an acked-durability oracle; then plant the Drop_durable_notify \
+                committer fault and require the dossier alone to name the acked tickets that \
+                died.  Honours --commits, --seed, --universe, --shards, --from, --stride and -q.")
+  in
   let lockstep_seeds =
     Arg.(value & opt int 5
          & info [ "lockstep-seeds" ] ~docv:"N"
@@ -585,8 +654,8 @@ let cmd =
   let info = Cmd.info "tinca_check" ~doc in
   Cmd.v info
     Term.(
-      const run $ psan $ lockstep $ commits $ seed $ universe $ ring_slots $ pmem_kb $ cap
-      $ sample_seed $ from $ stride $ shards $ lockstep_seeds $ lockstep_len $ group_window
+      const run $ psan $ lockstep $ flight $ commits $ seed $ universe $ ring_slots $ pmem_kb
+      $ cap $ sample_seed $ from $ stride $ shards $ lockstep_seeds $ lockstep_len $ group_window
       $ verbose $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -91,7 +91,7 @@ let () =
   (try put_batch t [ (1001, Bytes.of_string "alice: $0"); (1002, Bytes.of_string "bob: $1000") ]
    with Pmem.Crash_point -> print_endline "crash mid-transfer!");
   Pmem.crash ~seed:3 ~survival:0.5 pmem;
-  let t = { cache = Cache.recover ~pmem ~disk ~clock ~metrics } in
+  let t = { cache = Cache.recover ~pmem ~disk ~clock ~metrics () } in
   Cache.check_invariants t.cache;
   Printf.printf "after recovery:\n";
   Printf.printf "alice = %s\n" (Bytes.to_string (Option.get (get t 1001)));

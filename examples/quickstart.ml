@@ -47,7 +47,7 @@ let () =
 
   (* 5. Recover: the unacknowledged transaction rolls back completely —
      blocks 10 and 11 revert to their txn#1 versions. *)
-  let cache = Cache.recover ~pmem ~disk ~clock ~metrics in
+  let cache = Cache.recover ~pmem ~disk ~clock ~metrics () in
   Cache.check_invariants cache;
   Printf.printf "recovered:      blocks 10..12 = %s %s %s  (txn#2 revoked, txn#1 intact)\n"
     (show cache 10) (show cache 11) (show cache 12);

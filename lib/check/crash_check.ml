@@ -228,7 +228,7 @@ let default_driver cfg =
 
 (* Run the three gates on the current (post-crash) medium. *)
 let check_state env judge =
-  match Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics with
+  match Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics () with
   | exception e -> Error (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
   | recovered -> (
       match Shard.check_invariants recovered with

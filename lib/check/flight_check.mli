@@ -1,0 +1,60 @@
+(** Budgeted crash sweep for the flight recorder (ISSUE 9).
+
+    Complements {!Crash_check} (which proves the commit protocol) with
+    the two properties only the recorder can violate:
+
+    + {b recovery-semantics pin}: recovering the same crashed medium
+      with flight replay on and off must produce bit-identical
+      {e logical} cache state — the recorder is a pure observer;
+    + {b dossier-vs-judge agreement}: the post-crash dossier's verdict
+      ({!Tinca_obs.Forensics.verdict}) must match an independent oracle
+      that tracked acked-durable transactions — [`Clean] at every crash
+      point of the correct committer, and [`Dead_acked] naming the
+      acked tickets when {!drop_notify_scenario} plants the
+      [`Drop_durable_notify] fault.
+
+    The sweep runs a deterministic group-commit workload through the
+    {!Tinca} facade with the recorder on, crashes it at every
+    [stride]-th pmem event, resolves each crash into a few survival
+    subsets of the torn lines (corners + seeded samples), and applies
+    both gates plus {!Tinca_core.Shard.check_invariants} to every
+    deduplicated post-crash medium. *)
+
+type config = {
+  seed : int;
+  ncommits : int;
+  universe : int;  (** disk blocks the workload touches *)
+  pmem_bytes : int;
+  ring_slots : int;
+  flight_slots : int;  (** per shard; must be positive *)
+  nshards : int;
+  window_ns : int;  (** group-commit window (large: drains come from triggers) *)
+  max_batch : int;
+  samples : int;  (** random survival subsets per crash point beyond the corners *)
+  first_event : int;  (** first crash point (1-based), for sub-range sweeps *)
+  stride : int;  (** explore every [stride]-th crash point *)
+}
+
+val default_config : config
+
+type report = {
+  span : int;  (** pmem events in the crash-free workload run *)
+  crash_points : int;
+  states_checked : int;  (** recoveries after media dedup *)
+  dossiers_built : int;  (** crash states whose recovery produced a dossier *)
+  records_replayed : int;  (** surviving flight records across all dossiers *)
+  violations : string list;  (** pin breaks, oracle misses, false convictions *)
+}
+
+(** Run the sweep.  [progress crash_at span] is called before each
+    crash point.  Raises [Invalid_argument] on a nonsensical config
+    ([stride < 1] or [flight_slots <= 0]). *)
+val sweep : ?progress:(int -> int -> unit) -> config -> report
+
+(** Plant [`Drop_durable_notify], run two full batches, crash with
+    full survival, recover — and require the dossier {e alone} to
+    convict every acked ticket of the first (provably dead) batch.
+    [Ok dossier] when it does; [Error] describes what it missed. *)
+val drop_notify_scenario : config -> (Tinca_obs.Forensics.t, string) result
+
+val report_table : report -> Tinca_util.Tabular.t

@@ -41,13 +41,14 @@ let log_src = Logs.Src.create "tinca.psan" ~doc:"Tinca persistence sanitizer"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type region = Superblock | Head | Tail | Ring | Entries | Data | Other
+type region = Superblock | Head | Tail | Ring | Flight | Entries | Data | Other
 
 let region_name = function
   | Superblock -> "superblock"
   | Head -> "head"
   | Tail -> "tail"
   | Ring -> "ring"
+  | Flight -> "flight"
   | Entries -> "entries"
   | Data -> "data"
   | Other -> "other"
@@ -118,7 +119,8 @@ let region_in (l : Layout.t) off =
   if off < l.Layout.head_off then Superblock
   else if off < l.Layout.tail_off then Head
   else if off < l.Layout.ring_off then Tail
-  else if off < l.Layout.entries_off then Ring
+  else if off < l.Layout.flight_off then Ring
+  else if off < l.Layout.entries_off then Flight
   else if off < l.Layout.entries_off + (l.Layout.nblocks * Entry.size) then Entries
   else if off < l.Layout.data_off then Other (* alignment padding *)
   else Data
@@ -140,10 +142,12 @@ let region_of_line t idx =
           Other)
 
 (* Regions whose torn or racing update breaks recovery.  Data blocks are
-   exempt: they are protected by COW, not by atomicity. *)
+   exempt: they are protected by COW, not by atomicity.  Flight records
+   are exempt too: each is self-delimited by a sequence/CRC word, so a
+   torn record is detected at scan time rather than trusted. *)
 let is_metadata = function
   | Superblock | Head | Tail | Ring | Entries -> true
-  | Data | Other -> false
+  | Flight | Data | Other -> false
 
 let lines_of_range off len =
   let first = off / Pmem.line_size in
@@ -236,6 +240,17 @@ let note_sfence t =
                     "commit-point (Tail) fence while %s line is still %s" (region_name region)
                     (match state with Dirty -> "dirty (never flushed)"
                     | Flush_pending -> "flush-pending (same fence as Tail)")
+              | Flight ->
+                  (* Recorder discipline: every flight record written
+                     during the commit must have been flushed by the
+                     commit point.  Sharing the Tail fence is fine — a
+                     record is not a recovery dependency (torn ones are
+                     detected by CRC) — but a still-dirty record line
+                     means the recorder skipped its fold-into-fence. *)
+                  if state = Dirty then
+                    violate t Missing_flush idx
+                      "commit-point (Tail) fence while a flight-recorder line is still dirty \
+                       (record was never folded into a protocol fence)"
               | Superblock | Tail | Other -> ())
           t.volatile)
     t.layouts;

@@ -31,7 +31,12 @@
     sanitizer must not be attached while {!Tinca_pmem.Pmem.restore} is
     used to re-enter snapshots (restores are not observable events). *)
 
-type region = Superblock | Head | Tail | Ring | Entries | Data | Other
+(** [Flight] is the crash-surviving event-recorder ring (ISSUE 9): not
+    metadata for rules 3–4 (records are CRC-delimited, torn ones are
+    detected at scan time), but subject to the recorder-discipline check
+    — a record line still {e dirty} at a commit-point fence means the
+    recorder failed to fold it into a protocol fence. *)
+type region = Superblock | Head | Tail | Ring | Flight | Entries | Data | Other
 type rule = Missing_flush | Unfenced_ack | Torn_metadata | Persist_race
 
 type violation = {

@@ -9,6 +9,7 @@ module Lru = Tinca_cachelib.Lru
 module Free_monitor = Tinca_cachelib.Free_monitor
 module Histogram = Tinca_util.Histogram
 module Trace = Tinca_obs.Trace
+module Flight = Tinca_obs.Flight
 
 type mode = Write_back | Write_through
 
@@ -29,11 +30,15 @@ type config = {
          Head persist; O(1) fences per commit.  Per_block: the paper's
          literal per-block protocol (~4 fences per block), kept for the
          fig_commit_batch ablation. *)
+  flight_slots : int;
+      (* NVM-resident flight-recorder records (64 B each) reserved in the
+         layout; 0 disables the recorder entirely (ISSUE 9).  Recorded in
+         the superblock so recovery finds the same geometry. *)
 }
 
 let default_config =
   { block_size = 4096; ring_slots = 131072; mode = Write_back; clean_threshold = 0.7;
-    alloc_policy = Free_monitor.Lifo; commit_pipeline = Batched }
+    alloc_policy = Free_monitor.Lifo; commit_pipeline = Batched; flight_slots = 0 }
 
 exception Transaction_too_large
 
@@ -108,10 +113,74 @@ type t = {
   mutable read_misses : int;
   mutable write_hits : int;
   mutable write_misses : int;
+  (* Flight recorder (ISSUE 9): volatile cursor over the NVM record
+     ring, the record lines written since the last commit-path fence
+     (folded into that fence, never fenced on their own), the drain
+     counter that numbers batches, and the records recovered by the last
+     [recover_region] scan. *)
+  flight : Flight.cursor option;
+  mutable flight_dirty : int list;
+  mutable flight_batch : int;
+  mutable flight_cur_batch : int;
+  mutable flight_shard : int;
+  mutable flight_scan : ((int * Flight.event) list * int) option;
 }
 
 let layout t = t.layout
 let config t = t.cfg
+
+(* --- flight recorder (ISSUE 9) ----------------------------------------- *)
+
+let flight_enabled t = t.flight <> None
+let set_flight_shard t s = t.flight_shard <- s
+let flight_scan_result t = t.flight_scan
+
+(* The batch id the NEXT drain of this cache will carry — the standing
+   batch facade-level seal records must point at. *)
+let flight_next_batch t = t.flight_batch
+
+(* Volatile store of one 64 B record (exactly one line): no flush, no
+   fence — the dirtied line waits in [flight_dirty] for the commit
+   path's next fence stage.  Restores the pmem call-site label so the
+   sanitizer keeps attributing the surrounding protocol step. *)
+let flight_note t ?(batch = -1) ?(cause = Flight.Sync) ?(a = 0) ?(b = 0) ?(c = 0) ?(d = 0) kind =
+  match t.flight with
+  | None -> ()
+  | Some cur ->
+      let site = Pmem.site t.pmem in
+      Pmem.set_site t.pmem "flight.record";
+      let ev =
+        { Flight.kind; shard = t.flight_shard; cause; a; b; c; d; batch;
+          t_ns = int_of_float (Clock.now_ns t.clock) }
+      in
+      let off = Layout.flight_slot_off t.layout cur.Flight.seq in
+      Pmem.write t.pmem ~off (Flight.encode ~seq:cur.Flight.seq ev);
+      cur.Flight.seq <- cur.Flight.seq + 1;
+      t.flight_dirty <- (off / Pmem.line_size) :: t.flight_dirty;
+      Metrics.incr t.metrics "tinca.flight.records" ~by:1;
+      Pmem.set_site t.pmem site
+[@@pmem.defer
+  "a flight record is deliberately left unflushed: the dirtied line is parked in flight_dirty \
+   until flight_flush_into_fence folds it into the commit path's next existing flush+fence stage \
+   (zero added fences); a record torn by a crash before that fence fails its CRC and is dropped \
+   by Flight.scan — detected, not trusted"]
+
+(* Record lines awaiting a fence, surrendered to the caller (who folds
+   them into an imminent flush_lines batch). *)
+let flight_take t =
+  match t.flight_dirty with
+  | [] -> []
+  | lines ->
+      t.flight_dirty <- [];
+      lines
+
+(* clflush the pending record lines into the caller's imminent fence —
+   never a fence of its own, so the commit path's sfence count is
+   untouched by the recorder. *)
+let flight_flush_into_fence t =
+  List.iter
+    (fun l -> Pmem.clflush t.pmem ~off:(l * Pmem.line_size) ~len:Pmem.line_size)
+    (flight_take t)
 
 (* --- superblock ------------------------------------------------------- *)
 
@@ -124,6 +193,9 @@ let write_super t =
   Tinca_util.Codec.set_u32 b 8 t.cfg.block_size;
   Tinca_util.Codec.set_u32 b 12 t.cfg.ring_slots;
   Tinca_util.Codec.set_u32 b 16 t.layout.Layout.nblocks;
+  (* Flight-recorder geometry (0 = recorder off).  Legacy superblocks
+     carry zeros here, so pre-recorder media recovers unchanged. *)
+  Tinca_util.Codec.set_u32 b 20 t.layout.Layout.flight_slots;
   Pmem.write t.pmem ~off:t.layout.Layout.super_off b;
   Pmem.persist t.pmem ~off:t.layout.Layout.super_off ~len:64
 
@@ -141,12 +213,14 @@ let read_super ~base ~mem_bytes pmem =
   let block_size = Tinca_util.Codec.get_u32 b 8 in
   let ring_slots = Tinca_util.Codec.get_u32 b 12 in
   let nblocks = Tinca_util.Codec.get_u32 b 16 in
+  let flight_slots = Tinca_util.Codec.get_u32 b 20 in
   if block_size <= 0 || block_size mod 64 <> 0 then
     corrupt "corrupt superblock (block_size %d)" block_size;
   if ring_slots <= 0 then corrupt "corrupt superblock (ring_slots %d)" ring_slots;
   if nblocks <= 0 then corrupt "corrupt superblock (nblocks %d)" nblocks;
+  if flight_slots < 0 then corrupt "corrupt superblock (flight_slots %d)" flight_slots;
   let layout =
-    try Layout.compute_at ~base ~pmem_bytes:mem_bytes ~block_size ~ring_slots
+    try Layout.compute_flight ~flight_slots ~base ~pmem_bytes:mem_bytes ~block_size ~ring_slots
     with Invalid_argument _ -> corrupt "corrupt superblock (geometry does not fit the device)"
   in
   if layout.Layout.nblocks <> nblocks then
@@ -330,12 +404,20 @@ let make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics =
     read_misses = 0;
     write_hits = 0;
     write_misses = 0;
+    flight =
+      (if layout.Layout.flight_slots > 0 then Some (Flight.cursor ~slots:layout.Layout.flight_slots)
+       else None);
+    flight_dirty = [];
+    flight_batch = 0;
+    flight_cur_batch = -1;
+    flight_shard = 0;
+    flight_scan = None;
   }
 
 let format_region ~base ~mem_bytes ~config:cfg ~pmem ~disk ~clock ~metrics =
   let layout =
-    Layout.compute_at ~base ~pmem_bytes:mem_bytes ~block_size:cfg.block_size
-      ~ring_slots:cfg.ring_slots
+    Layout.compute_flight ~flight_slots:cfg.flight_slots ~base ~pmem_bytes:mem_bytes
+      ~block_size:cfg.block_size ~ring_slots:cfg.ring_slots
   in
   if Disk.block_size disk <> cfg.block_size then
     invalid_arg "Tinca.Cache.format: disk block size mismatch";
@@ -346,6 +428,14 @@ let format_region ~base ~mem_bytes ~config:cfg ~pmem ~disk ~clock ~metrics =
     ~len:(layout.Layout.nblocks * Entry.size)
     '\000';
   Pmem.persist pmem ~off:layout.Layout.entries_off ~len:(layout.Layout.nblocks * Entry.size);
+  (* Zero the flight ring so every slot scans as empty, not torn. *)
+  if layout.Layout.flight_slots > 0 then begin
+    Pmem.fill pmem ~off:layout.Layout.flight_off
+      ~len:(layout.Layout.flight_slots * Layout.flight_record_size)
+      '\000';
+    Pmem.persist pmem ~off:layout.Layout.flight_off
+      ~len:(layout.Layout.flight_slots * Layout.flight_record_size)
+  end;
   Ring.format t.ring;
   write_super t;
   t
@@ -407,14 +497,48 @@ let revoke_block ?(force = false) t blkno =
         Metrics.incr t.metrics "tinca.revoked" ~by:1
       end
 
-let recover_region ~base ~mem_bytes ~pmem ~disk ~clock ~metrics =
+let recover_region ?(flight_replay = true) ~base ~mem_bytes ~pmem ~disk ~clock ~metrics () =
   let layout = read_super ~base ~mem_bytes pmem in
   let block_size = layout.Layout.block_size and ring_slots = layout.Layout.ring_slots in
   if Disk.block_size disk <> block_size then
     raise (Corrupt "Tinca.Cache.recover: disk block size mismatch");
-  let cfg = { default_config with block_size; ring_slots } in
+  let cfg =
+    { default_config with block_size; ring_slots; flight_slots = layout.Layout.flight_slots }
+  in
   let t = make_t ~config:cfg ~layout ~pmem ~disk ~clock ~metrics in
   Trace.begin_span ~clock "tinca.recover";
+  (* Flight recorder: capture the surviving pre-crash records BEFORE any
+     recovery action overwrites ring slots, then resume the sequence
+     past the newest survivor so post-recovery records keep the total
+     order.  [flight_replay = false] skips the scan (the dossier) but
+     changes nothing else — the recovery-semantics-unchanged pin in
+     check-flight holds recovery byte-identical either way. *)
+  (match t.flight with
+  | Some cur when flight_replay ->
+      Trace.begin_span ~clock "tinca.recover.flight_scan";
+      let records, torn =
+        Flight.scan ~slots:layout.Layout.flight_slots ~read:(fun i ->
+            Pmem.read pmem
+              ~off:(layout.Layout.flight_off + (i * Layout.flight_record_size))
+              ~len:Layout.flight_record_size)
+      in
+      t.flight_scan <- Some (records, torn);
+      cur.Flight.seq <-
+        (match List.rev records with (seq, _) :: _ -> seq + 1 | [] -> 0);
+      Trace.end_span "tinca.recover.flight_scan";
+      flight_note t Flight.Recovery_start ~a:(Ring.head t.ring) ~b:(Ring.tail t.ring)
+        ~c:(List.length records)
+  | Some cur ->
+      (* Recorder present but replay disabled: still continue the
+         sequence so later records never collide with survivors. *)
+      let records, _ =
+        Flight.scan ~slots:layout.Layout.flight_slots ~read:(fun i ->
+            Pmem.read pmem
+              ~off:(layout.Layout.flight_off + (i * Layout.flight_record_size))
+              ~len:Layout.flight_record_size)
+      in
+      cur.Flight.seq <- (match List.rev records with (seq, _) :: _ -> seq + 1 | [] -> 0)
+  | None -> ());
   (* Blocks named by the ring range are the in-flight transaction's; their
      entries must be interpreted as in-flight even when a role-switch
      flush leaked to the medium before the crash (see revoke_block). *)
@@ -463,10 +587,19 @@ let recover_region ~base ~mem_bytes ~pmem ~disk ~clock ~metrics =
      entry of the in-flight transaction is only named by the ring. *)
   let before = Metrics.get t.metrics "tinca.revoked" in
   Trace.begin_span ~clock "tinca.recover.revoke";
-  Hashtbl.iter (fun blkno () -> revoke_block ~force:true t blkno) in_ring;
+  let revoke_logged blkno =
+    let n0 = Metrics.get t.metrics "tinca.revoked" in
+    revoke_block ~force:true t blkno;
+    (* Each effective revocation is a recovery decision worth keeping:
+       the record line rides the revocation's own entry fence. *)
+    if Metrics.get t.metrics "tinca.revoked" > n0 then
+      flight_note t Flight.Recovery_decision ~a:1 ~b:blkno
+  in
+  Hashtbl.iter (fun blkno () -> revoke_logged blkno) in_ring;
   Hashtbl.iter
-    (fun blkno info -> if info.role_log then revoke_block ~force:true t blkno)
+    (fun blkno info -> if info.role_log then revoke_logged blkno)
     (Hashtbl.copy t.index);
+  flight_flush_into_fence t;
   Ring.commit_point t.ring;
   Trace.end_span "tinca.recover.revoke";
   Trace.end_span "tinca.recover";
@@ -478,8 +611,8 @@ let recover_region ~base ~mem_bytes ~pmem ~disk ~clock ~metrics =
         (Hashtbl.length in_ring));
   t
 
-let recover ~pmem ~disk ~clock ~metrics =
-  recover_region ~base:0 ~mem_bytes:(Pmem.size pmem) ~pmem ~disk ~clock ~metrics
+let recover ?(flight_replay = true) ~pmem ~disk ~clock ~metrics () =
+  recover_region ~flight_replay ~base:0 ~mem_bytes:(Pmem.size pmem) ~pmem ~disk ~clock ~metrics ()
 
 let read_layout ~base ~mem_bytes pmem = read_super ~base ~mem_bytes pmem
 
@@ -536,12 +669,17 @@ module Txn = struct
     mutable sealed_lines : int list;
     mutable slot_lines : int list;
     mutable sealed_slots : int;
+    (* Facade ticket id for the flight recorder's Txn_seal record; -1
+       when the transaction has no ticket (sync path). *)
+    mutable flight_ticket : int;
   }
 
   let init cache =
     Trace.instant ~clock:cache.clock "tinca.txn.init";
     { cache; staged = Hashtbl.create 16; order = []; state = Running;
-      sealed_lines = []; slot_lines = []; sealed_slots = 0 }
+      sealed_lines = []; slot_lines = []; sealed_slots = 0; flight_ticket = -1 }
+
+  let set_flight_ticket h id = h.flight_ticket <- id
 
   let add h blkno data =
     if h.state <> Running then invalid_arg "Tinca.Txn.add: transaction not running";
@@ -743,9 +881,10 @@ module Txn = struct
         let allocs = alloc_group t blocks in
         Trace.begin_span ~clock:t.clock "tinca.commit.stage_a";
         let lines = store_group t staged allocs in
-        (* Stage A fence: every dirtied data and entry line, flushed once. *)
+        (* Stage A fence: every dirtied data and entry line, flushed once.
+           Pending flight-record lines ride the same flush burst. *)
         Pmem.set_site t.pmem "commit.flush";
-        Pmem.flush_lines t.pmem lines;
+        Pmem.flush_lines t.pmem (List.rev_append (flight_take t) lines);
         Pmem.sfence t.pmem;
         Trace.end_span "tinca.commit.stage_a";
         (* Stage B: slots durable (one fence); Head moves in the caller. *)
@@ -821,6 +960,8 @@ module Txn = struct
     match t.cfg.commit_pipeline with
     | Batched ->
         Trace.begin_span ~clock:t.clock "tinca.commit.head";
+        flight_note t Flight.Head_advance ~a:(List.length blocks) ~batch:t.flight_cur_batch;
+        flight_flush_into_fence t;
         Ring.publish t.ring (List.length blocks);
         Metrics.incr t.metrics "tinca.head_advance" ~by:1;
         Trace.end_span "tinca.commit.head"
@@ -848,6 +989,8 @@ module Txn = struct
         let all_infos = List.concat_map (fun (_, infos, _) -> infos) per_txn in
         Pmem.set_site t.pmem "commit.role_switch";
         Trace.begin_span ~clock:t.clock "tinca.commit.role_switch";
+        flight_note t Flight.Role_switch ~a:(List.length all_infos) ~batch:t.flight_cur_batch;
+        flight_flush_into_fence t;
         write_entries_batched t
           (List.map
              (fun info ->
@@ -857,8 +1000,13 @@ module Txn = struct
                (info.entry_idx, entry_of_info ~role:Entry.Buffer info))
              all_infos);
         Trace.end_span "tinca.commit.role_switch";
-        (* §4.4 step 5: Tail := Head — the durable commit point. *)
+        (* §4.4 step 5: Tail := Head — the durable commit point.  The
+           batch's Tail_persist record — the durability evidence the
+           crash dossier reconciles against — flushes under this very
+           fence, so it is durable exactly when the batch is. *)
         Trace.begin_span ~clock:t.clock "tinca.commit.tail";
+        flight_note t Flight.Tail_persist ~a:(List.length pairs) ~batch:t.flight_cur_batch;
+        flight_flush_into_fence t;
         Ring.commit_point t.ring;
         Trace.end_span "tinca.commit.tail";
         (* Reclaim previous versions and promote to MRU (§4.6 rule 2b). *)
@@ -918,6 +1066,11 @@ module Txn = struct
       charge_op t;
       Trace.begin_span ~clock:t.clock "tinca.commit";
       Trace.attr "blocks" (string_of_int n);
+      (* A synchronous commit is a drain of a one-transaction batch; its
+         drain record rides the stage-A flush burst. *)
+      t.flight_cur_batch <- t.flight_batch;
+      t.flight_batch <- t.flight_batch + 1;
+      flight_note t Flight.Batch_drain ~cause:Flight.Sync ~a:1 ~batch:t.flight_cur_batch;
       (try
          run_stage h blocks;
          publish_staged h blocks
@@ -1005,6 +1158,20 @@ module Txn = struct
        if Ring.staged t.ring = 0 then t.committing <- false;
        h.state <- Finished;
        raise Transaction_too_large);
+    (* Seal record: volatile like the seal itself — it becomes durable
+       with the batch's stage-A flush, naming the ticket, the footprint
+       and the first block's payload checksum for the dossier's
+       acked-vs-survived probe. *)
+    (match blocks with
+    | first :: _ ->
+        flight_note t Flight.Txn_seal ~a:(h.flight_ticket + 1) ~b:n ~c:first
+          ~d:
+            (Int32.to_int
+               (Tinca_util.Codec.crc32 (Hashtbl.find h.staged first) ~pos:0
+                  ~len:(Bytes.length (Hashtbl.find h.staged first)))
+            land 0xFFFF_FFFF)
+          ~batch:t.flight_batch
+    | [] -> ());
     Trace.end_span "tinca.commit.seal"
 
   (* Drop a sealed-but-unflushed transaction: revoke its blocks (all in
@@ -1031,7 +1198,7 @@ module Txn = struct
      the batch is named by the ring range in its entirety (and committed
      by the Tail persist of [finalize_sealed], or revoked as one unit by
      recovery if the crash lands in between). *)
-  let flush_sealed handles =
+  let flush_sealed ?(cause = Flight.Barrier) handles =
     match handles with
     | [] -> ()
     | h0 :: _ ->
@@ -1042,9 +1209,17 @@ module Txn = struct
               invalid_arg "Tinca.Txn.flush_sealed: transaction not sealed";
             if h.cache != t then invalid_arg "Tinca.Txn.flush_sealed: mixed caches")
           handles;
+        (* Drain record: this cache's next batch id, the drain cause and
+           the batch population, flushed under the stage-A fence together
+           with any pending seal records. *)
+        t.flight_cur_batch <- t.flight_batch;
+        t.flight_batch <- t.flight_batch + 1;
+        flight_note t Flight.Batch_drain ~cause ~a:(List.length handles)
+          ~batch:t.flight_cur_batch;
         Trace.begin_span ~clock:t.clock "tinca.commit.stage_a";
         Pmem.set_site t.pmem "commit.flush";
-        Pmem.flush_lines t.pmem (List.concat_map (fun h -> h.sealed_lines) handles);
+        Pmem.flush_lines t.pmem
+          (List.rev_append (flight_take t) (List.concat_map (fun h -> h.sealed_lines) handles));
         Pmem.sfence t.pmem;
         Trace.end_span "tinca.commit.stage_a";
         Trace.begin_span ~clock:t.clock "tinca.commit.stage_b";
@@ -1053,6 +1228,10 @@ module Txn = struct
         Pmem.sfence t.pmem;
         Trace.end_span "tinca.commit.stage_b";
         Trace.begin_span ~clock:t.clock "tinca.commit.head";
+        flight_note t Flight.Head_advance
+          ~a:(List.fold_left (fun acc h -> acc + h.sealed_slots) 0 handles)
+          ~batch:t.flight_cur_batch;
+        flight_flush_into_fence t;
         Ring.publish t.ring (List.fold_left (fun acc h -> acc + h.sealed_slots) 0 handles);
         Metrics.incr t.metrics "tinca.head_advance" ~by:1;
         Trace.end_span "tinca.commit.head"
@@ -1249,6 +1428,25 @@ let stats_kv s =
     ("ring_high_water", i s.ring_high_water);
     ("nvm_wear_max", i s.wear_max);
     ("nvm_wear_mean", f s.wear_mean);
+  ]
+
+(* Region-attributed wear: (region, total write-backs, max per line),
+   regions in layout order.  Pointer lines are reported separately from
+   the superblock — they are the hot lines wear-leveling cares about. *)
+let region_wear t =
+  let l = t.layout in
+  let span name off len =
+    if len <= 0 then (name, 0, 0)
+    else (name, Pmem.wear_sum_in t.pmem ~off ~len, Pmem.wear_max_in t.pmem ~off ~len)
+  in
+  [
+    span "super" l.Layout.super_off (l.Layout.head_off - l.Layout.super_off);
+    span "head" l.Layout.head_off (l.Layout.tail_off - l.Layout.head_off);
+    span "tail" l.Layout.tail_off (l.Layout.ring_off - l.Layout.tail_off);
+    span "ring" l.Layout.ring_off (l.Layout.flight_off - l.Layout.ring_off);
+    span "flight" l.Layout.flight_off (l.Layout.entries_off - l.Layout.flight_off);
+    span "entries" l.Layout.entries_off (l.Layout.data_off - l.Layout.entries_off);
+    span "data" l.Layout.data_off (l.Layout.total_bytes - l.Layout.data_off);
   ]
 
 (* --- invariant audit ----------------------------------------------------- *)

@@ -55,6 +55,10 @@ type config = {
   commit_pipeline : pipeline;
       (** How {!Txn.commit} shapes its flushes and fences; default
           [Batched]. *)
+  flight_slots : int;
+      (** NVM flight-recorder ring capacity in 64 B records; 0 (default)
+          disables the recorder and reproduces the historical layout
+          byte for byte.  See {!flight_note}. *)
 }
 
 val default_config : config
@@ -106,26 +110,39 @@ val format_region :
   metrics:Tinca_sim.Metrics.t ->
   t
 
-(** [recover ~pmem ~disk ~clock ~metrics] re-attaches after a crash:
+(** [recover ~pmem ~disk ~clock ~metrics ()] re-attaches after a crash:
     validates the superblock, scans the entry table to rebuild the DRAM
     index / LRU / free monitor, and revokes every block of the in-flight
-    transaction (paper §4.5).  Raises {!Corrupt} on unformatted media. *)
+    transaction (paper §4.5).  Raises {!Corrupt} on unformatted media.
+
+    When the media carries a flight ring, its surviving records are
+    scanned {e before} any recovery write (see {!flight_scan_result})
+    and recovery appends its own [Recovery_start] / [Recovery_decision]
+    records, riding the fences recovery already pays.
+    [~flight_replay:false] suppresses the scan result and the
+    recovery-time records (the recorder keeps its write cursor): the
+    recovered {e cache} state must be bit-identical either way — pinned
+    by the flight crash sweep. *)
 val recover :
+  ?flight_replay:bool ->
   pmem:Tinca_pmem.Pmem.t ->
   disk:Tinca_blockdev.Disk.t ->
   clock:Tinca_sim.Clock.t ->
   metrics:Tinca_sim.Metrics.t ->
+  unit ->
   t
 
-(** [recover_region ~base ~mem_bytes ...] is {!recover} for the cache
+(** [recover_region ~base ~mem_bytes ... ()] is {!recover} for the cache
     occupying the device region [\[base, mem_bytes)]. *)
 val recover_region :
+  ?flight_replay:bool ->
   base:int ->
   mem_bytes:int ->
   pmem:Tinca_pmem.Pmem.t ->
   disk:Tinca_blockdev.Disk.t ->
   clock:Tinca_sim.Clock.t ->
   metrics:Tinca_sim.Metrics.t ->
+  unit ->
   t
 
 val layout : t -> Layout.t
@@ -240,6 +257,12 @@ module Txn : sig
       called on one (its Head rewind would drop peer transactions'
       staged slots) — use {!unseal} instead. *)
 
+  (** Tag the handle with the facade's durable-notification ticket id
+      before {!seal}, so the flight recorder's [Txn_seal] record (and
+      post-crash dossiers) can name the acked ticket.  Purely advisory;
+      -1 (the initial value) means "no ticket". *)
+  val set_flight_ticket : handle -> int -> unit
+
   (** Volatilely apply the transaction as described above.  Raises
       {!Transaction_too_large} exactly as {!commit} does (handle
       finished, cache untouched, peer sealed transactions undisturbed);
@@ -255,8 +278,10 @@ module Txn : sig
 
   (** One stage-A flush+fence, one slot flush+fence and one Head
       persist covering every sealed handle in the list (seal order).
-      All handles must be sealed on the same cache. *)
-  val flush_sealed : handle list -> unit
+      All handles must be sealed on the same cache.  [cause] (default
+      [Barrier]) labels this drain in the flight recorder's
+      [Batch_drain] record; it has no effect on the commit protocol. *)
+  val flush_sealed : ?cause:Tinca_obs.Flight.cause -> handle list -> unit
 
   (** One batched role switch and one Tail persist retiring the whole
       flushed batch, then per-transaction post-commit bookkeeping and
@@ -344,6 +369,54 @@ val stats : t -> stats
 (** Render as ordered [(key, value)] strings, ready for
     {!Tinca_obs.Procfs.render}. *)
 val stats_kv : stats -> (string * string) list
+
+(** Per-line NVM wear attributed to Layout regions, in layout order:
+    [(region, total write-backs, max write-backs on one line)].  Regions
+    are [super]/[head]/[tail]/[ring]/[flight]/[entries]/[data]; a
+    zero-byte region (e.g. [flight] with the recorder off) reports
+    [(name, 0, 0)]. *)
+val region_wear : t -> (string * int * int) list
+
+(** {1 Flight recorder (ISSUE 9)}
+
+    When [config.flight_slots > 0], the cache keeps a crash-surviving
+    event ring in its NVM region (between the commit ring and the entry
+    table): fixed 64 B records, overwrite-oldest, each self-delimited by
+    a sequence word and CRC-32 so a torn tail record is detected rather
+    than trusted.  Records are {e volatile} stores whose cache lines are
+    flushed together with (or immediately before) fences the commit
+    protocol already pays — the recorder never adds an sfence, pinned by
+    [test_budget] with the recorder enabled. *)
+
+(** Is the recorder on for this cache? *)
+val flight_enabled : t -> bool
+
+(** Label this cache's records with a shard index ({!Shard} sets it at
+    construction; defaults to 0). *)
+val set_flight_shard : t -> int -> unit
+
+(** The batch id the next group drain will take (the drain counter). *)
+val flight_next_batch : t -> int
+
+(** Append one record (no-op when the recorder is off).  The commit and
+    recovery paths call this at protocol milestones; tests may inject
+    extra records.  The record's line is flushed at the next protocol
+    fence, not here. *)
+val flight_note :
+  t ->
+  ?batch:int ->
+  ?cause:Tinca_obs.Flight.cause ->
+  ?a:int ->
+  ?b:int ->
+  ?c:int ->
+  ?d:int ->
+  Tinca_obs.Flight.kind ->
+  unit
+
+(** The survivor scan {!recover} performed before its first write:
+    [(records sorted by sequence, torn count)].  [None] before any
+    recovery, or when the ring is absent or [~flight_replay:false]. *)
+val flight_scan_result : t -> ((int * Tinca_obs.Flight.event) list * int) option
 
 (** {1 Introspection for tests} *)
 

@@ -6,6 +6,8 @@ type t = {
   head_off : int;
   tail_off : int;
   ring_off : int;
+  flight_off : int;
+  flight_slots : int;
   entries_off : int;
   data_off : int;
   total_bytes : int;
@@ -19,17 +21,27 @@ let align_up v a = (v + a - 1) / a * a
    at the shard's [base]. *)
 let superblock_off = 0
 
-let compute_at ~base ~pmem_bytes ~block_size ~ring_slots =
+(* Flight-recorder records are exactly one cache line so a record write
+   dirties one line and its survival at a crash is decided by one torn
+   bit in the crash model. *)
+let flight_record_size = 64
+
+let compute_flight ~flight_slots ~base ~pmem_bytes ~block_size ~ring_slots =
   if block_size <= 0 || block_size mod 64 <> 0 then
     invalid_arg "Layout.compute: block_size must be a positive multiple of 64";
   if ring_slots <= 0 then invalid_arg "Layout.compute: ring_slots must be positive";
+  if flight_slots < 0 then invalid_arg "Layout.compute: flight_slots must be non-negative";
   if base < 0 || base mod 64 <> 0 then
     invalid_arg "Layout.compute: base must be a non-negative multiple of 64";
   let super_off = base in
   let head_off = base + 64 in
   let tail_off = base + 128 in
   let ring_off = base + 192 in
-  let entries_off = align_up (ring_off + (ring_slots * 8)) 64 in
+  (* The flight ring sits between the commit ring and the entry table:
+     64 B-aligned by construction, zero bytes when the recorder is off,
+     so a recorder-less layout is byte-for-byte the historical one. *)
+  let flight_off = align_up (ring_off + (ring_slots * 8)) 64 in
+  let entries_off = flight_off + (flight_slots * flight_record_size) in
   (* Each data block costs block_size bytes of data plus 16 bytes of entry.
      [pmem_bytes] is the absolute end of this layout's region, so a
      sharded device can pack one layout per shard at successive bases. *)
@@ -51,13 +63,18 @@ let compute_at ~base ~pmem_bytes ~block_size ~ring_slots =
     head_off;
     tail_off;
     ring_off;
+    flight_off;
+    flight_slots;
     entries_off;
     data_off;
     total_bytes = data_off + (nblocks * block_size);
   }
 
+let compute_at ~base ~pmem_bytes ~block_size ~ring_slots =
+  compute_flight ~flight_slots:0 ~base ~pmem_bytes ~block_size ~ring_slots
+
 let compute ~pmem_bytes ~block_size ~ring_slots =
-  compute_at ~base:0 ~pmem_bytes ~block_size ~ring_slots
+  compute_flight ~flight_slots:0 ~base:0 ~pmem_bytes ~block_size ~ring_slots
 
 (* Explicit bounds checks, not [assert]: these guard every entry/data
    address computation and must survive [-noassert] release builds. *)
@@ -72,5 +89,11 @@ let data_block_off t i =
   t.data_off + (i * t.block_size)
 
 let ring_slot_off t counter = t.ring_off + (counter mod t.ring_slots * 8)
+
+(* Flight-recorder slot [seq mod flight_slots]: one full cache line per
+   record (overwrite-oldest). *)
+let flight_slot_off t seq =
+  if t.flight_slots = 0 then invalid_arg "Layout.flight_slot_off: recorder region is empty";
+  t.flight_off + (seq mod t.flight_slots * flight_record_size)
 
 let metadata_fraction t = float_of_int t.data_off /. float_of_int t.total_bytes

@@ -1,12 +1,15 @@
 (** Tinca's NVM space partition (paper Fig 5, §4.2).
 
     {v
-    [ superblock | Head ptr | Tail ptr | ring buffer | entry table | data ]
+    [ superblock | Head ptr | Tail ptr | ring buffer | flight ring | entry table | data ]
     v}
 
     The superblock records geometry and a magic so {!Cache.recover} can
     refuse unformatted media.  Head and Tail live on distinct cache lines
-    so that a crash can never couple their survival. *)
+    so that a crash can never couple their survival.  The flight ring is
+    the crash-surviving event recorder (ISSUE 9); it occupies zero bytes
+    when [flight_slots = 0], making the recorder-off layout identical to
+    the historical one. *)
 
 type t = {
   block_size : int;       (** data block size, default 4096 *)
@@ -16,10 +19,15 @@ type t = {
   head_off : int;
   tail_off : int;
   ring_off : int;
+  flight_off : int;       (** flight-recorder ring (64 B records) *)
+  flight_slots : int;     (** flight records; 0 = recorder off *)
   entries_off : int;
   data_off : int;
   total_bytes : int;      (** pmem bytes consumed *)
 }
+
+(** Bytes per flight-recorder record (one cache line). *)
+val flight_record_size : int
 
 (** Fixed bootstrap offset of the superblock — readable (and validated)
     before any layout is known; [compute] places [super_off] here unless
@@ -38,6 +46,13 @@ val compute : pmem_bytes:int -> block_size:int -> ring_slots:int -> t
     sharded device packs one layout per shard at successive bases. *)
 val compute_at : base:int -> pmem_bytes:int -> block_size:int -> ring_slots:int -> t
 
+(** [compute_flight] is {!compute_at} with an explicit flight-recorder
+    ring of [flight_slots] 64 B records between the commit ring and the
+    entry table.  [compute]/[compute_at] are [compute_flight]
+    with [flight_slots = 0]. *)
+val compute_flight :
+  flight_slots:int -> base:int -> pmem_bytes:int -> block_size:int -> ring_slots:int -> t
+
 (** Byte offset of entry slot [i].  Raises [Invalid_argument] when [i]
     is outside [0, nblocks). *)
 val entry_off : t -> int -> int
@@ -47,6 +62,10 @@ val entry_off : t -> int -> int
 val data_block_off : t -> int -> int
 
 val ring_slot_off : t -> int -> int
+
+(** Byte offset of flight-recorder slot [seq mod flight_slots].  Raises
+    [Invalid_argument] when the layout has no flight ring. *)
+val flight_slot_off : t -> int -> int
 
 (** Fraction of NVM spent on metadata (ring + entries + superblock);
     the paper quotes ~0.4 % for entries on an 8 GB cache. *)

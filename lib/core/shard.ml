@@ -2,6 +2,7 @@ open Tinca_sim
 module Pmem = Tinca_pmem.Pmem
 module Trace = Tinca_obs.Trace
 module Codec = Tinca_util.Codec
+module Flight = Tinca_obs.Flight
 
 let log_src = Logs.Src.create "tinca.shard" ~doc:"Tinca sharded cache layer"
 
@@ -140,6 +141,12 @@ let persist_seal pmem v =
 let write_seal t mask =
   if !fault <> Some `Skip_seal then begin
     t.epoch <- t.epoch + 1;
+    (* Seal-epoch flight record on the lowest shard in the mask; its
+       finalize step (role-switch fence) follows immediately and flushes
+       the record's line, so the seal itself stays one persist. *)
+    (let rec lowest i = if mask land (1 lsl i) <> 0 then i else lowest (i + 1) in
+     if mask <> 0 then
+       Cache.flight_note t.caches.(lowest 0) Flight.Seal_epoch ~a:t.epoch ~b:mask);
     persist_seal t.pmem (seal_value ~mask ~epoch:t.epoch);
     Metrics.incr t.metrics "tinca.shard.seals" ~by:1
   end
@@ -172,7 +179,11 @@ let format ~nshards ~config ~pmem ~disk ~clock ~metrics =
     let caches =
       Array.init nshards (fun i ->
           let base = base_of ~span i in
-          Cache.format_region ~base ~mem_bytes:(base + span) ~config ~pmem ~disk ~clock ~metrics)
+          let c =
+            Cache.format_region ~base ~mem_bytes:(base + span) ~config ~pmem ~disk ~clock ~metrics
+          in
+          Cache.set_flight_shard c i;
+          c)
     in
     { pmem; clock; metrics; caches; lanes = Array.make nshards 0.0; epoch = 0 }
   end
@@ -187,7 +198,7 @@ let format ~nshards ~config ~pmem ~disk ~clock ~metrics =
    moved to Head (the step-5 commit point), after which the seal
    retires.  Every step is idempotent, so a crash mid-roll-forward just
    rolls forward again.  Runs on raw media, before any cache attaches. *)
-let roll_forward ~pmem ~nshards ~span ~mask =
+let roll_forward ~pmem ~nshards ~span ~mask ~clock =
   Pmem.set_site pmem "shard.roll_forward";
   for i = 0 to nshards - 1 do
     if mask land (1 lsl i) <> 0 then begin
@@ -196,12 +207,50 @@ let roll_forward ~pmem ~nshards ~span ~mask =
       let head = Pmem.read_u64_int pmem ~off:layout.Layout.head_off in
       let tail = Pmem.read_u64_int pmem ~off:layout.Layout.tail_off in
       let lines = ref [] in
+      (* Flight recorder, raw-media edition: roll-forward runs before any
+         cache attaches, so it appends its replay decisions directly —
+         continuing the survivor sequence and riding the role-switch
+         fence below (no extra sfence). *)
+      let flight_seq =
+        ref
+          (if layout.Layout.flight_slots = 0 then -1
+           else
+             let read_slot k =
+               Pmem.read pmem
+                 ~off:(layout.Layout.flight_off + (k * Layout.flight_record_size))
+                 ~len:Layout.flight_record_size
+             in
+             let survivors, _ = Flight.scan ~slots:layout.Layout.flight_slots ~read:read_slot in
+             List.fold_left (fun acc (s, _) -> max acc s) (-1) survivors)
+      in
+      let flight_decision blkno =
+        if layout.Layout.flight_slots > 0 then begin
+          flight_seq := !flight_seq + 1;
+          let ev =
+            {
+              Flight.kind = Flight.Recovery_decision;
+              shard = i;
+              cause = Flight.Sync;
+              a = 0 (* roll-forward replay *);
+              b = blkno;
+              c = 0;
+              d = 0;
+              batch = -1;
+              t_ns = int_of_float (Clock.now_ns clock);
+            }
+          in
+          let off = Layout.flight_slot_off layout !flight_seq in
+          Pmem.write pmem ~off (Flight.encode ~seq:!flight_seq ev);
+          lines := (off / Pmem.line_size) :: !lines
+        end
+      in
       for idx = 0 to layout.Layout.nblocks - 1 do
         let off = Layout.entry_off layout idx in
         let e = Entry.decode (Pmem.read pmem ~off ~len:Entry.size) in
         if e.Entry.valid && e.Entry.role = Entry.Log then begin
           Pmem.atomic_write16 pmem ~off (Entry.encode { e with Entry.role = Entry.Buffer });
-          lines := (off / Pmem.line_size) :: !lines
+          lines := (off / Pmem.line_size) :: !lines;
+          flight_decision e.Entry.disk_blkno
         end
       done;
       (* Role switches fenced durable strictly before the Tail advance,
@@ -229,7 +278,7 @@ let roll_forward ~pmem ~nshards ~span ~mask =
 let is_sharded_media pmem =
   Pmem.size pmem >= 8 && Pmem.read_u64 pmem ~off:dir_off = magic
 
-let recover_sharded ~pmem ~disk ~clock ~metrics =
+let recover_sharded ~flight_replay ~pmem ~disk ~clock ~metrics =
   let corrupt fmt = Printf.ksprintf (fun m -> raise (Cache.Corrupt ("Tinca.Shard: " ^ m))) fmt in
   if Pmem.size pmem < header_bytes then corrupt "unformatted NVM (device smaller than the shard header)";
   let b = Pmem.read pmem ~off:dir_off ~len:64 in
@@ -248,20 +297,25 @@ let recover_sharded ~pmem ~disk ~clock ~metrics =
   if seal <> 0 then begin
     Log.info (fun m -> m "sealed multi-shard transaction found (mask %#x): rolling forward" (seal_mask seal));
     Metrics.incr metrics "tinca.shard.roll_forwards" ~by:1;
-    roll_forward ~pmem ~nshards ~span ~mask:(seal_mask seal)
+    roll_forward ~pmem ~nshards ~span ~mask:(seal_mask seal) ~clock
   end;
   let caches =
     Array.init nshards (fun i ->
         let base = base_of ~span i in
-        Cache.recover_region ~base ~mem_bytes:(base + span) ~pmem ~disk ~clock ~metrics)
+        let c =
+          Cache.recover_region ~flight_replay ~base ~mem_bytes:(base + span) ~pmem ~disk ~clock
+            ~metrics ()
+        in
+        Cache.set_flight_shard c i;
+        c)
   in
   Trace.end_span "tinca.shard.recover";
   { pmem; clock; metrics; caches; lanes = Array.make nshards 0.0; epoch = 0 }
 
-let recover ~pmem ~disk ~clock ~metrics =
-  if is_sharded_media pmem then recover_sharded ~pmem ~disk ~clock ~metrics
+let recover ?(flight_replay = true) ~pmem ~disk ~clock ~metrics () =
+  if is_sharded_media pmem then recover_sharded ~flight_replay ~pmem ~disk ~clock ~metrics
   else
-    let c = Cache.recover ~pmem ~disk ~clock ~metrics in
+    let c = Cache.recover ~flight_replay ~pmem ~disk ~clock ~metrics () in
     { pmem; clock; metrics; caches = [| c |]; lanes = [| 0.0 |]; epoch = 0 }
 
 (* --- block I/O ---------------------------------------------------------- *)
@@ -447,6 +501,11 @@ module Txn = struct
     h.state <- Sealed
 
   let shard_mask h = List.fold_left (fun m (i, _) -> m lor (1 lsl i)) 0 h.subs
+
+  (* Tag every sub-handle with the facade's durable-notification ticket
+     id, so each shard's [Txn_seal] flight record names it. *)
+  let set_flight_ticket h id =
+    List.iter (fun (_, sub) -> Cache.Txn.set_flight_ticket sub id) h.subs
 end
 
 (* One durability sequence for a whole batch of sealed transactions —
@@ -472,7 +531,7 @@ end
    Under the planted [`Drop_durable_notify] fault the batch is
    published but neither sealed nor finalized — the lost-ack bug the
    crash sweep must catch (the caller still acknowledges durability). *)
-let commit_group s handles =
+let commit_group ?(cause = Flight.Barrier) s handles =
   match handles with
   | [] -> ()
   | handles ->
@@ -495,7 +554,7 @@ let commit_group s handles =
         (fun i ->
           Trace.begin_span ~clock:s.clock "tinca.gcommit.flush";
           Trace.attr "shard" (string_of_int i);
-          exec s i (fun () -> Cache.Txn.flush_sealed (group i));
+          exec s i (fun () -> Cache.Txn.flush_sealed ~cause (group i));
           Trace.end_span "tinca.gcommit.flush")
         touched;
       barrier s;
@@ -598,6 +657,33 @@ let stats_kv st =
       ("cross_shard_seals", string_of_int st.seals);
       ("seal_roll_forwards", string_of_int st.roll_forwards);
     ]
+
+(* --- flight recorder / forensics surface --------------------------------- *)
+
+let flight_enabled t = Array.exists Cache.flight_enabled t.caches
+
+(* Per-shard survivor scans from the last recovery, shaped for
+   [Tinca_obs.Forensics.build].  Shards recovered without a flight ring
+   (or before any recovery) contribute an empty track. *)
+let flight_scans t =
+  Array.map
+    (fun c -> match Cache.flight_scan_result c with Some r -> r | None -> ([], 0))
+    t.caches
+
+(* Region-attributed NVM wear.  N=1: the plain per-region table.  N>1:
+   the shard header (directory + seal lines) plus every shard's regions,
+   names prefixed "s<i>.". *)
+let region_wear t =
+  if Array.length t.caches = 1 then Cache.region_wear t.caches.(0)
+  else
+    ( "header",
+      Pmem.wear_sum_in t.pmem ~off:0 ~len:header_bytes,
+      Pmem.wear_max_in t.pmem ~off:0 ~len:header_bytes )
+    :: List.concat
+         (List.mapi
+            (fun i c ->
+              List.map (fun (n, s, m) -> (Printf.sprintf "s%d.%s" i n, s, m)) (Cache.region_wear c))
+            (Array.to_list t.caches))
 
 (* --- invariant audit ----------------------------------------------------- *)
 

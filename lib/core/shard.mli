@@ -58,12 +58,19 @@ val format :
     then runs the normal per-shard {!Cache.recover_region}.  Media
     without the magic (a one-shard format, or any pre-sharding device)
     recovers as a single plain {!Cache.recover}.  Raises [Failure] on
-    unformatted media. *)
+    unformatted media.
+
+    [flight_replay] is forwarded to each shard's {!Cache.recover_region}
+    (default [true]); the roll-forward pass additionally appends
+    raw-media [Recovery_decision] flight records for every entry it
+    replays, riding its existing role-switch fence. *)
 val recover :
+  ?flight_replay:bool ->
   pmem:Tinca_pmem.Pmem.t ->
   disk:Tinca_blockdev.Disk.t ->
   clock:Tinca_sim.Clock.t ->
   metrics:Tinca_sim.Metrics.t ->
+  unit ->
   t
 
 val nshards : t -> int
@@ -121,6 +128,10 @@ module Txn : sig
       unwound, so the failure is all-or-nothing) and [Invalid_argument]
       on an empty or non-running transaction. *)
   val seal : handle -> unit
+
+  (** Tag every sub-handle with the facade's durable-notification
+      ticket id before {!seal} (see {!Cache.Txn.set_flight_ticket}). *)
+  val set_flight_ticket : handle -> int -> unit
 end
 
 (** [commit_group s handles] — one durability sequence for a whole batch
@@ -132,8 +143,11 @@ end
     one batched role switch and one Tail persist.  [handles] must all be
     sealed and belong to [s]; they are finished on return.  A batch is
     atomic under crash: recovery yields either none of its transactions
-    or all of them. *)
-val commit_group : t -> Txn.handle list -> unit
+    or all of them.
+
+    [cause] (default [Barrier]) labels the drain in each touched shard's
+    flight recorder; it does not affect the commit protocol. *)
+val commit_group : ?cause:Tinca_obs.Flight.cause -> t -> Txn.handle list -> unit
 
 (** {1 Parallel-throughput model}
 
@@ -169,6 +183,24 @@ val stats : t -> stats
     surface with [ring_high_water_max] plus one [ring_high_water_shard<i>]
     per shard, and the cross-shard commit counters. *)
 val stats_kv : stats -> (string * string) list
+
+(** {1 Flight recorder / forensics}
+
+    See {!Cache.flight_note} and {!Tinca_obs.Forensics}. *)
+
+(** Does any shard carry a flight ring? *)
+val flight_enabled : t -> bool
+
+(** Per-shard survivor scans from the last recovery — [(records, torn)]
+    per shard, shaped for [Tinca_obs.Forensics.build].  Shards without a
+    ring (or attached by [format]) contribute [([], 0)]. *)
+val flight_scans : t -> ((int * Tinca_obs.Flight.event) list * int) array
+
+(** Region-attributed NVM wear: [(region, total write-backs, max on one
+    line)].  One shard: {!Cache.region_wear} verbatim.  Sharded media:
+    a ["header"] row (shard directory + seal lines) followed by every
+    shard's regions as ["s<i>.<region>"]. *)
+val region_wear : t -> (string * int * int) list
 
 (** Per-shard {!Cache.check_invariants} plus: the seal must be clear
     outside a commit. *)

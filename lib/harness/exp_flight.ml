@@ -1,0 +1,239 @@
+(* fig_flight: the flight recorder's cost, quantified (ISSUE 9).
+
+   The recorder's contract is "one extra line write per event, zero
+   extra fences": every record is a volatile 64 B store whose flush is
+   folded into a protocol fence the commit pipeline was paying anyway.
+   This experiment prices that claim on the exact commit micro-benchmark
+   behind fig_commit_batch — the same mixed-size stream, same universe,
+   same device — once with the recorder off (flight_slots = 0, the
+   historical media layout) and once on, reporting sfences/commit (must
+   be bit-identical), flush write-backs/commit (the folded record
+   lines) and simulated ns/commit (the gate: <= 2% aggregate overhead).
+
+   `tinca_bench check-flight` additionally runs the persistence
+   sanitizer over a recorder-on group-commit workload (the recorder's
+   own flush discipline must be psan-clean) and the Flight_check crash
+   sweep at N=1 and N=4 (recovery-semantics pin + dossier-vs-judge
+   agreement + the planted Drop_durable_notify conviction). *)
+
+module Cache = Tinca_core.Cache
+module Pmem = Tinca_pmem.Pmem
+module Disk = Tinca_blockdev.Disk
+module Tabular = Tinca_util.Tabular
+module Psan = Tinca_checker.Psan
+module FCheck = Tinca_checker.Flight_check
+open Tinca_sim
+
+let flight_slots = 256
+
+type sample = {
+  txn_blocks : int;
+  sfences_off : float;
+  sfences_on : float;  (** must equal [sfences_off] — the recorder adds no fences *)
+  writebacks_off : float;
+  writebacks_on : float;
+  ns_off : float;
+  ns_on : float;
+  overhead_pct : float;
+}
+
+(* Exp_commit.micro's stream (same warm-up, same measured_size walk,
+   same 256-block universe) with the recorder as the only variable. *)
+let run_stream ~flight_slots ~n =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let pmem = Pmem.create ~clock ~metrics ~tech:Latency.Pcm ~size:(8 * 1024 * 1024) () in
+  let disk = Disk.create ~clock ~metrics ~kind:Latency.Ssd ~nblocks:4096 ~block_size:4096 in
+  let cache =
+    Cache.format
+      ~config:{ Cache.default_config with ring_slots = 4096; flight_slots }
+      ~pmem ~disk ~clock ~metrics
+  in
+  let universe = 256 in
+  let payload = Bytes.make 4096 'f' in
+  let next = ref 0 in
+  let commit size =
+    let h = Cache.Txn.init cache in
+    for _ = 1 to size do
+      Cache.Txn.add h (!next mod universe) payload;
+      incr next
+    done;
+    Cache.Txn.commit h
+  in
+  let warmup = 4 and measured = 32 in
+  for _ = 1 to warmup do
+    commit n
+  done;
+  let t0 = Clock.now_ns clock in
+  let sf0 = Metrics.get metrics "pmem.sfence" in
+  let wb0 = Metrics.get metrics "pmem.clflush_writebacks" in
+  for c = 0 to measured - 1 do
+    commit (Exp_commit.measured_size ~n c)
+  done;
+  let per x = float_of_int x /. float_of_int measured in
+  ( per (Metrics.get metrics "pmem.sfence" - sf0),
+    per (Metrics.get metrics "pmem.clflush_writebacks" - wb0),
+    (Clock.now_ns clock -. t0) /. float_of_int measured )
+
+let overhead_point ~n =
+  let sf_off, wb_off, ns_off = run_stream ~flight_slots:0 ~n in
+  let sf_on, wb_on, ns_on = run_stream ~flight_slots ~n in
+  {
+    txn_blocks = n;
+    sfences_off = sf_off;
+    sfences_on = sf_on;
+    writebacks_off = wb_off;
+    writebacks_on = wb_on;
+    ns_off;
+    ns_on;
+    overhead_pct = 100.0 *. ((ns_on /. ns_off) -. 1.0);
+  }
+
+let sweep () = List.map (fun n -> overhead_point ~n) [ 1; 8; 64 ]
+
+let table samples =
+  let t =
+    Tabular.create
+      ~title:
+        "fig_flight: NVM flight recorder priced on the commit micro-benchmark (ISSUE 9)"
+      [
+        "txn blocks"; "sfences/commit off"; "sfences/commit on"; "flush WB/commit off";
+        "flush WB/commit on"; "ns/commit off"; "ns/commit on"; "overhead %";
+      ]
+  in
+  List.iter
+    (fun s ->
+      Tabular.add_row t
+        [
+          Tabular.cell_i s.txn_blocks;
+          Tabular.cell_f ~decimals:2 s.sfences_off;
+          Tabular.cell_f ~decimals:2 s.sfences_on;
+          Tabular.cell_f ~decimals:1 s.writebacks_off;
+          Tabular.cell_f ~decimals:1 s.writebacks_on;
+          Tabular.cell_f ~decimals:0 s.ns_off;
+          Tabular.cell_f ~decimals:0 s.ns_on;
+          Tabular.cell_f ~decimals:2 s.overhead_pct;
+        ])
+    samples;
+  t
+
+let fig_flight () = [ table (sweep ()) ]
+
+(* --- the CI gate behind `tinca_bench check-flight` ----------------------- *)
+
+(* The recorder's flush discipline audited live: a recorder-on async
+   group-commit workload under the persistence sanitizer (full region
+   classification, Flight region rules included) must stay
+   violation-free.  Returns (violations, events observed). *)
+let psan_clean ~nshards =
+  let module Stacks = Tinca_stacks.Stacks in
+  let module Rng = Tinca_util.Rng in
+  let env = Stacks.make_env ~seed:9 ~nvm_bytes:(512 * 1024) ~disk_blocks:96 () in
+  let config =
+    {
+      Tinca.Config.default with
+      Tinca.Config.nvm_bytes = Pmem.size env.Stacks.pmem;
+      ring_slots = 256;
+      nshards;
+      flight_slots = 64;
+      group_window_ns = 1_000_000;
+      group_max_batch = 8;
+    }
+  in
+  let tc =
+    Tinca.ok_exn
+      (Tinca.format ~config ~pmem:env.Stacks.pmem ~disk:env.Stacks.disk ~clock:env.Stacks.clock
+         ~metrics:env.Stacks.metrics)
+  in
+  let psan = Psan.attach ~layouts:(Tinca.layouts tc) env.Stacks.pmem in
+  let rng = Rng.create 11 in
+  for _ = 1 to 24 do
+    Psan.txn_begin psan;
+    let tickets =
+      List.init
+        (1 + Rng.int rng 4)
+        (fun _ ->
+          let txn = Tinca.init_txn tc in
+          for _ = 1 to 1 + Rng.int rng 3 do
+            Tinca.ok_exn (Tinca.write txn (Rng.int rng 96) (Bytes.make 4096 'p'))
+          done;
+          Tinca.ok_exn (Tinca.commit_async txn))
+    in
+    List.iter (fun tk -> Tinca.ok_exn (Tinca.await tk)) tickets;
+    Psan.txn_end psan
+  done;
+  Tinca.sync tc;
+  let r = Psan.report psan in
+  Psan.detach psan;
+  (r.Psan.violations, r.Psan.events)
+
+let check () =
+  let samples = sweep () in
+  let fences_ok = List.for_all (fun s -> s.sfences_on = s.sfences_off) samples in
+  let tot_off = List.fold_left (fun a s -> a +. s.ns_off) 0.0 samples in
+  let tot_on = List.fold_left (fun a s -> a +. s.ns_on) 0.0 samples in
+  let overhead = (tot_on /. tot_off) -. 1.0 in
+  let overhead_ok = overhead <= 0.02 in
+  let psan_v1, ev1 = psan_clean ~nshards:1 in
+  let psan_v4, ev4 = psan_clean ~nshards:4 in
+  let psan_ok = psan_v1 = [] && psan_v4 = [] in
+  let sweep_of nshards stride =
+    FCheck.sweep { FCheck.default_config with FCheck.nshards; stride; universe = 48 }
+  in
+  let s1 = sweep_of 1 17 and s4 = sweep_of 4 29 in
+  let pin_ok = s1.FCheck.violations = [] && s4.FCheck.violations = [] in
+  let drop_of nshards =
+    FCheck.drop_notify_scenario { FCheck.default_config with FCheck.nshards; universe = 48 }
+  in
+  let drop1 = drop_of 1 and drop4 = drop_of 4 in
+  let drop_ok = Result.is_ok drop1 && Result.is_ok drop4 in
+  let verdict = Tabular.create ~title:"check-flight verdict" [ "property"; "value"; "ok" ] in
+  Tabular.add_row verdict
+    [
+      "recorder adds zero fences (sfences/commit identical)";
+      String.concat ", "
+        (List.map
+           (fun s -> Printf.sprintf "n=%d: %.2f vs %.2f" s.txn_blocks s.sfences_off s.sfences_on)
+           samples);
+      (if fences_ok then "ok" else "FAIL");
+    ];
+  Tabular.add_row verdict
+    [
+      "aggregate ns overhead <= 2% on fig_commit_batch's stream";
+      Printf.sprintf "%.2f%%" (100.0 *. overhead);
+      (if overhead_ok then "ok" else "FAIL");
+    ];
+  Tabular.add_row verdict
+    [
+      "recorder-on group workload psan-clean (N=1, N=4)";
+      Printf.sprintf "%d + %d events, %d + %d violations" ev1 ev4 (List.length psan_v1)
+        (List.length psan_v4);
+      (if psan_ok then "ok" else "FAIL");
+    ];
+  Tabular.add_row verdict
+    [
+      "crash sweep: replay on/off pin + dossier agrees with judge";
+      Printf.sprintf "N=1: %d states, N=4: %d states, %d violations" s1.FCheck.states_checked
+        s4.FCheck.states_checked
+        (List.length s1.FCheck.violations + List.length s4.FCheck.violations);
+      (if pin_ok then "ok" else "FAIL");
+    ];
+  Tabular.add_row verdict
+    [
+      "planted Drop_durable_notify convicted by dossier alone";
+      (match (drop1, drop4) with
+      | Ok _, Ok _ -> "N=1 and N=4 convicted"
+      | Error e, _ | _, Error e -> e);
+      (if drop_ok then "ok" else "FAIL");
+    ];
+  let errs =
+    List.map (Printf.sprintf "psan N=1: %s")
+      (List.map (fun v -> Format.asprintf "%a" Psan.pp_violation v) psan_v1)
+    @ List.map (Printf.sprintf "psan N=4: %s")
+        (List.map (fun v -> Format.asprintf "%a" Psan.pp_violation v) psan_v4)
+    @ List.map (Printf.sprintf "sweep N=1: %s") s1.FCheck.violations
+    @ List.map (Printf.sprintf "sweep N=4: %s") s4.FCheck.violations
+  in
+  ( [ table samples; verdict ],
+    errs,
+    fences_ok && overhead_ok && psan_ok && pin_ok && drop_ok )

@@ -34,6 +34,8 @@ type sample = {
   ns_per_commit : float;
   ack_p50_ns : float;
   ack_p99_ns : float;
+  pending_high_water : int;
+  drains : (string * int) list;
 }
 
 let stream_counts = [ 1; 2; 4; 8; 16; 32 ]
@@ -99,6 +101,8 @@ let run_point ~streams ~window =
     ns_per_commit = (Clock.now_ns clock -. t0) /. float_of_int r.Mq_driver.commits;
     ack_p50_ns = pctl 50.0;
     ack_p99_ns = pctl 99.0;
+    pending_high_water = Tinca.group_pending_high_water tc;
+    drains = Tinca.group_drains_by_cause tc;
   }
 
 let sweep ?(window = default_window_ns) () =
@@ -113,7 +117,7 @@ let table samples =
         "fig_group: async group commit — fences amortized over the standing batch (ISSUE 8)"
       [
         "streams"; "window ns"; "commits"; "sfences/commit"; "batches"; "txns/batch";
-        "head advances"; "ns/commit"; "ack p50 ns"; "ack p99 ns";
+        "head advances"; "ns/commit"; "ack p50 ns"; "ack p99 ns"; "peak pending"; "drain causes";
       ]
   in
   List.iter
@@ -130,6 +134,9 @@ let table samples =
           Tabular.cell_f ~decimals:0 s.ns_per_commit;
           Tabular.cell_f ~decimals:0 s.ack_p50_ns;
           Tabular.cell_f ~decimals:0 s.ack_p99_ns;
+          Tabular.cell_i s.pending_high_water;
+          String.concat " "
+            (List.map (fun (cause, n) -> Printf.sprintf "%s:%d" cause n) s.drains);
         ])
     samples;
   t
@@ -215,9 +222,11 @@ let json_block () =
            "    {\"streams\": %d, \"group_window_ns\": %d, \"commits\": %d, \
             \"sfences_per_commit\": %.3f, \"batches\": %d, \"txns_per_batch\": %.1f, \
             \"head_advances\": %d, \"sim_ns_per_commit\": %.1f, \"ack_p50_ns\": %.1f, \
-            \"ack_p99_ns\": %.1f}"
+            \"ack_p99_ns\": %.1f, \"pending_high_water\": %d, \"drains_by_cause\": {%s}}"
            s.streams s.window_ns s.commits s.sfences_per_commit s.batches s.txns_per_batch
-           s.head_advances s.ns_per_commit s.ack_p50_ns s.ack_p99_ns))
+           s.head_advances s.ns_per_commit s.ack_p50_ns s.ack_p99_ns s.pending_high_water
+           (String.concat ", "
+              (List.map (fun (cause, n) -> Printf.sprintf "\"%s\": %d" cause n) s.drains))))
     (sweep ());
   Buffer.add_string buf "\n  ]";
   Buffer.contents buf

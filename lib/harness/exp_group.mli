@@ -17,6 +17,8 @@ type sample = {
   ns_per_commit : float;
   ack_p50_ns : float;  (** sealed-to-durable latency percentiles *)
   ack_p99_ns : float;
+  pending_high_water : int;  (** peak standing-batch population *)
+  drains : (string * int) list;  (** batch drains split by cause *)
 }
 
 val stream_counts : int list

@@ -158,6 +158,12 @@ let all : experiment list =
       run = Exp_group.fig_group;
     };
     {
+      id = "fig_flight";
+      title = "NVM flight recorder: zero added fences, <= 2% commit overhead";
+      paper_ref = "extension (ISSUE 9: crash-surviving forensics; beyond the paper)";
+      run = Exp_flight.fig_flight;
+    };
+    {
       id = "fig_obs";
       title = "Observability surface: /proc snapshot, latency ladders, span flame";
       paper_ref = "extension (observability; beyond the paper)";

@@ -1,0 +1,176 @@
+(* Flight-recorder record codec (ISSUE 9).  See flight.mli for the
+   contract; the byte layout is:
+
+     off  0  u8   kind
+     off  1  u8   shard
+     off  2  u8   cause
+     off  3  u8   reserved (0)
+     off  4  u32  a
+     off  8  u56  b
+     off 16  u56  c
+     off 24  u56  d
+     off 32  u64  t_ns (as non-negative OCaml int)
+     off 40  u56  batch + 1 (0 encodes "no batch")
+     off 48  u56  seq
+     off 56  u32  crc32 over bytes [0, 56)
+     off 60  u32  reserved (0)
+
+   Everything the checksum does not cover is required to be zero, so a
+   record is valid iff the CRC matches AND the reserved bytes are clean
+   — an all-zero (never written) slot fails because CRC-32 of 56 zero
+   bytes is nonzero. *)
+
+module Codec = Tinca_util.Codec
+
+let record_size = 64
+
+type cause = Sync | Deadline | Conflict | Ring_pressure | Max_batch | Await | Barrier
+
+let cause_name = function
+  | Sync -> "sync"
+  | Deadline -> "deadline"
+  | Conflict -> "conflict"
+  | Ring_pressure -> "ring_pressure"
+  | Max_batch -> "max_batch"
+  | Await -> "await"
+  | Barrier -> "barrier"
+
+let cause_tag = function
+  | Sync -> 0
+  | Deadline -> 1
+  | Conflict -> 2
+  | Ring_pressure -> 3
+  | Max_batch -> 4
+  | Await -> 5
+  | Barrier -> 6
+
+let cause_of_tag = function
+  | 0 -> Some Sync
+  | 1 -> Some Deadline
+  | 2 -> Some Conflict
+  | 3 -> Some Ring_pressure
+  | 4 -> Some Max_batch
+  | 5 -> Some Await
+  | 6 -> Some Barrier
+  | _ -> None
+
+type kind =
+  | Txn_seal
+  | Batch_drain
+  | Head_advance
+  | Seal_epoch
+  | Role_switch
+  | Tail_persist
+  | Recovery_start
+  | Recovery_decision
+
+let kind_name = function
+  | Txn_seal -> "txn_seal"
+  | Batch_drain -> "batch_drain"
+  | Head_advance -> "head_advance"
+  | Seal_epoch -> "seal_epoch"
+  | Role_switch -> "role_switch"
+  | Tail_persist -> "tail_persist"
+  | Recovery_start -> "recovery_start"
+  | Recovery_decision -> "recovery_decision"
+
+(* Tags start at 1 so a zeroed slot cannot even alias a valid kind. *)
+let kind_tag = function
+  | Txn_seal -> 1
+  | Batch_drain -> 2
+  | Head_advance -> 3
+  | Seal_epoch -> 4
+  | Role_switch -> 5
+  | Tail_persist -> 6
+  | Recovery_start -> 7
+  | Recovery_decision -> 8
+
+let kind_of_tag = function
+  | 1 -> Some Txn_seal
+  | 2 -> Some Batch_drain
+  | 3 -> Some Head_advance
+  | 4 -> Some Seal_epoch
+  | 5 -> Some Role_switch
+  | 6 -> Some Tail_persist
+  | 7 -> Some Recovery_start
+  | 8 -> Some Recovery_decision
+  | _ -> None
+
+type event = {
+  kind : kind;
+  shard : int;
+  cause : cause;
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  batch : int;
+  t_ns : int;
+}
+
+let mask56 = (1 lsl 56) - 1
+let mask32 = 0xFFFF_FFFF
+
+let encode ~seq e =
+  if seq < 0 then invalid_arg "Flight.encode: negative sequence number";
+  let b = Bytes.make record_size '\000' in
+  Codec.set_u8 b 0 (kind_tag e.kind);
+  Codec.set_u8 b 1 (e.shard land 0xFF);
+  Codec.set_u8 b 2 (cause_tag e.cause);
+  Codec.set_u32 b 4 (e.a land mask32);
+  Codec.set_u56 b 8 (e.b land mask56);
+  Codec.set_u56 b 16 (e.c land mask56);
+  Codec.set_u56 b 24 (e.d land mask56);
+  Codec.set_u64_int b 32 (max 0 e.t_ns);
+  Codec.set_u56 b 40 ((e.batch + 1) land mask56);
+  Codec.set_u56 b 48 (seq land mask56);
+  Codec.set_u32 b 56 (Int32.to_int (Codec.crc32 b ~pos:0 ~len:56) land mask32);
+  b
+
+let decode b =
+  if Bytes.length b <> record_size then None
+  else
+    let stored = Codec.get_u32 b 56 in
+    let crc = Int32.to_int (Codec.crc32 b ~pos:0 ~len:56) land mask32 in
+    if stored <> crc then None
+    else if Codec.get_u8 b 3 <> 0 || Codec.get_u32 b 60 <> 0 then None
+    else
+      match (kind_of_tag (Codec.get_u8 b 0), cause_of_tag (Codec.get_u8 b 2)) with
+      | Some kind, Some cause ->
+          Some
+            ( Codec.get_u56 b 48,
+              {
+                kind;
+                shard = Codec.get_u8 b 1;
+                cause;
+                a = Codec.get_u32 b 4;
+                b = Codec.get_u56 b 8;
+                c = Codec.get_u56 b 16;
+                d = Codec.get_u56 b 24;
+                batch = Codec.get_u56 b 40 - 1;
+                t_ns = Codec.get_u64_int b 32;
+              } )
+      | _ -> None
+
+let is_zero b =
+  let n = Bytes.length b in
+  let rec go i = i >= n || (Bytes.get b i = '\000' && go (i + 1)) in
+  go 0
+
+let scan ~slots ~read =
+  let records = ref [] and torn = ref 0 in
+  for i = 0 to slots - 1 do
+    let b = read i in
+    match decode b with
+    | Some r -> records := r :: !records
+    | None -> if not (is_zero b) then incr torn
+  done;
+  (List.sort (fun (s1, _) (s2, _) -> compare s1 s2) !records, !torn)
+
+type cursor = { slots : int; mutable seq : int }
+
+let cursor ~slots =
+  if slots <= 0 then invalid_arg "Flight.cursor: slots must be positive";
+  { slots; seq = 0 }
+
+let slot_of c = c.seq mod c.slots

@@ -1,0 +1,95 @@
+(** Flight recorder: the crash-surviving event record format (ISSUE 9).
+
+    A Tinca instance keeps a small NVM-resident ring of fixed-size 64 B
+    event records — one cache line each — written with the data path's
+    own clflush/sfence discipline and overwritten oldest-first.  This
+    module is the {e pure} half: the record codec, the ring scan that
+    recovers the surviving records after a crash, and the event
+    vocabulary shared by the writers (lib/core, lib/tinca) and the
+    post-crash reader ({!Forensics}).  It never touches NVM itself: the
+    storage layer hands [scan] a slot-read closure and serializes
+    [encode]'s bytes, so this module can sit below [Tinca_pmem] in the
+    dependency order.
+
+    Self-delimiting records: each record carries its sequence number and
+    a CRC-32 over the first 56 bytes (sequence included).  A record torn
+    by a crash — or a never-written zeroed slot — fails the checksum and
+    is {e detected, not trusted}: [scan] drops it and reports it as
+    torn.  Valid records order totally by sequence number, so the
+    surviving set replays into a timeline without any further framing. *)
+
+(** Bytes per record (= one cache line, = [Layout.flight_record_size]). *)
+val record_size : int
+
+(** Why a group batch drained (also stamped on sync-path records). *)
+type cause =
+  | Sync  (** synchronous commit — a batch of one *)
+  | Deadline  (** group window expired *)
+  | Conflict  (** same-block write collided with the standing batch *)
+  | Ring_pressure  (** commit ring too full for the next transaction *)
+  | Max_batch  (** batch reached [group_max_batch] *)
+  | Await  (** an awaiter forced the drain *)
+  | Barrier  (** sync/write_direct/recover flushed the batch *)
+
+val cause_name : cause -> string
+
+type kind =
+  | Txn_seal  (** a transaction sealed into a batch (async ack point) *)
+  | Batch_drain  (** a batch began draining, with its {!cause} *)
+  | Head_advance  (** per-shard ring Head published over the batch *)
+  | Seal_epoch  (** cross-shard seal epoch written (sharded media) *)
+  | Role_switch  (** Log->Buffer role switches of the batch *)
+  | Tail_persist  (** Tail persisted: the batch's durability record *)
+  | Recovery_start  (** recovery began on this shard *)
+  | Recovery_decision  (** recovery replayed or revoked a block *)
+
+val kind_name : kind -> string
+
+(** One recorded event.  Field use per {!kind}:
+    - [Txn_seal]: [a] ticket id, [b] blocks in txn, [c] first blkno,
+      [d] CRC-32 of the first block's payload, [batch] the batch sealed
+      into, [cause] the commit mode.
+    - [Batch_drain]: [a] txn count, [cause] drain cause, [batch] id.
+    - [Head_advance]: [a] slots published, [batch] id.
+    - [Seal_epoch]: [a] epoch, [b] shard mask, [batch] id.
+    - [Role_switch]: [a] entries switched, [batch] id.
+    - [Tail_persist]: [a] txns finalized, [batch] id.
+    - [Recovery_start]: [a] ring Head found, [b] ring Tail found,
+      [c] surviving flight records seen.
+    - [Recovery_decision]: [a] 0 = roll-forward replay, 1 = revoke,
+      [b] blkno. *)
+type event = {
+  kind : kind;
+  shard : int;
+  cause : cause;
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  batch : int;  (** batch id the event belongs to (-1 when none) *)
+  t_ns : int;  (** simulated-clock timestamp *)
+}
+
+(** [encode ~seq e] serializes [e] with sequence number [seq] into a
+    fresh [record_size]-byte record (checksum included). *)
+val encode : seq:int -> event -> bytes
+
+(** [decode b] returns [Some (seq, event)] when [b] is a whole record
+    with a valid checksum, [None] for torn, corrupt or never-written
+    slots. *)
+val decode : bytes -> (int * event) option
+
+(** [scan ~slots ~read] decodes every slot of a flight ring ([read i]
+    returns slot [i]'s [record_size] bytes) and returns the surviving
+    records sorted by sequence number, plus the count of non-empty slots
+    that failed the checksum (torn records).  All-zero slots count as
+    empty, not torn. *)
+val scan : slots:int -> read:(int -> bytes) -> (int * event) list * int
+
+(** Writer cursor: the volatile per-instance state (next sequence
+    number) of a flight ring with [slots] records.  [slot_of] maps the
+    cursor's next sequence to its ring slot. *)
+type cursor = { slots : int; mutable seq : int }
+
+val cursor : slots:int -> cursor
+val slot_of : cursor -> int

@@ -1,0 +1,267 @@
+(* Crash dossiers from flight-recorder survivors.  See forensics.mli for
+   the inference argument; this file is pure bookkeeping over the
+   decoded records. *)
+
+type status = [ `Durable | `In_flight | `Dead_acked ]
+
+type txn = {
+  x_shard : int;
+  ticket : int;
+  blocks : int;
+  first_blkno : int;
+  payload_crc : int;
+  seal_ns : int;
+  confirmed_missing : bool option;
+}
+
+type batch = {
+  b_shard : int;
+  id : int;
+  cause : Flight.cause option;
+  txns : txn list;
+  drained_ns : int option;
+  durable_ns : int option;
+  status : status;
+}
+
+type t = {
+  nshards : int;
+  torn : int;
+  record_count : int;
+  records : (int * int * Flight.event) list;
+  batches : batch list;
+  recovery : (int * Flight.event) list;
+  timeline_json : string;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome trace_event JSON: one track (tid) per shard, every surviving
+   record an instant event at its recorded simulated timestamp.  Same
+   object format Trace.export_json emits, so Jsonv.validate_trace and
+   chrome://tracing both accept it. *)
+let timeline records nshards =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  for s = 0 to nshards - 1 do
+    if s > 0 then Buffer.add_string buf ",\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": %d, \"args\": \
+          {\"name\": \"flight-shard%d\"}}"
+         s s)
+  done;
+  List.iter
+    (fun (shard, seq, (e : Flight.event)) ->
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"ph\": \"i\", \"name\": \"%s\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"s\": \
+            \"t\", \"args\": {\"seq\": \"%d\", \"cause\": \"%s\", \"batch\": \"%d\", \"a\": \
+            \"%d\", \"b\": \"%d\", \"c\": \"%d\", \"d\": \"%d\"}}"
+           (json_escape (Flight.kind_name e.Flight.kind))
+           shard
+           (float_of_int e.Flight.t_ns /. 1000.0)
+           seq
+           (json_escape (Flight.cause_name e.Flight.cause))
+           e.Flight.batch e.Flight.a e.Flight.b e.Flight.c e.Flight.d))
+    records;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let build ~shards ?probe () =
+  let nshards = Array.length shards in
+  let torn = Array.fold_left (fun acc (_, t) -> acc + t) 0 shards in
+  (* Merge to (shard, seq, event), globally ordered by timestamp then
+     sequence so the timeline reads chronologically across tracks. *)
+  let records =
+    Array.to_list shards
+    |> List.concat_map (fun i ->
+           List.map (fun (seq, e) -> (e.Flight.shard, seq, e)) (fst i))
+    |> List.sort (fun (_, s1, (e1 : Flight.event)) (_, s2, (e2 : Flight.event)) ->
+           compare (e1.Flight.t_ns, s1) (e2.Flight.t_ns, s2))
+  in
+  let recovery =
+    List.filter_map
+      (fun (_, seq, (e : Flight.event)) ->
+        match e.Flight.kind with
+        | Flight.Recovery_start | Flight.Recovery_decision -> Some (seq, e)
+        | _ -> None)
+      records
+  in
+  (* Per-shard batch ledger.  A batch exists if any pre-crash record
+     names it; ids are per-shard monotone (the shard's drain counter). *)
+  let batches = ref [] in
+  for s = 0 to nshards - 1 do
+    let recs, _ = shards.(s) in
+    let pre_crash =
+      List.filter
+        (fun (_, (e : Flight.event)) ->
+          match e.Flight.kind with
+          | Flight.Recovery_start | Flight.Recovery_decision -> false
+          | _ -> true)
+        recs
+    in
+    let ids =
+      List.filter_map
+        (fun (_, (e : Flight.event)) -> if e.Flight.batch >= 0 then Some e.Flight.batch else None)
+        pre_crash
+      |> List.sort_uniq compare
+    in
+    (* The newest batch on this shard whose drain or tail evidence
+       survived: anything older without a tail record was provably
+       passed over while acked. *)
+    let newest_progress =
+      List.fold_left
+        (fun acc (_, (e : Flight.event)) ->
+          match e.Flight.kind with
+          | Flight.Batch_drain | Flight.Tail_persist -> max acc e.Flight.batch
+          | _ -> acc)
+        (-1) pre_crash
+    in
+    List.iter
+      (fun id ->
+        let of_kind k =
+          List.find_opt
+            (fun (_, (e : Flight.event)) -> e.Flight.kind = k && e.Flight.batch = id)
+            pre_crash
+        in
+        let drain = of_kind Flight.Batch_drain in
+        let tail = of_kind Flight.Tail_persist in
+        let txns =
+          List.filter_map
+            (fun (_, (e : Flight.event)) ->
+              if e.Flight.kind = Flight.Txn_seal && e.Flight.batch = id then
+                Some
+                  {
+                    x_shard = s;
+                    ticket = e.Flight.a - 1;
+                    blocks = e.Flight.b;
+                    first_blkno = e.Flight.c;
+                    payload_crc = e.Flight.d;
+                    seal_ns = e.Flight.t_ns;
+                    confirmed_missing = None;
+                  }
+              else None)
+            pre_crash
+        in
+        let status =
+          if tail <> None then `Durable
+          else if id < newest_progress then `Dead_acked
+          else `In_flight
+        in
+        let txns =
+          match (status, probe) with
+          | `Dead_acked, Some probe ->
+              List.map
+                (fun tx ->
+                  {
+                    tx with
+                    confirmed_missing =
+                      Some (not (probe ~shard:s ~blkno:tx.first_blkno ~crc:tx.payload_crc));
+                  })
+                txns
+          | _ -> txns
+        in
+        batches :=
+          {
+            b_shard = s;
+            id;
+            cause = Option.map (fun (_, (e : Flight.event)) -> e.Flight.cause) drain;
+            txns;
+            drained_ns = Option.map (fun (_, (e : Flight.event)) -> e.Flight.t_ns) drain;
+            durable_ns = Option.map (fun (_, (e : Flight.event)) -> e.Flight.t_ns) tail;
+            status;
+          }
+          :: !batches)
+      ids
+  done;
+  let batches = List.sort (fun b1 b2 -> compare (b1.b_shard, b1.id) (b2.b_shard, b2.id)) !batches in
+  {
+    nshards;
+    torn;
+    record_count = List.length records;
+    records;
+    batches;
+    recovery;
+    timeline_json = timeline records nshards;
+  }
+
+let verdict t =
+  let dead =
+    List.concat_map
+      (fun b ->
+        if b.status <> `Dead_acked then []
+        else
+          match b.txns with
+          | [] -> [ (b.b_shard, b.id, -1) ]
+          | txns -> List.map (fun tx -> (b.b_shard, b.id, tx.ticket)) txns)
+      t.batches
+  in
+  if dead = [] then `Clean else `Dead_acked dead
+
+let status_name = function
+  | `Durable -> "durable"
+  | `In_flight -> "in-flight at crash"
+  | `Dead_acked -> "DEAD (acked, never durable)"
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "crash dossier: %d surviving records, %d torn, %d shard track(s)\n"
+       t.record_count t.torn t.nshards);
+  Buffer.add_string buf "batch ledger:\n";
+  if t.batches = [] then Buffer.add_string buf "  (no batch activity recorded)\n";
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  shard %d batch %-4d cause=%-13s txns=%-3d %s\n" b.b_shard b.id
+           (match b.cause with Some c -> Flight.cause_name c | None -> "?")
+           (List.length b.txns) (status_name b.status));
+      if b.status = `Dead_acked then
+        List.iter
+          (fun tx ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "    ticket %-4d %d block(s), first blkno %d, sealed at %d ns%s\n"
+                 tx.ticket tx.blocks tx.first_blkno tx.seal_ns
+                 (match tx.confirmed_missing with
+                 | Some true -> " — payload confirmed missing from recovered cache"
+                 | Some false -> " — payload coincidentally present"
+                 | None -> "")))
+          b.txns)
+    t.batches;
+  (match verdict t with
+  | `Clean -> Buffer.add_string buf "verdict: clean — every acked batch survived\n"
+  | `Dead_acked dead ->
+      Buffer.add_string buf
+        (Printf.sprintf "verdict: %d acked transaction(s) DIED before reaching the medium\n"
+           (List.length dead)));
+  if t.recovery <> [] then begin
+    Buffer.add_string buf "recovery decisions:\n";
+    List.iter
+      (fun (_, (e : Flight.event)) ->
+        match e.Flight.kind with
+        | Flight.Recovery_start ->
+            Buffer.add_string buf
+              (Printf.sprintf "  shard %d: recovery start (head %d, tail %d, %d records seen)\n"
+                 e.Flight.shard e.Flight.a e.Flight.b e.Flight.c)
+        | Flight.Recovery_decision ->
+            Buffer.add_string buf
+              (Printf.sprintf "  shard %d: %s blkno %d\n" e.Flight.shard
+                 (if e.Flight.a = 0 then "roll-forward replay of" else "revoke")
+                 e.Flight.b)
+        | _ -> ())
+      t.recovery
+  end;
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(** Post-crash forensic dossiers built from flight-recorder survivors
+    (ISSUE 9).
+
+    After recovery scans each shard's flight ring ({!Flight.scan}),
+    [build] reconstructs the pre-crash story:
+
+    - a {e batch ledger}: every commit batch the records mention, with
+      its drain cause, member transactions, and status — [`Durable]
+      (its [Tail_persist] record survived), [`In_flight] (newest
+      activity on its shard: the crash window, legitimately lost), or
+      [`Dead_acked] (a {e later} batch's durable drain/tail evidence
+      survived on the same shard, proving the committer acked this batch
+      and moved on, yet this batch's own durability record never reached
+      the medium — the {!Shard} fault [Drop_durable_notify] made
+      visible without a model checker);
+    - an {e acked-vs-survived reconciliation}: for each dead batch's
+      transactions, the recovered cache contents are probed against the
+      payload checksum recorded at seal time, naming the acked tickets
+      whose writes demonstrably died;
+    - a {e timeline}: the surviving records re-exported as Chrome
+      [trace_event] JSON (one track per shard, instant events), the
+      same schema {!Trace} emits and {!Jsonv.validate_trace} checks.
+
+    The inference is sound for the serial group committer: batch [B+1]'s
+    drain record is flushed under batch [B+1]'s own stage-A fence, which
+    a correct committer only reaches after batch [B]'s Tail fence — so a
+    surviving later drain without [B]'s tail record convicts the
+    committer of acknowledging [B] without making it durable. *)
+
+type status = [ `Durable | `In_flight | `Dead_acked ]
+
+(** A transaction sealed into a batch, as recorded at seal time. *)
+type txn = {
+  x_shard : int;
+  ticket : int;  (** facade ticket id; -1 for sync-path commits *)
+  blocks : int;
+  first_blkno : int;
+  payload_crc : int;  (** CRC-32 of the first block's payload at seal *)
+  seal_ns : int;
+  confirmed_missing : bool option;
+      (** probe result for dead txns: [Some true] = the recovered block
+          does not carry the sealed payload; [None] = not probed *)
+}
+
+type batch = {
+  b_shard : int;
+  id : int;
+  cause : Flight.cause option;  (** [None] when the drain record died *)
+  txns : txn list;
+  drained_ns : int option;
+  durable_ns : int option;
+  status : status;
+}
+
+type t = {
+  nshards : int;
+  torn : int;  (** torn (checksum-failed) records across all rings *)
+  record_count : int;
+  records : (int * int * Flight.event) list;  (** (shard, seq, event) *)
+  batches : batch list;
+  recovery : (int * Flight.event) list;  (** recovery-time records *)
+  timeline_json : string;
+}
+
+(** [build ~shards ?probe ()] — [shards.(i)] is shard [i]'s scan result
+    [(records, torn)].  [probe ~shard ~blkno ~crc] asks the recovered
+    cache whether block [blkno] currently carries a payload with
+    checksum [crc] (used to confirm dead writes); omit it to leave
+    [confirmed_missing = None]. *)
+val build :
+  shards:((int * Flight.event) list * int) array ->
+  ?probe:(shard:int -> blkno:int -> crc:int -> bool) ->
+  unit ->
+  t
+
+(** The reconciliation verdict: [`Dead_acked] lists [(shard, batch id,
+    ticket)] for every transaction of every dead batch. *)
+val verdict : t -> [ `Clean | `Dead_acked of (int * int * int) list ]
+
+(** Human-readable dossier: batch ledger, verdict, torn-record count,
+    recovery decisions. *)
+val render : t -> string

@@ -391,3 +391,12 @@ let wear_max_in t ~off ~len =
     if t.wear.(i) > !m then m := t.wear.(i)
   done;
   !m
+
+let wear_sum_in t ~off ~len =
+  check_range t off len;
+  let first = off / line_size and last = (off + len - 1) / line_size in
+  let s = ref 0 in
+  for i = first to last do
+    s := !s + t.wear.(i)
+  done;
+  !s

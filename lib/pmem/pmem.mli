@@ -236,3 +236,8 @@ val wear_histogram : t -> Tinca_util.Histogram.t
 (** [wear_max_in t ~off ~len] — maximum per-line write-backs within a
     byte range (e.g. just the data region, excluding hot pointer lines). *)
 val wear_max_in : t -> off:int -> len:int -> int
+
+(** [wear_sum_in t ~off ~len] — total line write-backs within a byte
+    range; with {!wear_max_in} this attributes wear to Layout regions
+    (superblock / pointers / ring / flight / entries / data). *)
+val wear_sum_in : t -> off:int -> len:int -> int

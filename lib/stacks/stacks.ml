@@ -81,7 +81,13 @@ let tinca_of_facade env tc =
     cache_write_hit_rate = (fun () -> Tinca.write_hit_rate tc);
     txn_size_histogram = (fun () -> Some (Tinca.txn_size_histogram tc));
     peak_cow_blocks = (fun () -> Tinca.peak_cow_blocks tc);
-    proc_stats = (fun () -> Tinca.stats_kv tc);
+    proc_stats =
+      (fun () ->
+        Tinca.stats_kv tc
+        @ List.map
+            (fun (region, total, peak) ->
+              ("wear." ^ region, Printf.sprintf "%d (peak %d)" total peak))
+            (Tinca.region_wear tc));
   }
 
 let tinca ?(config = Tinca.Config.default) env =

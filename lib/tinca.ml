@@ -5,6 +5,8 @@ module Shard = Tinca_core.Shard
 module Layout = Tinca_core.Layout
 module Histogram = Tinca_util.Histogram
 module Trace = Tinca_obs.Trace
+module Flight = Tinca_obs.Flight
+module Forensics = Tinca_obs.Forensics
 
 (* Re-exported with type equations, so facade users and the retained
    Cache interface agree on the same constructors. *)
@@ -24,6 +26,7 @@ module Config = struct
     alloc_policy : Tinca_cachelib.Free_monitor.policy;
     group_window_ns : int;
     group_max_batch : int;
+    flight_slots : int;
   }
 
   let default =
@@ -39,6 +42,7 @@ module Config = struct
       alloc_policy = Cache.default_config.Cache.alloc_policy;
       group_window_ns = 0;
       group_max_batch = 32;
+      flight_slots = 0;
     }
 
   let validate c =
@@ -55,6 +59,7 @@ module Config = struct
       err "group_window_ns %d must be non-negative" c.group_window_ns
     else if c.group_max_batch < 1 then
       err "group_max_batch %d must be positive" c.group_max_batch
+    else if c.flight_slots < 0 then err "flight_slots %d must be non-negative" c.flight_slots
     else if c.group_window_ns > 0 && c.commit_pipeline <> Batched then
       err "group_window_ns requires the Batched commit pipeline"
     else
@@ -66,8 +71,8 @@ module Config = struct
         err "nvm_bytes %d too small for %d shards" c.nvm_bytes c.nshards
       else
         match
-          Layout.compute_at ~base:0 ~pmem_bytes:span ~block_size:c.block_size
-            ~ring_slots:c.ring_slots
+          Layout.compute_flight ~flight_slots:c.flight_slots ~base:0 ~pmem_bytes:span
+            ~block_size:c.block_size ~ring_slots:c.ring_slots
         with
         | _ -> Ok c
         | exception Invalid_argument _ ->
@@ -82,6 +87,7 @@ module Config = struct
       clean_threshold = c.clean_threshold;
       alloc_policy = c.alloc_policy;
       commit_pipeline = c.commit_pipeline;
+      flight_slots = c.flight_slots;
     }
 end
 
@@ -138,6 +144,7 @@ let ok_exn = function Ok v -> v | Error e -> raise (to_exn e)
    drain will commit; [ticket] is the caller-visible durability token. *)
 type ticket = {
   t_owner : t;
+  tk_id : int; (* durable-notification ticket id, named by flight records *)
   tk_blocks : int;
   sealed_at : float;
   mutable durable : bool;
@@ -161,6 +168,7 @@ and t = {
   ring_slots : int; (* per shard — the conservative batch-capacity bound *)
   ack_to_durable : Histogram.t; (* commit_async return -> batch drain, ns *)
   group : group; (* the standing batch — the only mutable facade state *)
+  forensics : Forensics.t option ref; (* dossier built at recover *)
 }
 
 (* Mutable group-committer state, split out so the handle record itself
@@ -170,6 +178,10 @@ and group = {
   pending_blocks : (int, unit) Hashtbl.t; (* blocks written by pending txns *)
   mutable pending_slots : int; (* ring slots the pending batch has staged *)
   mutable batch_deadline : float; (* drain due time once pending <> [] *)
+  mutable next_ticket : int; (* ticket ids issued, = next id *)
+  mutable batches : int; (* drains that committed at least one txn *)
+  mutable pending_high_water : int; (* peak batch population *)
+  drains_by_cause : (string, int) Hashtbl.t; (* cause name -> drains *)
 }
 
 let of_shard ~disk ~clock ~metrics ~window_ns ~max_batch shard =
@@ -186,7 +198,9 @@ let of_shard ~disk ~clock ~metrics ~window_ns ~max_batch shard =
     ack_to_durable = Histogram.create ();
     group =
       { pending = []; pending_blocks = Hashtbl.create 64; pending_slots = 0;
-        batch_deadline = 0.0 };
+        batch_deadline = 0.0; next_ticket = 0; batches = 0; pending_high_water = 0;
+        drains_by_cause = Hashtbl.create 8 };
+    forensics = ref None;
   }
 
 let format ~config ~pmem ~disk ~clock ~metrics =
@@ -204,10 +218,30 @@ let format ~config ~pmem ~disk ~clock ~metrics =
       | exception Invalid_argument m -> Error (Invalid_config m))
 
 let recover ~pmem ~disk ~clock ~metrics =
-  match Shard.recover ~pmem ~disk ~clock ~metrics with
+  match Shard.recover ~pmem ~disk ~clock ~metrics () with
   | shard ->
-      Ok (of_shard ~disk ~clock ~metrics ~window_ns:0 ~max_batch:32 shard)
+      let t = of_shard ~disk ~clock ~metrics ~window_ns:0 ~max_batch:32 shard in
+      (* Post-crash dossier: reconcile recorder-acked commits against the
+         just-recovered cache state.  The probe answers "does this block
+         now carry the payload sealed into the dead batch?" by CRC. *)
+      let scans = Shard.flight_scans shard in
+      if Array.exists (fun (recs, torn) -> recs <> [] || torn > 0) scans then begin
+        let probe ~shard:_ ~blkno ~crc =
+          match Shard.peek shard blkno with
+          | Some data ->
+              Int32.to_int (Tinca_util.Codec.crc32 data ~pos:0 ~len:(Bytes.length data))
+              land 0xFFFF_FFFF
+              = crc
+          | None -> false
+        in
+        t.forensics := Some (Forensics.build ~shards:scans ~probe ())
+      end;
+      Ok t
   | exception Cache.Corrupt m -> Error (Unformatted m)
+
+(* The dossier from the last {!recover} on this handle, when the media
+   carried a flight ring with any surviving or torn records. *)
+let last_crash_report t = !(t.forensics)
 
 (* --- introspection ------------------------------------------------------ *)
 
@@ -216,7 +250,19 @@ let nshards t = Shard.nshards t.shard
 let block_size t = t.block_size
 let layouts t = Array.to_list (Array.map Cache.layout (Shard.caches t.shard))
 let stats t = Shard.stats t.shard
-let stats_kv t = Shard.stats_kv (Shard.stats t.shard)
+
+let stats_kv t =
+  Shard.stats_kv (Shard.stats t.shard)
+  @ [
+      ("group_batches", string_of_int t.group.batches);
+      ("group_pending", string_of_int (List.length t.group.pending));
+      ("group_pending_high_water", string_of_int t.group.pending_high_water);
+    ]
+  @ (Hashtbl.fold (fun k v acc -> (("group_drains_" ^ k), string_of_int v) :: acc)
+       t.group.drains_by_cause []
+    |> List.sort compare)
+
+let region_wear t = Shard.region_wear t.shard
 let check_invariants t = Shard.check_invariants t.shard
 let txn_size_histogram t = t.txn_sizes
 
@@ -235,7 +281,7 @@ let peak_cow_blocks t =
    tickets durable and fire their callbacks.  The batch is atomic under
    crash (commit_group's contract), so the spec's crash candidates are
    exactly {without the batch, with the whole batch}. *)
-let flush_pending t =
+let flush_pending ?(cause = Flight.Barrier) t =
   match t.group.pending with
   | [] -> ()
   | newest_first ->
@@ -243,12 +289,17 @@ let flush_pending t =
       t.group.pending <- [];
       Hashtbl.reset t.group.pending_blocks;
       t.group.pending_slots <- 0;
+      t.group.batches <- t.group.batches + 1;
+      (let key = Flight.cause_name cause in
+       Hashtbl.replace t.group.drains_by_cause key
+         (1 + Option.value ~default:0 (Hashtbl.find_opt t.group.drains_by_cause key)));
       Trace.begin_span ~clock:t.clock "tinca.group_commit";
       Trace.attr "txns" (string_of_int (List.length batch));
+      Trace.attr "cause" (Flight.cause_name cause);
       Trace.attr "blocks"
         (string_of_int (List.fold_left (fun acc p -> acc + p.ticket.tk_blocks) 0 batch));
       let sf0 = Metrics.get t.metrics "pmem.sfence" in
-      Shard.commit_group t.shard (List.map (fun p -> p.ph) batch);
+      Shard.commit_group ~cause t.shard (List.map (fun p -> p.ph) batch);
       Trace.attr "sfences" (string_of_int (Metrics.get t.metrics "pmem.sfence" - sf0));
       Trace.end_span "tinca.group_commit";
       let now = Clock.now_ns t.clock in
@@ -262,11 +313,23 @@ let flush_pending t =
           let cbs = List.rev tk.callbacks in
           tk.callbacks <- [];
           List.iter (fun f -> f ()) cbs)
-        batch
+        batch;
+      (* Close the per-ticket spans opened at seal time, newest first so
+         the B/E nesting stays balanced (they all share one track). *)
+      List.iter (fun _ -> Trace.end_span "tinca.commit_async") newest_first
 
 let group_pending t = List.length t.group.pending
-let group_flush = flush_pending
+let group_flush t = flush_pending ~cause:Flight.Barrier t
 let group_ack_to_durable t = t.ack_to_durable
+
+(* Group-committer runtime counters (satellite of ISSUE 9): drained
+   batches, drains split by cause, and the peak standing-batch size. *)
+let group_batches t = t.group.batches
+let group_pending_high_water t = t.group.pending_high_water
+
+let group_drains_by_cause t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.group.drains_by_cause []
+  |> List.sort compare
 
 (* --- the paper's primitives -------------------------------------------- *)
 
@@ -293,7 +356,17 @@ let write txn blkno data =
 
 let durable_ticket t n =
   let now = Clock.now_ns t.clock in
-  { t_owner = t; tk_blocks = n; sealed_at = now; durable = true; durable_at = now; callbacks = [] }
+  let id = t.group.next_ticket in
+  t.group.next_ticket <- id + 1;
+  {
+    t_owner = t;
+    tk_id = id;
+    tk_blocks = n;
+    sealed_at = now;
+    durable = true;
+    durable_at = now;
+    callbacks = [];
+  }
 
 (* [commit_async] — validate and volatilely seal NOW (later reads see
    the transaction immediately), return a ticket, and let the group
@@ -317,21 +390,28 @@ let commit_async txn =
       (* Synchronous fast path (and empty transactions, which carry no
          durability obligation): drain any standing batch first so
          commit order equals durability order. *)
-      flush_pending t;
+      flush_pending ~cause:Flight.Sync t;
       match Shard.Txn.commit txn.h with
       | () ->
           Histogram.add t.txn_sizes (float_of_int n);
           Ok (durable_ticket t n)
       | exception Cache.Transaction_too_large -> Error Transaction_too_large)
     else begin
-      if Clock.now_ns t.clock >= t.group.batch_deadline then flush_pending t;
-      if List.exists (fun b -> Hashtbl.mem t.group.pending_blocks b) txn.blocks then flush_pending t;
-      if t.group.pending_slots + n > t.ring_slots then flush_pending t;
+      if Clock.now_ns t.clock >= t.group.batch_deadline then
+        flush_pending ~cause:Flight.Deadline t;
+      if List.exists (fun b -> Hashtbl.mem t.group.pending_blocks b) txn.blocks then
+        flush_pending ~cause:Flight.Conflict t;
+      if t.group.pending_slots + n > t.ring_slots then
+        flush_pending ~cause:Flight.Ring_pressure t;
+      let id = t.group.next_ticket in
+      Shard.Txn.set_flight_ticket txn.h id;
       match Shard.Txn.seal txn.h with
       | () ->
+          t.group.next_ticket <- id + 1;
           let tk =
             {
               t_owner = t;
+              tk_id = id;
               tk_blocks = n;
               sealed_at = Clock.now_ns t.clock;
               durable = false;
@@ -339,22 +419,29 @@ let commit_async txn =
               callbacks = [];
             }
           in
+          Trace.begin_span ~clock:t.clock "tinca.commit_async";
+          Trace.attr "ticket" (string_of_int id);
+          Trace.attr "blocks" (string_of_int n);
           if t.group.pending = [] then
             t.group.batch_deadline <- Clock.now_ns t.clock +. float_of_int t.window_ns;
           t.group.pending <- { ph = txn.h; ticket = tk; pblocks = txn.blocks } :: t.group.pending;
           List.iter (fun b -> Hashtbl.replace t.group.pending_blocks b ()) txn.blocks;
           t.group.pending_slots <- t.group.pending_slots + n;
-          if List.length t.group.pending >= t.max_batch then flush_pending t;
+          t.group.pending_high_water <-
+            max t.group.pending_high_water (List.length t.group.pending);
+          if List.length t.group.pending >= t.max_batch then
+            flush_pending ~cause:Flight.Max_batch t;
           Ok tk
       | exception Cache.Transaction_too_large -> Error Transaction_too_large
     end
   end
 
 let await tk =
-  if not tk.durable then flush_pending tk.t_owner;
+  if not tk.durable then flush_pending ~cause:Flight.Await tk.t_owner;
   Ok ()
 
 let ticket_durable tk = tk.durable
+let ticket_id tk = tk.tk_id
 
 let ticket_latency_ns tk = if tk.durable then Some (tk.durable_at -. tk.sealed_at) else None
 
@@ -383,7 +470,7 @@ let write_direct t blkno data =
   else begin
     (* The direct write commits synchronously through the shard's ring;
        drain the batch first so its staged slots stay newest. *)
-    flush_pending t;
+    flush_pending ~cause:Flight.Sync t;
     match Shard.write_direct t.shard blkno data with
     | () ->
         Histogram.add t.txn_sizes 1.0;
@@ -392,5 +479,5 @@ let write_direct t blkno data =
   end
 
 let sync t =
-  flush_pending t;
+  flush_pending ~cause:Flight.Sync t;
   Array.iter Cache.flush_all (Shard.caches t.shard)

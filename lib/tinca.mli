@@ -44,6 +44,11 @@ module Config : sig
     group_max_batch : int;
         (** drain the pending batch at this many transactions even if
             the window has not elapsed; >= 1, default 32 *)
+    flight_slots : int;
+        (** NVM flight-recorder ring capacity {e per shard} in 64 B
+            records; 0 (default) disables the recorder and keeps the
+            historical media layout byte for byte.  See
+            {!last_crash_report}. *)
   }
 
   val default : t
@@ -127,6 +132,13 @@ val recover :
   metrics:Tinca_sim.Metrics.t ->
   (t, error) result
 
+(** The post-crash forensic dossier built by the last {!recover} on this
+    handle: the flight recorder's surviving records reconstructed into a
+    batch ledger, a Chrome-trace timeline and an acked-vs-survived
+    reconciliation ({!Tinca_obs.Forensics}).  [None] when the media
+    carried no flight ring (or no records survived). *)
+val last_crash_report : t -> Tinca_obs.Forensics.t option
+
 (** {1 The paper's primitives} *)
 
 type txn
@@ -178,6 +190,11 @@ val on_durable : ticket -> (unit -> unit) -> unit
 
 val ticket_durable : ticket -> bool
 
+(** The durable-notification ticket id (issued in seal order; this is
+    the id the flight recorder's [Txn_seal] records carry, so a crash
+    dossier can name exactly which acked tickets died). *)
+val ticket_id : ticket -> int
+
 (** Sealed-to-durable latency of a drained ticket in simulated ns
     ([None] while still pending). *)
 val ticket_latency_ns : ticket -> float option
@@ -193,6 +210,18 @@ val group_flush : t -> unit
 (** Ack-to-durable latency distribution (ns) across all drained
     tickets — the [fig_group] p50/p99 source. *)
 val group_ack_to_durable : t -> Tinca_util.Histogram.t
+
+(** {2 Group-committer runtime stats}
+
+    Batches drained, drains split by cause (deadline / conflict /
+    ring-pressure / max-batch / await / sync / barrier — the same cause
+    vocabulary the flight recorder stamps on [Batch_drain] records) and
+    the standing batch's population high-water mark.  All three also
+    appear in {!stats_kv} as [group_*] keys. *)
+
+val group_batches : t -> int
+val group_drains_by_cause : t -> (string * int) list
+val group_pending_high_water : t -> int
 
 (** [tinca_abort]. *)
 val abort : txn -> (unit, error) result
@@ -221,7 +250,14 @@ val shard : t -> Tinca_core.Shard.t
 val layouts : t -> Tinca_core.Layout.t list
 
 val stats : t -> Tinca_core.Shard.stats
+
+(** {!Tinca_core.Shard.stats_kv} plus the group-committer [group_*]
+    keys (batches, standing/peak batch sizes, drains by cause). *)
 val stats_kv : t -> (string * string) list
+
+(** Region-attributed NVM wear ({!Tinca_core.Shard.region_wear}):
+    [(region, total line write-backs, max on one line)]. *)
+val region_wear : t -> (string * int * int) list
 val write_hit_rate : t -> float
 val peak_cow_blocks : t -> int
 

@@ -89,7 +89,7 @@ let torture ~seed ~ncommits ~crash_at ~survival ~survival_seed =
   | exception Pmem.Crash_point ->
       Pmem.crash ~seed:survival_seed ~survival env.pmem;
       let recovered =
-        Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+        Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
       in
       Cache.check_invariants recovered;
       let ok_old = matches recovered env.disk oracle in
@@ -148,7 +148,7 @@ let test_crash_before_any_txn () =
   in
   Pmem.crash ~seed:5 ~survival:0.0 env.pmem;
   let recovered =
-    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
   in
   Cache.check_invariants recovered;
   Alcotest.(check int) "empty cache" 0 (Cache.cached_blocks recovered)
@@ -164,7 +164,7 @@ let test_recovery_preserves_committed () =
   Cache.Txn.commit h;
   Pmem.crash ~seed:5 ~survival:0.0 env.pmem;
   let recovered =
-    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
   in
   Cache.check_invariants recovered;
   Alcotest.(check char) "block 1" 'a' (Bytes.get (Cache.read recovered 1) 0);
@@ -180,7 +180,7 @@ let test_recovered_dirty_blocks_still_written_back () =
   Cache.Txn.commit h;
   Pmem.crash ~seed:6 ~survival:0.0 env.pmem;
   let recovered =
-    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
   in
   (* The dirty bit must survive recovery so the block eventually reaches
      the disk. *)
@@ -198,12 +198,12 @@ let test_double_recovery_idempotent () =
   Pmem.set_crash_countdown env.pmem (Some 10);
   (try Cache.Txn.commit h with Pmem.Crash_point -> ());
   Pmem.crash ~seed:7 ~survival:0.5 env.pmem;
-  let r1 = Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics in
+  let r1 = Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics () in
   Cache.check_invariants r1;
   let state1 = List.init universe (fun b -> Cache.peek r1 b |> Option.map (fun d -> Bytes.get d 0)) in
   (* Crash again with nothing dirty; recover again: same state. *)
   Pmem.crash ~seed:8 ~survival:0.0 env.pmem;
-  let r2 = Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics in
+  let r2 = Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics () in
   Cache.check_invariants r2;
   let state2 = List.init universe (fun b -> Cache.peek r2 b |> Option.map (fun d -> Bytes.get d 0)) in
   Alcotest.(check bool) "idempotent" true (state1 = state2)
@@ -212,7 +212,7 @@ let test_recover_unformatted_rejected () =
   let env = mk_env () in
   Alcotest.(check bool) "bad magic" true
     (try
-       ignore (Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics);
+       ignore (Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ());
        false
      with Cache.Corrupt _ -> true)
 

@@ -109,7 +109,7 @@ let contains_substring msg fragment =
 
 let recover_fails_with env fragment =
   match
-    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
   with
   | exception Cache.Corrupt msg ->
       Alcotest.(check bool)

@@ -245,7 +245,7 @@ let contains msg fragment =
    Failure — callers can tell bad media from arbitrary internal errors. *)
 let test_corrupt_is_typed () =
   let pmem, disk, clock, metrics = mk_env () in
-  match Cache.recover ~pmem ~disk ~clock ~metrics with
+  match Cache.recover ~pmem ~disk ~clock ~metrics () with
   | exception Cache.Corrupt msg ->
       Alcotest.(check bool) "diagnostic names the cache" true (contains msg "Tinca")
   | exception e -> Alcotest.failf "expected Cache.Corrupt, got %s" (Printexc.to_string e)

@@ -87,7 +87,7 @@ let run_session ~seed ~steps =
       (* quiescent crash + recovery: everything committed must persist *)
       Pmem.crash ~seed:(step * 7) ~survival:0.5 w.pmem;
       w.cache <-
-        Cache.recover ~pmem:w.pmem ~disk:w.disk ~clock:w.clock ~metrics:w.metrics
+        Cache.recover ~pmem:w.pmem ~disk:w.disk ~clock:w.clock ~metrics:w.metrics ()
     end;
     if step mod 50 = 0 then check w (Printf.sprintf "seed %d step %d" seed step)
   done;

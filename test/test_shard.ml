@@ -141,7 +141,7 @@ let test_multi_shard_commit () =
   Alcotest.(check int) "nshards" 4 st.Shard.nshards;
   (* The seal retired, so a clean re-attach finds the same state. *)
   let s2 =
-    Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+    Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
   in
   Shard.check_invariants s2;
   Alcotest.(check int) "recovered shard count" 4 (Shard.nshards s2);
@@ -189,7 +189,7 @@ let xtorture ~crash_at ~survival =
   | exception Pmem.Crash_point ->
       Pmem.crash ~seed:((crash_at * 31) + int_of_float (survival *. 4.0)) ~survival env.pmem;
       let s2 =
-        Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+        Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
       in
       Shard.check_invariants s2;
       let va = Bytes.get (Shard.read s2 a) 0 and vb = Bytes.get (Shard.read s2 b) 0 in

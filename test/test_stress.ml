@@ -34,7 +34,7 @@ let test_ring_wraps_many_times () =
   done;
   Cache.check_invariants cache;
   Pmem.crash ~seed:1 ~survival:0.5 pmem;
-  let r = Cache.recover ~pmem ~disk ~clock ~metrics in
+  let r = Cache.recover ~pmem ~disk ~clock ~metrics () in
   Cache.check_invariants r
 
 let test_interleaved_handles () =

@@ -499,7 +499,7 @@ let test_flusher_marks_clean_persistently () =
      flush_all does not rewrite them. *)
   Pmem.crash ~seed:5 ~survival:0.0 env.pmem;
   let recovered =
-    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics
+    Cache.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics ()
   in
   Cache.check_invariants recovered;
   let before = Disk.writes env.disk in
