@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard check-group check-flight ci bench bench-json experiments examples clean
+.PHONY: all build test lint lint-update check-crash check-crash-budget check-spec check-psan check-obs check-shard check-group check-page check-flight ci bench bench-json experiments examples clean
 
 all: build
 
@@ -79,6 +79,18 @@ check-group:
 	dune exec bin/tinca_check.exe -- --psan --commits 120 --universe 160 --group-window 400000
 	dune exec bin/tinca_bench.exe -- check-group
 
+# Commit-scheme gate (ISSUE 10): tinca_bench's five-property verdict —
+# paging's fence budget flat in transaction size (2 sfences/commit at
+# any size), the commit_scheme/commit_pipeline config shim media- and
+# cost-identical on the logging path, a budgeted paging crash-space
+# sweep and lockstep spec refinement at N=1 and N=4, and a psan-clean
+# paging workload — then a sanitizer pass and a denser standalone
+# paging sweep through tinca_check.
+check-page:
+	dune exec bin/tinca_bench.exe -- check-page
+	dune exec bin/tinca_check.exe -- --psan --scheme paging --commits 150 --universe 160 --shards 2
+	dune exec bin/tinca_check.exe -- -q --scheme paging --commits 3 --cap 32 --stride 3
+
 # Flight-recorder gate (ISSUE 9): tinca_bench's five-property verdict —
 # zero added fences and <= 2% aggregate commit overhead on
 # fig_commit_batch's stream, a recorder-on group workload psan-clean at
@@ -95,11 +107,11 @@ check-flight:
 # Everything a gate should run: build, unit tests, the lint, the budgeted
 # crash-space sweep, the spec-refinement gate, the sanitizer pass, the
 # observability gate, the commit-protocol benchmark artifact, the
-# sharding gate and the group-commit gate.  (The crash sweep used to
+# sharding gate, the group-commit gate and the commit-scheme gate.  (The crash sweep used to
 # hide as an unnamed recipe line here — as a prerequisite it is now
 # visible in `make -n ci`, runnable on its own, and not silently
 # skipped when a prerequisite fails earlier in the recipe.)
-ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard check-group check-flight
+ci: build test lint check-crash-budget check-spec check-psan check-obs bench-json check-shard check-group check-page check-flight
 
 # Full paper reproduction + Bechamel micro-benchmarks.
 bench:

@@ -60,9 +60,12 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ csv $ ids)
 
-(* Shared --shards plumbing: only the tinca stack is sharded; asking for
-   N > 1 on any other stack is a usage error, not something to ignore. *)
-let stack_with_shards ?(flight_slots = 0) ~stack_name ~shards env =
+(* Shared --shards/--scheme plumbing: only the tinca stack is sharded or
+   scheme-selectable; asking for either on any other stack is a usage
+   error, not something to ignore.  The tinca config is built through
+   the one Config.of_args funnel (ISSUE 10 satellite), so every
+   subcommand accepts and validates the same flags the same way. *)
+let stack_with_shards ?(flight_slots = 0) ?(scheme = "logging") ~stack_name ~shards env =
   let module Stacks = Tinca_stacks.Stacks in
   if shards < 1 then begin
     Printf.eprintf "--shards must be >= 1\n";
@@ -76,12 +79,17 @@ let stack_with_shards ?(flight_slots = 0) ~stack_name ~shards env =
     Printf.eprintf "--flight-slots %d: only the tinca stack has a flight recorder\n" flight_slots;
     exit 1
   end;
+  if scheme <> "logging" && stack_name <> "tinca" then begin
+    Printf.eprintf "--scheme %s: only the tinca stack has selectable commit schemes\n" scheme;
+    exit 1
+  end;
   match stack_name with
-  | "tinca" ->
-      Stacks.tinca
-        ~config:
-          { Tinca.Config.default with Tinca.Config.nshards = shards; Tinca.Config.flight_slots }
-        env
+  | "tinca" -> (
+      match Tinca.Config.of_args ~scheme ~shards ~flight_slots () with
+      | Ok config -> Stacks.tinca ~config env
+      | Error m ->
+          Printf.eprintf "tinca_bench: %s\n" m;
+          exit 1)
   | "classic" -> Stacks.classic ~journal_len:4096 env
   | "ubj" -> Stacks.ubj env
   | "nojournal" -> Stacks.nojournal env
@@ -93,9 +101,18 @@ let shards_arg =
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
          ~doc:"Shard count for the tinca stack (per-shard rings + striped commit scheduler).")
 
+let scheme_arg =
+  Arg.(value & opt string "logging"
+       & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:
+             "Commit scheme for the tinca stack (ISSUE 10): $(b,logging) (ring pipeline), \
+              $(b,per-block) (logging with per-block fences) or $(b,paging) (COW page remapping \
+              through a persistent indirection table).")
+
 (* `trace` subcommand: replay a block trace (from a file, or synthesized)
    over a chosen stack and report the evaluation metrics. *)
-let run_trace stack_name shards trace_file synth_ops read_pct tech flush_instr trace_out verbose =
+let run_trace stack_name shards scheme trace_file synth_ops read_pct tech flush_instr trace_out
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -119,7 +136,7 @@ let run_trace stack_name shards trace_file synth_ops read_pct tech flush_instr t
           ~fsync_every:8
   in
   let env = Stacks.make_env ~tech ~flush_instr ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
-  let stack = stack_with_shards ~stack_name ~shards env in
+  let stack = stack_with_shards ~scheme ~stack_name ~shards env in
   let fs =
     Fs.format
       ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
@@ -197,8 +214,8 @@ let trace_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log recovery/commit activity.") in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const run_trace $ stack $ shards_arg $ file $ ops $ read_pct $ tech $ flush_instr $ trace_out
-      $ verbose)
+      const run_trace $ stack $ shards_arg $ scheme_arg $ file $ ops $ read_pct $ tech
+      $ flush_instr $ trace_out $ verbose)
 
 (* `bench-json` subcommand: emit the commit-protocol micro-benchmark and
    trace-replay throughput as a machine-readable artifact for CI. *)
@@ -212,7 +229,8 @@ let bench_json_cmd =
     let t0 = Unix.gettimeofday () in
     let json =
       Tinca_harness.Exp_commit.bench_json
-        ~group_block:Tinca_harness.Exp_group.json_block ()
+        ~group_block:Tinca_harness.Exp_group.json_block
+        ~page_block:Tinca_harness.Exp_page.json_block ()
     in
     let oc = open_out out in
     output_string oc json;
@@ -223,7 +241,7 @@ let bench_json_cmd =
 
 (* `stats` subcommand: run a synthetic workload over a psan-instrumented
    stack and print the /proc/tinca-style health snapshot. *)
-let run_stats stack_name shards flight_slots synth_ops read_pct =
+let run_stats stack_name shards scheme flight_slots synth_ops read_pct =
   let module Stacks = Tinca_stacks.Stacks in
   let module Fs = Tinca_fs.Fs in
   let module Workload = Tinca_workloads.Trace in
@@ -232,7 +250,9 @@ let run_stats stack_name shards flight_slots synth_ops read_pct =
   let module Procfs = Tinca_obs.Procfs in
   let open Tinca_sim in
   let env = Stacks.make_env ~nvm_bytes:(8 * 1024 * 1024) ~disk_blocks:65536 () in
-  let stack, psan = Stacks.instrument (stack_with_shards ~flight_slots ~stack_name ~shards env) in
+  let stack, psan =
+    Stacks.instrument (stack_with_shards ~flight_slots ~scheme ~stack_name ~shards env)
+  in
   let fs =
     Fs.format
       ~config:{ Fs.default_config with journaled = stack_name <> "nojournal" }
@@ -294,11 +314,11 @@ let stats_cmd =
                  the recorder's own media writes show up as the wear.*.flight rows.")
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ stack $ shards_arg $ flight $ ops $ read_pct)
+    Term.(const run_stats $ stack $ shards_arg $ scheme_arg $ flight $ ops $ read_pct)
 
 (* `fio` subcommand: the Fig 7 Fio micro-benchmark on one stack, with a
    configurable shard count for the tinca stack. *)
-let run_fio stack_name shards ops read_pct =
+let run_fio stack_name shards scheme ops read_pct =
   let module Stacks = Tinca_stacks.Stacks in
   let module Fio = Tinca_workloads.Fio in
   let module Runner = Tinca_harness.Runner in
@@ -308,7 +328,7 @@ let run_fio stack_name shards ops read_pct =
   let m =
     Runner.run_local
       ~nvm_bytes:(8 * 1024 * 1024)
-      ~spec:(fun env -> stack_with_shards ~stack_name ~shards env)
+      ~spec:(fun env -> stack_with_shards ~scheme ~stack_name ~shards env)
       ~prealloc:(Fio.prealloc cfg) ~work:(Fio.run cfg) ()
   in
   let cl, dw, iops = Runner.per_write m in
@@ -336,7 +356,8 @@ let fio_cmd =
   let read_pct =
     Arg.(value & opt float 0.5 & info [ "read-pct" ] ~docv:"P" ~doc:"Read fraction in [0,1].")
   in
-  Cmd.v (Cmd.info "fio" ~doc) Term.(const run_fio $ stack $ shards_arg $ ops $ read_pct)
+  Cmd.v (Cmd.info "fio" ~doc)
+    Term.(const run_fio $ stack $ shards_arg $ scheme_arg $ ops $ read_pct)
 
 (* `check-shard` subcommand: the sharding CI gate — the N=1 equivalence
    pin against BENCH_commit.json plus the scaling sanity check. *)
@@ -416,6 +437,33 @@ let check_group_cmd =
                 (0 = sweep only).")
   in
   Cmd.v (Cmd.info "check-group" ~doc) Term.(const run_check_group $ window $ streams)
+
+(* `check-page` subcommand: the commit-scheme ablation CI gate
+   (ISSUE 10) — paging's fence budget flat in transaction size, the
+   commit_scheme/commit_pipeline shim identity, a budgeted paging
+   crash-space sweep and lockstep refinement at N=1/4, psan-clean
+   paging workload. *)
+let run_check_page () =
+  let module Exp_page = Tinca_harness.Exp_page in
+  let module Tabular = Tinca_util.Tabular in
+  let tables, ok = Exp_page.check () in
+  List.iter
+    (fun t ->
+      print_string (Tabular.render t);
+      print_newline ())
+    tables;
+  if not ok then begin
+    Printf.printf "check-page: FAILED\n";
+    exit 1
+  end;
+  Printf.printf "check-page: all checks passed\n"
+
+let check_page_cmd =
+  let doc =
+    "Validate the commit-scheme ablation (paging fence budget, scheme-config shim identity, \
+     budgeted paging crash sweep + lockstep refinement, psan)."
+  in
+  Cmd.v (Cmd.info "check-page" ~doc) Term.(const run_check_page $ const ())
 
 (* `check-obs` subcommand: CI gate for the observability layer.  Runs a
    traced 8-block-commit workload, validates the exported Chrome JSON
@@ -682,4 +730,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; trace_cmd; fio_cmd; bench_json_cmd; stats_cmd; check_obs_cmd;
-            check_shard_cmd; check_group_cmd; check_flight_cmd; forensics_cmd ]))
+            check_shard_cmd; check_group_cmd; check_page_cmd; check_flight_cmd; forensics_cmd ]))

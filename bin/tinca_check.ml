@@ -112,13 +112,24 @@ let run_psan_group ~commits ~seed ~universe ~shards ~window =
   Psan.detach psan;
   n
 
-let run_psan commits seed universe shards group_window =
+let run_psan commits seed universe shards group_window scheme =
   let nbad = ref 0 in
   (* Tinca: full region classification (layout-aware rules active, one
-     layout per shard), including a crash + recovery + second workload
-     phase. *)
+     layout per shard — logging ring regions or paging epoch/table/pool
+     regions, per --scheme), including a crash + recovery + second
+     workload phase. *)
   let env = Stacks.make_env ~seed ~nvm_bytes:(512 * 1024) ~disk_blocks:universe () in
-  let config = { Tinca.Config.default with Tinca.Config.ring_slots = 256; nshards = shards } in
+  let config =
+    match
+      Tinca.Config.of_args
+        ~base:{ Tinca.Config.default with Tinca.Config.ring_slots = 256 }
+        ~scheme ~shards ~nvm_bytes:(512 * 1024) ()
+    with
+    | Ok c -> c
+    | Error m ->
+        Printf.eprintf "tinca_check --psan: %s\n" m;
+        exit 2
+  in
   let stack, psan = Stacks.instrument (Stacks.tinca ~config env) in
   psan_workload ~commits ~universe ~seed stack;
   Pmem.crash ~seed:(seed + 1) env.Stacks.pmem;
@@ -139,7 +150,9 @@ let run_psan commits seed universe shards group_window =
   nbad :=
     !nbad
     + psan_summary
-        (Printf.sprintf "Tinca (commit workload + crash recovery, %d shard%s)" shards
+        (Printf.sprintf "Tinca/%s (commit workload + crash recovery, %d shard%s)"
+           (Tinca.Config.scheme_name (Tinca.Config.effective_scheme config))
+           shards
            (if shards = 1 then "" else "s"))
         psan;
   Psan.detach psan;
@@ -161,9 +174,15 @@ let run_psan commits seed universe shards group_window =
   stack.Stacks.backend.Backend.sync ();
   nbad := !nbad + psan_summary "Flashcache (no journal)" psan;
   Psan.detach psan;
-  (* Async group-commit phase (ISSUE 8), when a window was given. *)
-  if group_window > 0 then
-    nbad := !nbad + run_psan_group ~commits ~seed ~universe ~shards ~window:group_window;
+  (* Async group-commit phase (ISSUE 8), when a window was given.  The
+     group committer is logging-only (validated so), hence skipped under
+     --scheme paging. *)
+  (match Tinca.Config.effective_scheme config with
+  | Tinca.Config.Logging _ when group_window > 0 ->
+      nbad := !nbad + run_psan_group ~commits ~seed ~universe ~shards ~window:group_window
+  | Tinca.Config.Paging _ when group_window > 0 ->
+      Printf.printf "\n(group-commit psan phase skipped: the paging scheme has no group committer)\n"
+  | _ -> ());
   if !nbad = 0 then begin
     Printf.printf "\npsan: no persistence-ordering violations across the three stacks.\n";
     0
@@ -183,20 +202,25 @@ let print_repro ~fails cmds =
     Lockstep.pp_cmds small;
   small
 
-let geom ?(group_window = 0) n =
-  { Lockstep.default_geometry with Lockstep.nshards = n; group_window_ns = group_window }
+let geom ?(group_window = 0) ?(scheme = Lockstep.default_geometry.Lockstep.scheme) n =
+  {
+    Lockstep.default_geometry with
+    Lockstep.nshards = n;
+    group_window_ns = group_window;
+    scheme;
+  }
 
 (* Lockstep equivalence over [seeds] generated sequences per shard
    count, once with synchronous commits and once through the async
    group-commit path (nonzero window, [gen_async] sequences carrying
    mixed acked/unacked transactions).  Returns the failure count (after
    printing shrunk repros). *)
-let lockstep_equiv ~seeds ~len ~awin ~quiet =
+let lockstep_equiv ~seeds ~len ~awin ~quiet ~scheme =
   let bad = ref 0 in
   let pass ~label ~window genf =
     List.iter
       (fun n ->
-        let g = geom ~group_window:window n in
+        let g = geom ~group_window:window ~scheme n in
         let ops = ref 0 and blocks = ref 0 in
         for seed = 1 to seeds do
           let cmds = genf ~seed ~len ~universe:g.Lockstep.universe in
@@ -218,14 +242,18 @@ let lockstep_equiv ~seeds ~len ~awin ~quiet =
       [ 1; 2; 4 ]
   in
   pass ~label:"" ~window:0 Lockstep.gen;
-  pass ~label:" (group)" ~window:awin Lockstep.gen_async;
+  (* The group committer is logging-only; under paging the async pass
+     would be an invalid config. *)
+  (match scheme with
+  | Tinca.Config.Logging _ -> pass ~label:" (group)" ~window:awin Lockstep.gen_async
+  | Tinca.Config.Paging _ -> ());
   !bad
 
 (* Crash-space refinement: every recovered state of every explored
    survival subset must equal the spec (last acknowledged commit, or
    that plus the in-flight commit).  Budgeted by [cap] and [stride];
    coverage is printed, never silently truncated. *)
-let lockstep_crash ~len ~cap ~stride ~awin ~quiet =
+let lockstep_crash ~len ~cap ~stride ~awin ~quiet ~scheme =
   let bad = ref 0 in
   (* Pick the first seed whose sequence carries real commit traffic —
      a commit-free sequence has almost no pmem events to crash — and,
@@ -247,7 +275,7 @@ let lockstep_crash ~len ~cap ~stride ~awin ~quiet =
   let pass ~label ~window genf shard_counts =
     List.iter
       (fun n ->
-        let g = geom ~group_window:window n in
+        let g = geom ~group_window:window ~scheme n in
         let cmds =
           let rec pick seed =
             if seed > 50 then genf ~seed:1 ~len ~universe:g.Lockstep.universe
@@ -288,13 +316,15 @@ let lockstep_crash ~len ~cap ~stride ~awin ~quiet =
   pass ~label:"" ~window:0 Lockstep.gen [ 1; 2; 4 ];
   (* The group sweep runs at N in {1,2}: N=1 covers the single-shard
      batch pivot, N=2 the batched cross-shard seal; N=4 adds cost but no
-     new mechanism (the sync pass already sweeps it). *)
-  pass ~label:" (group)" ~window:awin Lockstep.gen_async [ 1; 2 ];
+     new mechanism (the sync pass already sweeps it).  Logging-only. *)
+  (match scheme with
+  | Tinca.Config.Logging _ -> pass ~label:" (group)" ~window:awin Lockstep.gen_async [ 1; 2 ]
+  | Tinca.Config.Paging _ -> ());
   !bad
 
 (* Self-validation: each planted commit-path mutation must be caught,
    and the shrunk reproducer must stay small (<= 6 commands). *)
-let lockstep_selftest ~awin ~quiet =
+let lockstep_selftest ~awin ~quiet ~scheme =
   let bad = ref 0 in
   let check label found fails cmds =
     match found with
@@ -320,7 +350,7 @@ let lockstep_selftest ~awin ~quiet =
     go 1
   in
   let plain mutate n =
-    let g = geom n in
+    let g = geom ~scheme n in
     let probe cmds =
       match Lockstep.run ~mutate g cmds with
       | Error d -> Some (Format.asprintf "%a" Lockstep.pp_divergence d)
@@ -333,7 +363,8 @@ let lockstep_selftest ~awin ~quiet =
          | Lockstep.Lose_writes -> "Lose_writes"
          | Lockstep.Abort_commits -> "Abort_commits"
          | Lockstep.Skip_seal -> "Skip_seal"
-         | Lockstep.Drop_durable_notify -> "Drop_durable_notify")
+         | Lockstep.Drop_durable_notify -> "Drop_durable_notify"
+         | Lockstep.Torn_swing -> "Torn_swing")
          n)
       (Option.map fst found)
       (fun c -> Result.is_error (Lockstep.run ~mutate g c))
@@ -341,6 +372,40 @@ let lockstep_selftest ~awin ~quiet =
   in
   plain Lockstep.Lose_writes 1;
   plain Lockstep.Abort_commits 2;
+  match scheme with
+  | Tinca.Config.Paging _ ->
+      (* The paging planted fault: a torn 16 B indirection-table swing.
+         Invisible without a crash (the second half lands before any
+         read); the crash sweep must catch the half-swung entry. *)
+      let g = geom ~scheme 1 in
+      let crash_fails c =
+        (Lockstep.crash_refine ~mutate:Lockstep.Torn_swing ~cap:16 ~stride:1 g c)
+          .Check.violations
+        <> []
+      in
+      let probe cmds =
+        let r = Lockstep.crash_refine ~mutate:Lockstep.Torn_swing ~cap:16 ~stride:1 g cmds in
+        match r.Check.violations with
+        | [] -> None
+        | v :: _ -> Some (Format.asprintf "crash sweep: %a" Check.pp_violation v)
+      in
+      let found =
+        let rec go seed =
+          if seed > 20 then None
+          else
+            let cmds = Lockstep.gen ~seed ~len:12 ~universe:g.Lockstep.universe in
+            match Lockstep.run ~mutate:Lockstep.Torn_swing g cmds with
+            | Error _ -> go (seed + 1) (* want the crash sweep, not a plain divergence *)
+            | Ok _ -> ( match probe cmds with Some d -> Some (d, cmds) | None -> go (seed + 1))
+        in
+        go 1
+      in
+      check "planted Torn_swing at N=1 (crash sweep)" (Option.map fst found) crash_fails
+        (match found with Some (_, cmds) -> cmds | None -> [||]);
+      ignore quiet;
+      ignore awin;
+      !bad
+  | Tinca.Config.Logging _ ->
   (* Skip_seal is invisible without a crash (the seal only matters to
      recovery): the plain run must stay clean, and the crash-space sweep
      at N=2 must flag the partial multi-shard commit. *)
@@ -410,7 +475,7 @@ let lockstep_selftest ~awin ~quiet =
   ignore quiet;
   !bad
 
-let run_lockstep seeds len cap stride group_window quiet =
+let run_lockstep seeds len cap stride group_window quiet scheme =
   let t0 = Unix.gettimeofday () in
   (* Window for the async passes: wide in simulated time, so batches
      survive between commands and drains come from Await, same-block
@@ -418,14 +483,15 @@ let run_lockstep seeds len cap stride group_window quiet =
      acked/unacked transactions at every crash point. *)
   let awin = if group_window > 0 then group_window else 1_000_000 in
   let bad =
-    lockstep_equiv ~seeds ~len ~awin ~quiet
-    + lockstep_crash ~len:(min len 14) ~cap ~stride ~awin ~quiet
-    + lockstep_selftest ~awin ~quiet
+    lockstep_equiv ~seeds ~len ~awin ~quiet ~scheme
+    + lockstep_crash ~len:(min len 14) ~cap ~stride ~awin ~quiet ~scheme
+    + lockstep_selftest ~awin ~quiet ~scheme
   in
   Printf.printf "(wall time %.1fs)\n" (Unix.gettimeofday () -. t0);
   if bad = 0 then begin
     Printf.printf
-      "lockstep: refinement holds at N in {1,2,4} and every planted mutation was caught.\n";
+      "lockstep (%s): refinement holds at N in {1,2,4} and every planted mutation was caught.\n"
+      (Tinca.Config.scheme_name scheme);
     0
   end
   else begin
@@ -488,13 +554,24 @@ let run_flight commits seed universe shards from stride quiet =
   end
 
 let run psan lockstep flight commits seed universe ring_slots pmem_kb cap sample_seed from stride
-    shards lockstep_seeds lockstep_len group_window verbose quiet =
+    shards lockstep_seeds lockstep_len group_window scheme_str verbose quiet =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  if psan then run_psan commits seed universe shards group_window
-  else if lockstep then run_lockstep lockstep_seeds lockstep_len cap stride group_window quiet
+  (* One funnel for the scheme choice: parse + validate the combination
+     through Config.of_args so every mode rejects the same combos the
+     facade would. *)
+  let scheme =
+    match Tinca.Config.of_args ~scheme:scheme_str ~shards () with
+    | Ok c -> Tinca.Config.effective_scheme c
+    | Error m ->
+        Printf.eprintf "tinca_check: %s\n" m;
+        exit 2
+  in
+  if psan then run_psan commits seed universe shards group_window scheme_str
+  else if lockstep then
+    run_lockstep lockstep_seeds lockstep_len cap stride group_window quiet scheme
   else if flight then run_flight commits seed universe shards from stride quiet
   else
   let cfg =
@@ -509,6 +586,7 @@ let run psan lockstep flight commits seed universe ring_slots pmem_kb cap sample
       first_event = from;
       stride;
       nshards = shards;
+      scheme;
     }
   in
   let progress =
@@ -651,11 +729,21 @@ let cmd =
                 --lockstep it overrides the window of the async (group) passes, which otherwise \
                 default to 1000000 ns.")
   in
+  let scheme =
+    Arg.(value & opt string "logging"
+         & info [ "scheme" ] ~docv:"SCHEME"
+             ~doc:
+               "Commit scheme under test (ISSUE 10): $(b,logging) (the ring pipeline), \
+                $(b,per-block) (logging with per-block fences) or $(b,paging) (COW page \
+                remapping through a persistent indirection table).  Honoured by the crash-space \
+                sweep, --psan and --lockstep; --flight is a group-commit scenario and stays on \
+                the logging scheme.")
+  in
   let info = Cmd.info "tinca_check" ~doc in
   Cmd.v info
     Term.(
       const run $ psan $ lockstep $ flight $ commits $ seed $ universe $ ring_slots $ pmem_kb
       $ cap $ sample_seed $ from $ stride $ shards $ lockstep_seeds $ lockstep_len $ group_window
-      $ verbose $ quiet)
+      $ scheme $ verbose $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,9 +23,10 @@
    final report instead of truncating silently.
 
    Every explored state must pass three gates:
-   1. Shard.recover succeeds (with [nshards = 1] this is the plain
-      single-cache recovery behind a shard directory);
-   2. Shard.check_invariants holds on the recovered shards (per-cache
+   1. Tinca.recover succeeds — the facade discriminates the commit
+      scheme (logging ring vs. paging indirection table) from the media
+      magic, so the same sweep covers both schemes;
+   2. Tinca.check_invariants holds on the recovered engine (per-cache
       audit plus: the cross-shard seal must be clear);
    3. the prefix-consistency oracle: the recovered logical state
       (cache overlaying disk, full block content) equals the state as of
@@ -44,8 +45,6 @@
 open Tinca_sim
 module Pmem = Tinca_pmem.Pmem
 module Disk = Tinca_blockdev.Disk
-module Cache = Tinca_core.Cache
-module Shard = Tinca_core.Shard
 
 let log_src = Logs.Src.create "tinca.check" ~doc:"Tinca crash-space model checker"
 
@@ -62,6 +61,7 @@ type config = {
   first_event : int;  (** first crash point (1-based), for sub-range sweeps *)
   stride : int;  (** explore every [stride]-th crash point *)
   nshards : int;  (** shards the device is partitioned into *)
+  scheme : Tinca.Config.scheme;  (** commit scheme the sweep drives *)
 }
 
 let default_config =
@@ -76,6 +76,7 @@ let default_config =
     first_event = 1;
     stride = 1;
     nshards = 1;
+    scheme = Tinca.Config.Logging Tinca.Batched;
   }
 
 type violation = {
@@ -106,7 +107,7 @@ type env = { pmem : Pmem.t; disk : Disk.t; clock : Clock.t; metrics : Metrics.t 
    The default driver below is the original fill-byte workload with the
    prefix-consistency oracle; Lockstep supplies a command-sequence
    workload whose judge is full spec refinement. *)
-type driver = { fresh : env -> (unit -> unit) * (Shard.t -> (unit, string) result) }
+type driver = { fresh : env -> (unit -> unit) * (Tinca.t -> (unit, string) result) }
 
 let mk_env cfg =
   let clock = Clock.create () in
@@ -119,7 +120,14 @@ let mk_env cfg =
   in
   { pmem; disk; clock; metrics }
 
-let cache_config cfg = { Cache.default_config with ring_slots = cfg.ring_slots }
+let tinca_config cfg =
+  {
+    Tinca.Config.default with
+    Tinca.Config.nvm_bytes = cfg.pmem_bytes;
+    ring_slots = cfg.ring_slots;
+    nshards = cfg.nshards;
+    commit_scheme = cfg.scheme;
+  }
 
 (* The workload of test_crash.ml: [ncommits] transactions of 1..4 blocks
    with repeated block choices (exercising COW write hits) and occasional
@@ -127,28 +135,29 @@ let cache_config cfg = { Cache.default_config with ring_slots = cfg.ring_slots }
    last acknowledged committed write; [pending] holds the in-flight
    transaction's writes (folded into [oracle] only once commit returns,
    i.e. once the transaction is acknowledged). *)
-let run_workload cfg shard oracle pending =
+let run_workload cfg tc oracle pending =
   let rng = Tinca_util.Rng.create cfg.seed in
   for _txn = 1 to cfg.ncommits do
     let n = 1 + Tinca_util.Rng.int rng 4 in
-    let h = Shard.Txn.init shard in
+    let h = Tinca.init_txn tc in
     Hashtbl.reset pending;
     for _ = 1 to n do
       let blk = Tinca_util.Rng.int rng cfg.universe in
       let v = Char.chr (Tinca_util.Rng.int rng 256) in
-      Shard.Txn.add h blk (Bytes.make 4096 v);
+      Tinca.ok_exn (Tinca.write h blk (Bytes.make 4096 v));
       Hashtbl.replace pending blk v
     done;
     if Tinca_util.Rng.chance rng 0.3 then
-      ignore (Shard.read shard (Tinca_util.Rng.int rng cfg.universe));
-    Shard.Txn.commit h;
+      ignore (Tinca.read tc (Tinca_util.Rng.int rng cfg.universe));
+    Tinca.ok_exn (Tinca.commit h);
     Hashtbl.iter (fun blk v -> Hashtbl.replace oracle blk v) pending;
     Hashtbl.reset pending
   done
 
-let mk_shard cfg env =
-  Shard.format ~nshards:cfg.nshards ~config:(cache_config cfg) ~pmem:env.pmem ~disk:env.disk
-    ~clock:env.clock ~metrics:env.metrics
+let mk_tinca cfg env =
+  Tinca.ok_exn
+    (Tinca.format ~config:(tinca_config cfg) ~pmem:env.pmem ~disk:env.disk ~clock:env.clock
+       ~metrics:env.metrics)
 
 (* Events of a crash-free run, so the sweep covers the whole span.
    [fresh] formats the media before we start counting, matching the
@@ -165,23 +174,23 @@ let total_events driver cfg =
 (* Logical content of [blk] after recovery: cache version if cached, else
    the disk's.  Full 4 KB compared, so a torn data block that recovery
    wrongly exposes is caught even when its first byte happens to match. *)
-let logical_block shard disk blk =
-  match Shard.peek shard blk with Some data -> data | None -> Disk.read_block disk blk
+let logical_block tc disk blk =
+  match Tinca.peek tc blk with Some data -> data | None -> Disk.read_block disk blk
 
-let first_mismatch shard disk universe expect_of_blk =
+let first_mismatch tc disk universe expect_of_blk =
   let bad = ref None in
   let blk = ref 0 in
   while !bad = None && !blk < universe do
     let expect = expect_of_blk !blk in
-    let data = logical_block shard disk !blk in
+    let data = logical_block tc disk !blk in
     (try Bytes.iter (fun c -> if c <> expect then raise Exit) data
      with Exit -> bad := Some (!blk, expect, data));
     incr blk
   done;
   !bad
 
-let matches shard disk universe table =
-  first_mismatch shard disk universe (fun blk ->
+let matches tc disk universe table =
+  first_mismatch tc disk universe (fun blk ->
       match Hashtbl.find_opt table blk with Some v -> v | None -> '\000')
   = None
 
@@ -220,18 +229,20 @@ let default_driver cfg =
   {
     fresh =
       (fun env ->
-        let shard = mk_shard cfg env in
+        let tc = mk_tinca cfg env in
         let oracle = Hashtbl.create 64 and pending = Hashtbl.create 8 in
-        ( (fun () -> run_workload cfg shard oracle pending),
+        ( (fun () -> run_workload cfg tc oracle pending),
           prefix_judge env cfg oracle pending ));
   }
 
-(* Run the three gates on the current (post-crash) medium. *)
+(* Run the three gates on the current (post-crash) medium.  Recovery goes
+   through the facade, which sniffs the scheme from the media magic. *)
 let check_state env judge =
-  match Shard.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics () with
+  match Tinca.recover ~pmem:env.pmem ~disk:env.disk ~clock:env.clock ~metrics:env.metrics with
   | exception e -> Error (Printf.sprintf "recovery raised %s" (Printexc.to_string e))
-  | recovered -> (
-      match Shard.check_invariants recovered with
+  | Error e -> Error (Printf.sprintf "recovery failed: %s" (Tinca.error_message e))
+  | Ok recovered -> (
+      match Tinca.check_invariants recovered with
       | exception e -> Error (Printf.sprintf "invariant audit raised %s" (Printexc.to_string e))
       | () -> judge recovered)
 

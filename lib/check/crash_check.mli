@@ -10,8 +10,8 @@
     identical images by digest, and runs recovery plus two oracles on
     each:
 
-    - {!Tinca_core.Shard.check_invariants} on the recovered shards
-      (per-cache audit plus the cross-shard seal);
+    - {!Tinca.check_invariants} on the recovered engine (per-cache audit
+      plus the cross-shard seal);
     - prefix consistency: the recovered logical state equals the state
       as of the last acknowledged commit, or that state with the
       in-flight commit fully applied (full 4 KB block compare) — never a
@@ -22,6 +22,11 @@
     between per-shard Head advances and on either side of the
     cross-shard seal, and the prefix oracle doubles as the all-or-
     nothing check for multi-shard transactions.
+
+    The workload drives the {!Tinca} facade and recovery goes through
+    {!Tinca.recover}, which discriminates the commit scheme from the
+    media magic — so setting {!config.scheme} to [Paging] sweeps the
+    paging engine's indirection-table protocol with the same oracles.
 
     When the subset count 2^d at a crash point exceeds [mask_cap], the
     checker falls back to a seeded sample (always containing the
@@ -40,10 +45,12 @@ type config = {
   first_event : int;  (** first crash point (1-based), for sub-range sweeps *)
   stride : int;  (** explore every [stride]-th crash point *)
   nshards : int;  (** shards the device is partitioned into *)
+  scheme : Tinca.Config.scheme;  (** commit scheme the sweep drives *)
 }
 
 (** seed 2024, 6 commits, universe 48, 160 KB NVM, 64 ring slots,
-    mask cap 256, full sweep (first_event 1, stride 1), 1 shard. *)
+    mask cap 256, full sweep (first_event 1, stride 1), 1 shard,
+    logging scheme. *)
 val default_config : config
 
 (** The simulated world one sweep iteration lives in; geometry comes
@@ -58,10 +65,10 @@ type env = {
 (** A pluggable workload + oracle pair.  [fresh env] formats the media
     (so crash points fall inside the workload only) and returns the
     workload thunk together with the judge run on every recovered
-    shard (after {!Tinca_core.Shard.check_invariants}).  The judge's
-    [Error] message becomes the violation text. *)
+    facade (after {!Tinca.check_invariants}).  The judge's [Error]
+    message becomes the violation text. *)
 type driver = {
-  fresh : env -> (unit -> unit) * (Tinca_core.Shard.t -> (unit, string) result);
+  fresh : env -> (unit -> unit) * (Tinca.t -> (unit, string) result);
 }
 
 (** The original deterministic fill-byte workload with the

@@ -46,12 +46,20 @@ type geometry = {
   nshards : int;
   universe : int;
   group_window_ns : int;
+  scheme : Tinca.Config.scheme;
 }
 
 let default_geometry =
-  { nvm_kb = 160; ring_slots = 64; nshards = 1; universe = 48; group_window_ns = 0 }
+  {
+    nvm_kb = 160;
+    ring_slots = 64;
+    nshards = 1;
+    universe = 48;
+    group_window_ns = 0;
+    scheme = Tinca.Config.Logging Tinca.Batched;
+  }
 
-type mutation = Lose_writes | Abort_commits | Skip_seal | Drop_durable_notify
+type mutation = Lose_writes | Abort_commits | Skip_seal | Drop_durable_notify | Torn_swing
 
 type divergence = { step : int; cmd : cmd; reason : string }
 
@@ -169,6 +177,7 @@ let tinca_config g =
     ring_slots = g.ring_slots;
     nshards = g.nshards;
     group_window_ns = g.group_window_ns;
+    commit_scheme = g.scheme;
   }
 
 let mk_tinca g (env : Check.env) =
@@ -184,6 +193,9 @@ let with_fault mutate f =
   | Some Drop_durable_notify ->
       Shard.set_fault (Some `Drop_durable_notify);
       Fun.protect ~finally:(fun () -> Shard.set_fault None) f
+  | Some Torn_swing ->
+      Tinca_core.Paging.set_fault (Some `Torn_swing);
+      Fun.protect ~finally:(fun () -> Tinca_core.Paging.set_fault None) f
   | _ -> f ()
 
 (* --- the lockstep executor ----------------------------------------------- *)
@@ -510,7 +522,7 @@ let crash_driver g cmds =
         let workload () = Array.iter exec cmds in
         let judge recovered =
           let logical blk =
-            match Shard.peek recovered blk with
+            match Tinca.peek recovered blk with
             | Some data -> data
             | None -> Disk.read_block env.Check.disk blk
           in
@@ -562,6 +574,7 @@ let crash_refine ?mutate ?(cap = 48) ?(stride = 1) ?progress g cmds =
       nshards = g.nshards;
       mask_cap = cap;
       stride;
+      scheme = g.scheme;
     }
   in
   Check.explore ?progress ~driver:(crash_driver g cmds) cfg

@@ -60,6 +60,10 @@ type geometry = {
   group_window_ns : int;
       (** [Tinca.Config.group_window_ns] for the facade under test;
           0 (the default) = synchronous commits only *)
+  scheme : Tinca.Config.scheme;
+      (** commit scheme of the facade under test; default
+          [Logging Batched].  The spec is scheme-agnostic, so the same
+          command sequences refine both engines. *)
 }
 
 val default_geometry : geometry
@@ -77,8 +81,12 @@ val default_geometry : geometry
     durability — the lost-ack bug, likewise observable only through
     {!crash_refine} (with [group_window_ns > 0]): a crash after the
     drain revokes transactions whose awaiters were told they are
-    durable. *)
-type mutation = Lose_writes | Abort_commits | Skip_seal | Drop_durable_notify
+    durable.  [Torn_swing] splits the paging scheme's 16 B
+    indirection-table entry swing into two 8 B halves with the first
+    made durable alone (via {!Tinca_core.Paging.set_fault}) — observable
+    only through {!crash_refine} with a [Paging] geometry: recovery must
+    detect the half-swung entry, not trust it. *)
+type mutation = Lose_writes | Abort_commits | Skip_seal | Drop_durable_notify | Torn_swing
 
 type divergence = { step : int;  (** 0-based command index *) cmd : cmd; reason : string }
 

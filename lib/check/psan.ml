@@ -36,12 +36,27 @@
 module Pmem = Tinca_pmem.Pmem
 module Layout = Tinca_core.Layout
 module Entry = Tinca_core.Entry
+module Paging = Tinca_core.Paging
 
 let log_src = Logs.Src.create "tinca.psan" ~doc:"Tinca persistence sanitizer"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type region = Superblock | Head | Tail | Ring | Flight | Entries | Data | Other
+(* [Epoch]/[Table]/[Pool] are the paging scheme's region classes
+   (ISSUE 10): the per-shard epoch word (the commit point), the
+   indirection table (16 B atomic swings only) and the COW page pool. *)
+type region =
+  | Superblock
+  | Head
+  | Tail
+  | Ring
+  | Flight
+  | Entries
+  | Data
+  | Epoch
+  | Table
+  | Pool
+  | Other
 
 let region_name = function
   | Superblock -> "superblock"
@@ -51,6 +66,9 @@ let region_name = function
   | Flight -> "flight"
   | Entries -> "entries"
   | Data -> "data"
+  | Epoch -> "epoch"
+  | Table -> "table"
+  | Pool -> "pool"
   | Other -> "other"
 
 type rule = Missing_flush | Unfenced_ack | Torn_metadata | Persist_race
@@ -92,6 +110,8 @@ type t = {
   pmem : Pmem.t;
   layouts : Layout.t list;
       (* one per shard on a partitioned device; [] = layoutless *)
+  page_layouts : Paging.region_layout list;
+      (* one per shard of a paging device (ISSUE 10); [] = not paging *)
   strict : bool;
   max_violations : int;
   (* Lines that are not durable; absent = Clean/Persisted. *)
@@ -129,25 +149,47 @@ let layout_of_line t idx =
   let off = idx * Pmem.line_size in
   List.find_opt (fun l -> off >= l.Layout.super_off && off < l.Layout.total_bytes) t.layouts
 
+(* [off] must lie inside [r]'s span. *)
+let page_region_in (r : Paging.region_layout) off =
+  if off < r.Paging.r_base + 64 then Superblock
+  else if off >= r.Paging.r_epoch_off && off < r.Paging.r_epoch_off + 64 then Epoch
+  else if off >= r.Paging.r_flight_off && off < r.Paging.r_flight_off + r.Paging.r_flight_bytes
+  then Flight
+  else if off >= r.Paging.r_table_off && off < r.Paging.r_table_off + r.Paging.r_table_bytes then
+    Table
+  else if off >= r.Paging.r_pool_off && off < r.Paging.r_pool_off + r.Paging.r_pool_bytes then
+    Pool
+  else Other (* alignment padding *)
+
+let page_layout_of_line t idx =
+  let off = idx * Pmem.line_size in
+  List.find_opt
+    (fun (r : Paging.region_layout) -> off >= r.Paging.r_base && off < r.Paging.r_base + r.Paging.r_total)
+    t.page_layouts
+
 let region_of_line t idx =
-  match t.layouts with
-  | [] -> Data (* no layout: every line is payload; only rules 2+5 apply *)
+  match (t.layouts, t.page_layouts) with
+  | [], [] -> Data (* no layout: every line is payload; only rules 2+5 apply *)
   | _ -> (
       match layout_of_line t idx with
       | Some l -> region_in l (idx * Pmem.line_size)
-      | None ->
-          (* Between/outside the shard layouts: the shard directory, the
-             cross-shard seal (updated only with fenced atomic writes)
-             and inter-shard padding. *)
-          Other)
+      | None -> (
+          match page_layout_of_line t idx with
+          | Some r -> page_region_in r (idx * Pmem.line_size)
+          | None ->
+              (* Between/outside the shard layouts: the shard directory,
+                 the cross-shard seal (updated only with fenced atomic
+                 writes) and inter-shard padding. *)
+              Other))
 
-(* Regions whose torn or racing update breaks recovery.  Data blocks are
-   exempt: they are protected by COW, not by atomicity.  Flight records
-   are exempt too: each is self-delimited by a sequence/CRC word, so a
-   torn record is detected at scan time rather than trusted. *)
+(* Regions whose torn or racing update breaks recovery.  Data blocks and
+   page-pool frames are exempt: they are protected by COW, not by
+   atomicity.  Flight records are exempt too: each is self-delimited by
+   a sequence/CRC word, so a torn record is detected at scan time rather
+   than trusted. *)
 let is_metadata = function
-  | Superblock | Head | Tail | Ring | Entries -> true
-  | Flight | Data | Other -> false
+  | Superblock | Head | Tail | Ring | Entries | Epoch | Table -> true
+  | Flight | Data | Pool | Other -> false
 
 let lines_of_range off len =
   let first = off / Pmem.line_size in
@@ -184,6 +226,14 @@ let note_store t ~off ~len ~atomic =
       violate t Torn_metadata idx
         "non-atomic %d-byte store into the %s region (protocol requires atomic_write8/16)" len
         (region_name region);
+    (* Paging swing discipline: an indirection-table entry is 16 B and
+       must change in ONE atomic swing — an 8 B atomic into the table is
+       half an entry, exactly the durably-torn frankenstein the recovery
+       validator must otherwise catch. *)
+    if atomic && len < 16 && region = Table then
+      violate t Torn_metadata idx
+        "%d-byte atomic into the table region (an indirection entry swings as one 16 B atomic)"
+        len;
     (match Hashtbl.find_opt t.volatile idx with
     | Some Flush_pending ->
         if is_metadata region then
@@ -251,9 +301,45 @@ let note_sfence t =
                     violate t Missing_flush idx
                       "commit-point (Tail) fence while a flight-recorder line is still dirty \
                        (record was never folded into a protocol fence)"
-              | Superblock | Tail | Other -> ())
+              | Superblock | Tail | Other | Epoch | Table | Pool -> ())
           t.volatile)
     t.layouts;
+  (* Paging analogue: an epoch-word fence is the commit point of a
+     paging shard.  Every staged table swing and COW page the epoch bump
+     publishes must have been made durable by the earlier stage fence —
+     a table line still volatile here (or a pool line sharing this
+     fence) means the commit point can surface without its mapping or
+     its data.  A {e dirty} pool line is exempt: clean fills are
+     legitimately volatile (they map nothing). *)
+  List.iter
+    (fun (r : Paging.region_layout) ->
+      let epoch_line = r.Paging.r_epoch_off / Pmem.line_size in
+      if Hashtbl.find_opt t.volatile epoch_line = Some Flush_pending then
+        Hashtbl.iter
+          (fun idx state ->
+            let off = idx * Pmem.line_size in
+            if idx <> epoch_line && off >= r.Paging.r_base && off < r.Paging.r_base + r.Paging.r_total
+            then
+              match page_region_in r off with
+              | Table ->
+                  violate t Missing_flush idx
+                    "commit-point (epoch) fence while a table line is still %s"
+                    (match state with
+                    | Dirty -> "dirty (never flushed)"
+                    | Flush_pending -> "flush-pending (same fence as the epoch word)")
+              | Pool ->
+                  if state = Flush_pending then
+                    violate t Missing_flush idx
+                      "commit-point (epoch) fence while a pool line is flush-pending (staged page \
+                       shares the commit fence)"
+              | Flight ->
+                  if state = Dirty then
+                    violate t Missing_flush idx
+                      "commit-point (epoch) fence while a flight-recorder line is still dirty \
+                       (record was never folded into a protocol fence)"
+              | Superblock | Head | Tail | Ring | Entries | Data | Epoch | Other -> ())
+          t.volatile)
+    t.page_layouts;
   (* All pending lines reach the medium: Flush_pending -> Persisted. *)
   let persisted =
     Hashtbl.fold (fun idx s acc -> if s = Flush_pending then idx :: acc else acc) t.volatile []
@@ -283,11 +369,13 @@ let on_event t ev =
 
 (* --- public API ---------------------------------------------------------- *)
 
-let attach ?(strict = false) ?(max_violations = 1000) ?layout ?(layouts = []) pmem =
+let attach ?(strict = false) ?(max_violations = 1000) ?layout ?(layouts = []) ?(page_layouts = [])
+    pmem =
   let t =
     {
       pmem;
       layouts = (match layout with Some l -> l :: layouts | None -> layouts);
+      page_layouts;
       strict;
       max_violations;
       volatile = Hashtbl.create 256;

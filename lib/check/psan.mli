@@ -36,7 +36,18 @@
     detected at scan time), but subject to the recorder-discipline check
     — a record line still {e dirty} at a commit-point fence means the
     recorder failed to fold it into a protocol fence. *)
-type region = Superblock | Head | Tail | Ring | Flight | Entries | Data | Other
+type region =
+  | Superblock
+  | Head
+  | Tail
+  | Ring
+  | Flight
+  | Entries
+  | Data
+  | Epoch  (** paging shard's persistent epoch word (commit point) *)
+  | Table  (** paging indirection table: 16 B entries, atomic-swing only *)
+  | Pool  (** paging COW page pool: bulk data, no atomicity requirement *)
+  | Other
 type rule = Missing_flush | Unfenced_ack | Torn_metadata | Persist_race
 
 type violation = {
@@ -74,6 +85,12 @@ type report = {
     classifier and with it the missing-flush, torn-metadata and
     persist-race rules — each applied per layout, with lines outside
     every layout (shard directory, cross-shard seal, padding) exempt.
+    [page_layouts] does the same for paging shards
+    ({!Tinca_core.Paging.region_layouts}): the table region rejects
+    sub-16 B atomic swings (torn-metadata) and an epoch-word fence — the
+    paging commit point — demands every table line durable and flags
+    flush-pending pool lines sharing the fence (dirty pool lines are
+    exempt: clean fills are legitimately volatile).
     [strict] raises {!Violation} on the first violation; default
     records and logs a warning.  [max_violations] (default 1000) bounds
     the kept list; the overflow is counted in
@@ -83,6 +100,7 @@ val attach :
   ?max_violations:int ->
   ?layout:Tinca_core.Layout.t ->
   ?layouts:Tinca_core.Layout.t list ->
+  ?page_layouts:Tinca_core.Paging.region_layout list ->
   Tinca_pmem.Pmem.t ->
   t
 

@@ -159,11 +159,12 @@ let trace_throughput () =
 
 (* The CI benchmark artifact: commit-protocol cost for every (pipeline,
    flush instruction, transaction size) point, the async group-commit
-   sweep ([group_block], injected by the caller — usually
-   [Exp_group.json_block] — because Exp_group sits above this module),
-   plus end-to-end trace-replay throughput per stack so a regression
-   anywhere in the write path shows up in the JSON diff. *)
-let bench_json ~group_block () =
+   sweep and the logging-vs-paging scheme ablation ([group_block] /
+   [page_block], injected by the caller — usually [Exp_group.json_block]
+   and [Exp_page.json_block] — because those modules sit above this
+   one), plus end-to-end trace-replay throughput per stack so a
+   regression anywhere in the write path shows up in the JSON diff. *)
+let bench_json ~group_block ~page_block () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"commit\": [\n";
   let first = ref true in
@@ -192,6 +193,8 @@ let bench_json ~group_block () =
     [ Cache.Per_block; Cache.Batched ];
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf (group_block ());
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf (page_block ());
   Buffer.add_string buf ",\n  \"trace_replay\": [\n";
   let tput = trace_throughput () in
   List.iteri

@@ -38,8 +38,8 @@ val micro :
     batched group commit. *)
 val fig_commit_batch : unit -> Tinca_util.Tabular.t list
 
-(** Render the same sweep (plus [group_block ()] — normally
-    [Exp_group.json_block], injected to avoid a dependency cycle — and
-    trace-replay throughput per stack) as a JSON document: the
-    [BENCH_commit.json] CI artifact. *)
-val bench_json : group_block:(unit -> string) -> unit -> string
+(** Render the same sweep (plus [group_block ()] and [page_block ()] —
+    normally [Exp_group.json_block] and [Exp_page.json_block], injected
+    to avoid dependency cycles — and trace-replay throughput per stack)
+    as a JSON document: the [BENCH_commit.json] CI artifact. *)
+val bench_json : group_block:(unit -> string) -> page_block:(unit -> string) -> unit -> string

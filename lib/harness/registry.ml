@@ -152,6 +152,12 @@ let all : experiment list =
       run = Exp_shard.fig_shard;
     };
     {
+      id = "fig_log_vs_page";
+      title = "Commit-scheme ablation: logging ring vs COW paging";
+      paper_ref = "extension (ISSUE 10: Commit_scheme interface, crossover by write size)";
+      run = Exp_page.fig_log_vs_page;
+    };
+    {
       id = "fig_group";
       title = "Async group commit: fences amortized over the standing batch";
       paper_ref = "extension (ISSUE 8: one durability sequence per ~K-txn batch)";

@@ -23,7 +23,9 @@ type t = {
   backend : Backend.t;
   layouts : Tinca_core.Layout.t list;
       (* NVM space partition, one layout per shard, for the persistence
-         sanitizer's region classifier (Tinca stacks only). *)
+         sanitizer's region classifier (Tinca logging stacks only). *)
+  page_layouts : Tinca_core.Paging.region_layout list;
+      (* Same, for Tinca paging stacks: epoch/table/pool regions. *)
   cache_write_hit_rate : unit -> float;
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;
   peak_cow_blocks : unit -> int;
@@ -73,14 +75,16 @@ let tinca_of_facade env tc =
     }
   in
   Trace.name_track env.clock "tinca";
+  let paging = Tinca.scheme_name tc = "paging" in
   {
     label = "Tinca";
     env;
     backend = with_latency env backend;
-    layouts = Tinca.layouts tc;
+    layouts = (if paging then [] else Tinca.layouts tc);
+    page_layouts = (if paging then Tinca.page_layouts tc else []);
     cache_write_hit_rate = (fun () -> Tinca.write_hit_rate tc);
     txn_size_histogram = (fun () -> Some (Tinca.txn_size_histogram tc));
-    peak_cow_blocks = (fun () -> Tinca.peak_cow_blocks tc);
+    peak_cow_blocks = (fun () -> if paging then 0 else Tinca.peak_cow_blocks tc);
     proc_stats =
       (fun () ->
         Tinca.stats_kv tc
@@ -146,6 +150,7 @@ let classic_of ~label env fc journal =
     env;
     backend = with_latency env backend;
     layouts = [];
+    page_layouts = [];
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -216,6 +221,7 @@ let ubj ?(ubj_config = Tinca_ubj.Ubj.default_config) env =
     env;
     backend = with_latency env backend;
     layouts = [];
+    page_layouts = [];
     cache_write_hit_rate = (fun () -> 0.0);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -247,6 +253,7 @@ let nojournal ?(fc_config = Fc.default_config) env =
     env;
     backend = with_latency env backend;
     layouts = [];
+    page_layouts = [];
     cache_write_hit_rate = (fun () -> Fc.write_hit_rate fc);
     txn_size_histogram = (fun () -> None);
     peak_cow_blocks = (fun () -> 0);
@@ -260,7 +267,8 @@ module Psan = Tinca_checker.Psan
 
 let instrument ?strict ?max_violations stack =
   let psan =
-    Psan.attach ?strict ?max_violations ~layouts:stack.layouts stack.env.pmem
+    Psan.attach ?strict ?max_violations ~layouts:stack.layouts ~page_layouts:stack.page_layouts
+      stack.env.pmem
   in
   (* Bracket every acknowledged commit so psan can enforce unfenced-ack:
      at commit return, all lines the transaction stored must be durable.

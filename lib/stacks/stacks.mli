@@ -37,8 +37,11 @@ type t = {
   backend : Tinca_fs.Backend.t;
   layouts : Tinca_core.Layout.t list;
       (** NVM space partition for the persistence sanitizer's region
-          classifier — one layout per shard (Tinca stacks only; [[]]
-          elsewhere). *)
+          classifier — one layout per shard (Tinca logging stacks only;
+          [[]] elsewhere). *)
+  page_layouts : Tinca_core.Paging.region_layout list;
+      (** Same for Tinca paging stacks: one epoch/table/pool region
+          layout per shard; [[]] elsewhere. *)
   cache_write_hit_rate : unit -> float;
       (** Write hit rate of the cache layer (paper Fig 12c). *)
   txn_size_histogram : unit -> Tinca_util.Histogram.t option;

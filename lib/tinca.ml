@@ -3,6 +3,8 @@ module Disk = Tinca_blockdev.Disk
 module Cache = Tinca_core.Cache
 module Shard = Tinca_core.Shard
 module Layout = Tinca_core.Layout
+module Paging = Tinca_core.Paging
+module Commit_scheme = Tinca_core.Commit_scheme
 module Histogram = Tinca_util.Histogram
 module Trace = Tinca_obs.Trace
 module Flight = Tinca_obs.Flight
@@ -14,12 +16,32 @@ type write_policy = Cache.mode = Write_back | Write_through
 type pipeline = Cache.pipeline = Per_block | Batched
 
 module Config = struct
+  (* Paging-scheme knobs (the logging pipeline's knobs — ring_slots,
+     commit_pipeline — do not apply to paging, and vice versa). *)
+  type page_cfg = {
+    page_headroom : int;
+        (* free page frames admission keeps in reserve beyond a
+           transaction's own demand; >= 0 *)
+  }
+
+  let default_page_cfg = { page_headroom = 0 }
+
+  (* The one validated commit-scheme choice (ISSUE 10): the logging
+     ring pipeline in either of its variants, or COW paging through a
+     persistent indirection table. *)
+  type scheme = Logging of pipeline | Paging of page_cfg
+
   type t = {
     nvm_bytes : int;
     block_size : int;
     ring_slots : int;
     nshards : int;
+    commit_scheme : scheme;
     commit_pipeline : pipeline;
+        (* DEPRECATED shim: pre-ISSUE-10 spelling of [Logging pipeline].
+           When [commit_scheme] is left at its default, a non-default
+           [commit_pipeline] still selects the pipeline; [validate]
+           normalizes the two fields to agree. *)
     flush_instr : Latency.flush_instr;
     write_policy : write_policy;
     clean_threshold : float;
@@ -35,6 +57,7 @@ module Config = struct
       block_size = Cache.default_config.Cache.block_size;
       ring_slots = Cache.default_config.Cache.ring_slots;
       nshards = 1;
+      commit_scheme = Logging Cache.default_config.Cache.commit_pipeline;
       commit_pipeline = Cache.default_config.Cache.commit_pipeline;
       flush_instr = Latency.Clflush;
       write_policy = Cache.default_config.Cache.mode;
@@ -45,8 +68,18 @@ module Config = struct
       flight_slots = 0;
     }
 
+  (* Resolve the deprecation shim: an untouched [commit_scheme] defers
+     to [commit_pipeline] (the old spelling); anything else wins. *)
+  let effective_scheme c =
+    match c.commit_scheme with
+    | Logging Batched when c.commit_pipeline <> Batched -> Logging c.commit_pipeline
+    | s -> s
+
+  let scheme_name = function Logging _ -> "logging" | Paging _ -> "paging"
+
   let validate c =
     let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    let scheme = effective_scheme c in
     if c.block_size <= 0 || c.block_size mod 64 <> 0 then
       err "block_size %d must be a positive multiple of 64" c.block_size
     else if c.ring_slots <= 0 then err "ring_slots %d must be positive" c.ring_slots
@@ -60,24 +93,40 @@ module Config = struct
     else if c.group_max_batch < 1 then
       err "group_max_batch %d must be positive" c.group_max_batch
     else if c.flight_slots < 0 then err "flight_slots %d must be non-negative" c.flight_slots
-    else if c.group_window_ns > 0 && c.commit_pipeline <> Batched then
-      err "group_window_ns requires the Batched commit pipeline"
     else
-      (* Geometry must fit: every shard's span must host the ring plus at
-         least one data block and entry — the same check Layout.compute
-         performs, applied to the tightest shard. *)
-      let span = (c.nvm_bytes - 128) / c.nshards / 64 * 64 in
-      if span < 64 then
-        err "nvm_bytes %d too small for %d shards" c.nvm_bytes c.nshards
-      else
-        match
-          Layout.compute_flight ~flight_slots:c.flight_slots ~base:0 ~pmem_bytes:span
-            ~block_size:c.block_size ~ring_slots:c.ring_slots
-        with
-        | _ -> Ok c
-        | exception Invalid_argument _ ->
-            err "nvm_bytes %d cannot host %d shard(s) of block_size %d with %d ring slots"
-              c.nvm_bytes c.nshards c.block_size c.ring_slots
+      match scheme with
+      | Logging pipeline ->
+          if c.group_window_ns > 0 && pipeline <> Batched then
+            err "group_window_ns requires the Batched commit pipeline"
+          else
+            (* Geometry must fit: every shard's span must host the ring
+               plus at least one data block and entry — the same check
+               Layout.compute performs, applied to the tightest shard. *)
+            let span = (c.nvm_bytes - 128) / c.nshards / 64 * 64 in
+            if span < 64 then err "nvm_bytes %d too small for %d shards" c.nvm_bytes c.nshards
+            else (
+              match
+                Layout.compute_flight ~flight_slots:c.flight_slots ~base:0 ~pmem_bytes:span
+                  ~block_size:c.block_size ~ring_slots:c.ring_slots
+              with
+              | _ -> Ok { c with commit_scheme = scheme; commit_pipeline = pipeline }
+              | exception Invalid_argument _ ->
+                  err "nvm_bytes %d cannot host %d shard(s) of block_size %d with %d ring slots"
+                    c.nvm_bytes c.nshards c.block_size c.ring_slots)
+      | Paging pcfg ->
+          if c.group_window_ns > 0 then
+            err "the paging scheme has no group committer: group_window_ns must be 0"
+          else if c.write_policy <> Write_back then
+            err "the paging scheme is write-back only"
+          else if pcfg.page_headroom < 0 then
+            err "page_headroom %d must be non-negative" pcfg.page_headroom
+          else (
+            match
+              Paging.check_geometry ~nshards:c.nshards ~pmem_bytes:c.nvm_bytes
+                ~block_size:c.block_size ~flight_slots:c.flight_slots
+            with
+            | Ok () -> Ok { c with commit_scheme = scheme }
+            | Error m -> Error m)
 
   let to_cache_config c =
     {
@@ -89,6 +138,51 @@ module Config = struct
       commit_pipeline = c.commit_pipeline;
       flight_slots = c.flight_slots;
     }
+
+  let to_page_config c pcfg =
+    {
+      Paging.block_size = c.block_size;
+      flight_slots = c.flight_slots;
+      headroom = pcfg.page_headroom;
+    }
+
+  (* The one CLI spelling of a scheme, shared by every subcommand. *)
+  let scheme_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "logging" | "log" | "batched" -> Ok (Logging Batched)
+    | "per-block" | "perblock" | "logging-per-block" -> Ok (Logging Per_block)
+    | "paging" | "page" -> Ok (Paging default_page_cfg)
+    | other ->
+        Error
+          (Printf.sprintf
+             "unknown scheme %S (expected logging | per-block | paging)" other)
+
+  (* Central CLI-to-config funnel (ISSUE 10 satellite): every
+     tinca_bench / tinca_check subcommand builds its config through this
+     one helper, so they all accept the same --scheme / --shards /
+     --group-window / --flight-slots vocabulary and reject the same
+     invalid combinations.  Unset arguments keep [base]'s values. *)
+  let of_args ?(base = default) ?scheme ?shards ?group_window ?flight_slots ?ring_slots
+      ?nvm_bytes () =
+    let ( let* ) = Result.bind in
+    let* scheme =
+      match scheme with
+      | None -> Ok (effective_scheme base)
+      | Some s -> scheme_of_string s
+    in
+    let c =
+      {
+        base with
+        commit_scheme = scheme;
+        commit_pipeline = (match scheme with Logging p -> p | Paging _ -> base.commit_pipeline);
+        nshards = Option.value ~default:base.nshards shards;
+        group_window_ns = Option.value ~default:base.group_window_ns group_window;
+        flight_slots = Option.value ~default:base.flight_slots flight_slots;
+        ring_slots = Option.value ~default:base.ring_slots ring_slots;
+        nvm_bytes = Option.value ~default:base.nvm_bytes nvm_bytes;
+      }
+    in
+    validate c
 end
 
 type error =
@@ -155,7 +249,10 @@ type ticket = {
 and pending = { ph : Shard.Txn.handle; ticket : ticket; pblocks : int list }
 
 and t = {
-  shard : Shard.t;
+  engine : Commit_scheme.engine;
+      (* the transparent view: group commit is logging-only, the paging
+         region layouts feed psan *)
+  packed : Commit_scheme.packed; (* the same engine behind the interface *)
   nblocks : int; (* disk blocks, for the range check *)
   block_size : int;
   txn_sizes : Histogram.t;
@@ -184,17 +281,25 @@ and group = {
   drains_by_cause : (string, int) Hashtbl.t; (* cause name -> drains *)
 }
 
-let of_shard ~disk ~clock ~metrics ~window_ns ~max_batch shard =
+let of_engine ~disk ~clock ~metrics ~window_ns ~max_batch engine =
+  let block_size, ring_slots =
+    match engine with
+    | Commit_scheme.Logging_engine shard ->
+        let c = Cache.config (Shard.cache shard 0) in
+        (c.Cache.block_size, c.Cache.ring_slots)
+    | Commit_scheme.Paging_engine pg -> (Paging.block_size pg, max_int)
+  in
   {
-    shard;
+    engine;
+    packed = Commit_scheme.pack engine;
     nblocks = Disk.nblocks disk;
-    block_size = (Cache.config (Shard.cache shard 0)).Cache.block_size;
+    block_size;
     txn_sizes = Histogram.create ();
     clock;
     metrics;
     window_ns;
     max_batch;
-    ring_slots = (Cache.config (Shard.cache shard 0)).Cache.ring_slots;
+    ring_slots;
     ack_to_durable = Histogram.create ();
     group =
       { pending = []; pending_blocks = Hashtbl.create 64; pending_slots = 0;
@@ -208,26 +313,33 @@ let format ~config ~pmem ~disk ~clock ~metrics =
   | Error m -> Error (Invalid_config m)
   | Ok config -> (
       match
-        Shard.format ~nshards:config.Config.nshards
-          ~config:(Config.to_cache_config config) ~pmem ~disk ~clock ~metrics
+        match config.Config.commit_scheme with
+        | Config.Logging _ ->
+            Commit_scheme.Logging_engine
+              (Shard.format ~nshards:config.Config.nshards
+                 ~config:(Config.to_cache_config config) ~pmem ~disk ~clock ~metrics)
+        | Config.Paging pcfg ->
+            Commit_scheme.Paging_engine
+              (Paging.format ~nshards:config.Config.nshards
+                 ~config:(Config.to_page_config config pcfg) ~pmem ~disk ~clock ~metrics)
       with
-      | shard ->
+      | engine ->
           Ok
-            (of_shard ~disk ~clock ~metrics ~window_ns:config.Config.group_window_ns
-               ~max_batch:config.Config.group_max_batch shard)
+            (of_engine ~disk ~clock ~metrics ~window_ns:config.Config.group_window_ns
+               ~max_batch:config.Config.group_max_batch engine)
       | exception Invalid_argument m -> Error (Invalid_config m))
 
 let recover ~pmem ~disk ~clock ~metrics =
-  match Shard.recover ~pmem ~disk ~clock ~metrics () with
-  | shard ->
-      let t = of_shard ~disk ~clock ~metrics ~window_ns:0 ~max_batch:32 shard in
+  match Commit_scheme.recover ~pmem ~disk ~clock ~metrics () with
+  | engine ->
+      let t = of_engine ~disk ~clock ~metrics ~window_ns:0 ~max_batch:32 engine in
       (* Post-crash dossier: reconcile recorder-acked commits against the
          just-recovered cache state.  The probe answers "does this block
          now carry the payload sealed into the dead batch?" by CRC. *)
-      let scans = Shard.flight_scans shard in
+      let scans = Commit_scheme.flight_scans t.packed in
       if Array.exists (fun (recs, torn) -> recs <> [] || torn > 0) scans then begin
         let probe ~shard:_ ~blkno ~crc =
-          match Shard.peek shard blkno with
+          match Commit_scheme.peek t.packed blkno with
           | Some data ->
               Int32.to_int (Tinca_util.Codec.crc32 data ~pos:0 ~len:(Bytes.length data))
               land 0xFFFF_FFFF
@@ -245,33 +357,69 @@ let last_crash_report t = !(t.forensics)
 
 (* --- introspection ------------------------------------------------------ *)
 
-let shard t = t.shard
-let nshards t = Shard.nshards t.shard
+let scheme t =
+  match t.engine with
+  | Commit_scheme.Logging_engine _ -> Config.Logging Batched
+  | Commit_scheme.Paging_engine _ -> Config.Paging Config.default_page_cfg
+
+let scheme_name t = Commit_scheme.scheme_name t.engine
+
+(* Logging-only escape hatches: callers that reach below the commit
+   scheme (per-shard stats, ring layouts, group commit) must be on the
+   logging engine; asking on paging media is a usage error, not a zero. *)
+let log_shard ~who t =
+  match t.engine with
+  | Commit_scheme.Logging_engine shard -> shard
+  | Commit_scheme.Paging_engine _ ->
+      invalid_arg (Printf.sprintf "Tinca.%s: logging-scheme-only (this cache is paging)" who)
+
+let page ~who t =
+  match t.engine with
+  | Commit_scheme.Paging_engine pg -> pg
+  | Commit_scheme.Logging_engine _ ->
+      invalid_arg (Printf.sprintf "Tinca.%s: paging-scheme-only (this cache is logging)" who)
+
+let shard t = log_shard ~who:"shard" t
+let paging t = page ~who:"paging" t
+let nshards t = Commit_scheme.nshards t.packed
 let block_size t = t.block_size
-let layouts t = Array.to_list (Array.map Cache.layout (Shard.caches t.shard))
-let stats t = Shard.stats t.shard
+let layouts t = Array.to_list (Array.map Cache.layout (Shard.caches (log_shard ~who:"layouts" t)))
+let page_layouts t = Paging.region_layouts (page ~who:"page_layouts" t)
+let stats t = Shard.stats (log_shard ~who:"stats" t)
 
+(* Scheme-aware stats: each engine reports its own vocabulary — under
+   paging the logging-only rows (ring high water, role switches) are
+   absent rather than zero-and-misleading, and vice versa.  The group
+   rows describe the facade's committer, which only exists over the
+   logging engine. *)
 let stats_kv t =
-  Shard.stats_kv (Shard.stats t.shard)
-  @ [
-      ("group_batches", string_of_int t.group.batches);
-      ("group_pending", string_of_int (List.length t.group.pending));
-      ("group_pending_high_water", string_of_int t.group.pending_high_water);
-    ]
-  @ (Hashtbl.fold (fun k v acc -> (("group_drains_" ^ k), string_of_int v) :: acc)
-       t.group.drains_by_cause []
-    |> List.sort compare)
+  Commit_scheme.stats_kv t.packed
+  @ (match t.engine with
+    | Commit_scheme.Paging_engine _ -> []
+    | Commit_scheme.Logging_engine _ ->
+        [
+          ("group_batches", string_of_int t.group.batches);
+          ("group_pending", string_of_int (List.length t.group.pending));
+          ("group_pending_high_water", string_of_int t.group.pending_high_water);
+        ]
+        @ (Hashtbl.fold
+             (fun k v acc -> (("group_drains_" ^ k), string_of_int v) :: acc)
+             t.group.drains_by_cause []
+          |> List.sort compare))
 
-let region_wear t = Shard.region_wear t.shard
-let check_invariants t = Shard.check_invariants t.shard
+let region_wear t = Commit_scheme.region_wear t.packed
+let check_invariants t = Commit_scheme.check_invariants t.packed
 let txn_size_histogram t = t.txn_sizes
+let peek t blkno = Commit_scheme.peek t.packed blkno
+let contains t blkno = Commit_scheme.contains t.packed blkno
 
 let write_hit_rate t =
-  let s = Shard.stats t.shard in
-  s.Shard.agg.Cache.write_hit_ratio
+  match t.engine with
+  | Commit_scheme.Logging_engine shard -> (Shard.stats shard).Shard.agg.Cache.write_hit_ratio
+  | Commit_scheme.Paging_engine pg -> Paging.write_hit_rate pg
 
 let peak_cow_blocks t =
-  let s = Shard.stats t.shard in
+  let s = Shard.stats (log_shard ~who:"peak_cow_blocks" t) in
   s.Shard.agg.Cache.peak_cow
 
 (* --- the group committer (async commit, ISSUE 8) ------------------------ *)
@@ -280,7 +428,10 @@ let peak_cow_blocks t =
    transaction acknowledged since the last drain, then mark their
    tickets durable and fire their callbacks.  The batch is atomic under
    crash (commit_group's contract), so the spec's crash candidates are
-   exactly {without the batch, with the whole batch}. *)
+   exactly {without the batch, with the whole batch}.  The batch is only
+   ever populated over the logging engine (validate rejects a group
+   window under paging), so the empty-batch early return keeps this path
+   scheme-safe. *)
 let flush_pending ?(cause = Flight.Barrier) t =
   match t.group.pending with
   | [] -> ()
@@ -299,7 +450,7 @@ let flush_pending ?(cause = Flight.Barrier) t =
       Trace.attr "blocks"
         (string_of_int (List.fold_left (fun acc p -> acc + p.ticket.tk_blocks) 0 batch));
       let sf0 = Metrics.get t.metrics "pmem.sfence" in
-      Shard.commit_group ~cause t.shard (List.map (fun p -> p.ph) batch);
+      Shard.commit_group ~cause (log_shard ~who:"group_commit" t) (List.map (fun p -> p.ph) batch);
       Trace.attr "sfences" (string_of_int (Metrics.get t.metrics "pmem.sfence" - sf0));
       Trace.end_span "tinca.group_commit";
       let now = Clock.now_ns t.clock in
@@ -335,12 +486,24 @@ let group_drains_by_cause t =
 
 type txn = {
   owner : t;
-  h : Shard.Txn.handle;
+  pt : Commit_scheme.packed_txn; (* the scheme-interface handle *)
+  lh : Shard.Txn.handle option;
+      (* the same handle, transparent — present iff logging, for the
+         group committer's seal path (logging-only by validation) *)
   mutable live : bool;
   mutable blocks : int list; (* staged block numbers, for conflict checks *)
 }
 
-let init_txn t = { owner = t; h = Shard.Txn.init t.shard; live = true; blocks = [] }
+let init_txn t =
+  let pt, lh =
+    match t.engine with
+    | Commit_scheme.Logging_engine shard ->
+        let h = Shard.Txn.init shard in
+        (Commit_scheme.Txn ((module Commit_scheme.Logging), h), Some h)
+    | Commit_scheme.Paging_engine pg ->
+        (Commit_scheme.Txn ((module Commit_scheme.Paging_impl), Paging.Txn.init pg), None)
+  in
+  { owner = t; pt; lh; live = true; blocks = [] }
 
 let check_block t blkno = blkno >= 0 && blkno < t.nblocks
 
@@ -351,7 +514,7 @@ let write txn blkno data =
   else if not (check_block txn.owner blkno) then Error (Block_out_of_range blkno)
   else begin
     txn.blocks <- blkno :: txn.blocks;
-    Ok (Shard.Txn.add txn.h blkno data)
+    Ok (Commit_scheme.stage txn.pt blkno data)
   end
 
 let durable_ticket t n =
@@ -379,61 +542,67 @@ let durable_ticket t n =
 
    With [group_window_ns = 0] this IS the synchronous pipeline — the
    sealed path is never entered, so media traffic, fences and the
-   simulated clock match today's [commit] byte for byte. *)
+   simulated clock match today's [commit] byte for byte.  The paging
+   engine always takes the synchronous path (validate rejects a group
+   window under paging). *)
 let commit_async txn =
   if not txn.live then Error Txn_not_running
   else begin
     txn.live <- false;
     let t = txn.owner in
-    let n = Shard.Txn.block_count txn.h in
-    if t.window_ns <= 0 || n = 0 then (
-      (* Synchronous fast path (and empty transactions, which carry no
-         durability obligation): drain any standing batch first so
-         commit order equals durability order. *)
-      flush_pending ~cause:Flight.Sync t;
-      match Shard.Txn.commit txn.h with
-      | () ->
-          Histogram.add t.txn_sizes (float_of_int n);
-          Ok (durable_ticket t n)
-      | exception Cache.Transaction_too_large -> Error Transaction_too_large)
-    else begin
-      if Clock.now_ns t.clock >= t.group.batch_deadline then
-        flush_pending ~cause:Flight.Deadline t;
-      if List.exists (fun b -> Hashtbl.mem t.group.pending_blocks b) txn.blocks then
-        flush_pending ~cause:Flight.Conflict t;
-      if t.group.pending_slots + n > t.ring_slots then
-        flush_pending ~cause:Flight.Ring_pressure t;
-      let id = t.group.next_ticket in
-      Shard.Txn.set_flight_ticket txn.h id;
-      match Shard.Txn.seal txn.h with
-      | () ->
-          t.group.next_ticket <- id + 1;
-          let tk =
-            {
-              t_owner = t;
-              tk_id = id;
-              tk_blocks = n;
-              sealed_at = Clock.now_ns t.clock;
-              durable = false;
-              durable_at = 0.0;
-              callbacks = [];
-            }
-          in
-          Trace.begin_span ~clock:t.clock "tinca.commit_async";
-          Trace.attr "ticket" (string_of_int id);
-          Trace.attr "blocks" (string_of_int n);
-          if t.group.pending = [] then
-            t.group.batch_deadline <- Clock.now_ns t.clock +. float_of_int t.window_ns;
-          t.group.pending <- { ph = txn.h; ticket = tk; pblocks = txn.blocks } :: t.group.pending;
-          List.iter (fun b -> Hashtbl.replace t.group.pending_blocks b ()) txn.blocks;
-          t.group.pending_slots <- t.group.pending_slots + n;
-          t.group.pending_high_water <-
-            max t.group.pending_high_water (List.length t.group.pending);
-          if List.length t.group.pending >= t.max_batch then
-            flush_pending ~cause:Flight.Max_batch t;
-          Ok tk
-      | exception Cache.Transaction_too_large -> Error Transaction_too_large
-    end
+    let n = Commit_scheme.block_count txn.pt in
+    match txn.lh with
+    | _ when t.window_ns <= 0 || n = 0 -> (
+        (* Synchronous fast path (and empty transactions, which carry no
+           durability obligation): drain any standing batch first so
+           commit order equals durability order. *)
+        flush_pending ~cause:Flight.Sync t;
+        match Commit_scheme.publish ~cause:Flight.Sync txn.pt with
+        | () ->
+            Histogram.add t.txn_sizes (float_of_int n);
+            Ok (durable_ticket t n)
+        | exception Cache.Transaction_too_large -> Error Transaction_too_large)
+    | None ->
+        (* Unreachable: window_ns > 0 is validated as logging-only. *)
+        invalid_arg "Tinca.commit_async: group window over a non-logging engine"
+    | Some lh -> begin
+        if Clock.now_ns t.clock >= t.group.batch_deadline then
+          flush_pending ~cause:Flight.Deadline t;
+        if List.exists (fun b -> Hashtbl.mem t.group.pending_blocks b) txn.blocks then
+          flush_pending ~cause:Flight.Conflict t;
+        if t.group.pending_slots + n > t.ring_slots then
+          flush_pending ~cause:Flight.Ring_pressure t;
+        let id = t.group.next_ticket in
+        Shard.Txn.set_flight_ticket lh id;
+        match Shard.Txn.seal lh with
+        | () ->
+            t.group.next_ticket <- id + 1;
+            let tk =
+              {
+                t_owner = t;
+                tk_id = id;
+                tk_blocks = n;
+                sealed_at = Clock.now_ns t.clock;
+                durable = false;
+                durable_at = 0.0;
+                callbacks = [];
+              }
+            in
+            Trace.begin_span ~clock:t.clock "tinca.commit_async";
+            Trace.attr "ticket" (string_of_int id);
+            Trace.attr "blocks" (string_of_int n);
+            if t.group.pending = [] then
+              t.group.batch_deadline <- Clock.now_ns t.clock +. float_of_int t.window_ns;
+            t.group.pending <- { ph = lh; ticket = tk; pblocks = txn.blocks } :: t.group.pending;
+            List.iter (fun b -> Hashtbl.replace t.group.pending_blocks b ()) txn.blocks;
+            t.group.pending_slots <- t.group.pending_slots + n;
+            t.group.pending_high_water <-
+              max t.group.pending_high_water (List.length t.group.pending);
+            if List.length t.group.pending >= t.max_batch then
+              flush_pending ~cause:Flight.Max_batch t;
+            Ok tk
+        | exception Cache.Transaction_too_large -> Error Transaction_too_large
+      end
   end
 
 let await tk =
@@ -456,22 +625,22 @@ let abort txn =
   if not txn.live then Error Txn_not_running
   else begin
     txn.live <- false;
-    Ok (Shard.Txn.abort txn.h)
+    Ok (Commit_scheme.abort txn.pt)
   end
 
 let read t blkno =
   if not (check_block t blkno) then Error (Block_out_of_range blkno)
-  else Ok (Shard.read t.shard blkno)
+  else Ok (Commit_scheme.read t.packed blkno)
 
 let write_direct t blkno data =
   if Bytes.length data <> t.block_size then
     Error (Wrong_block_size { expected = t.block_size; got = Bytes.length data })
   else if not (check_block t blkno) then Error (Block_out_of_range blkno)
   else begin
-    (* The direct write commits synchronously through the shard's ring;
+    (* The direct write commits synchronously through the scheme;
        drain the batch first so its staged slots stay newest. *)
     flush_pending ~cause:Flight.Sync t;
-    match Shard.write_direct t.shard blkno data with
+    match Commit_scheme.write_direct t.packed blkno data with
     | () ->
         Histogram.add t.txn_sizes 1.0;
         Ok ()
@@ -480,4 +649,4 @@ let write_direct t blkno data =
 
 let sync t =
   flush_pending ~cause:Flight.Sync t;
-  Array.iter Cache.flush_all (Shard.caches t.shard)
+  Commit_scheme.flush_all t.packed

@@ -7,8 +7,10 @@
     program against; {!Tinca_core.Cache} keeps its exception-based
     interface underneath (the {!to_exn} bridge maps each [error]
     constructor to exactly one of the old exceptions).  The handle is a
+    {!Tinca_core.Commit_scheme.engine} (ISSUE 10): the logging scheme's
     {!Tinca_core.Shard} — one cache for [nshards = 1], the striped
-    multi-ring layer otherwise. *)
+    multi-ring layer otherwise — or the paging scheme's
+    {!Tinca_core.Paging} indirection-table engine. *)
 
 (** Re-exported from {!Tinca_core.Cache} with a type equation, so both
     APIs share constructors. *)
@@ -17,7 +19,21 @@ type write_policy = Tinca_core.Cache.mode = Write_back | Write_through
 type pipeline = Tinca_core.Cache.pipeline = Per_block | Batched
 
 module Config : sig
-  (** The one labelled configuration record: geometry, commit pipeline,
+  (** Knobs specific to the paging commit scheme. *)
+  type page_cfg = {
+    page_headroom : int;
+        (** free page frames admission keeps in reserve beyond a
+            transaction's own demand; >= 0, default 0 *)
+  }
+
+  val default_page_cfg : page_cfg
+
+  (** The one validated commit-scheme choice (ISSUE 10): the logging
+      ring pipeline (in its [Per_block] or [Batched] variant), or COW
+      paging through a persistent indirection table. *)
+  type scheme = Logging of pipeline | Paging of page_cfg
+
+  (** The one labelled configuration record: geometry, commit scheme,
       flush instruction, shard count and write policy.  Replaces the
       positional/ad-hoc config arguments previously scattered across
       [Cache.format] / [Stacks] / [Runner].
@@ -28,11 +44,16 @@ module Config : sig
   type t = {
     nvm_bytes : int;  (** simulated NVM size, default 8 MiB *)
     block_size : int;  (** positive multiple of 64; default 4096 *)
-    ring_slots : int;  (** ring slots {e per shard}; default 131072 *)
+    ring_slots : int;  (** ring slots {e per shard} (logging); default 131072 *)
     nshards : int;  (** 1 (default) .. {!Tinca_core.Shard.max_shards} *)
-    commit_pipeline : pipeline;  (** default [Batched] *)
+    commit_scheme : scheme;  (** default [Logging Batched] *)
+    commit_pipeline : pipeline;
+        (** DEPRECATED pre-ISSUE-10 spelling of [Logging pipeline]; still
+            honoured when [commit_scheme] is left at its default, and
+            normalized by {!validate} so the two fields agree.  New code
+            sets [commit_scheme]. *)
     flush_instr : Tinca_sim.Latency.flush_instr;  (** default [Clflush] *)
-    write_policy : write_policy;  (** default [Write_back] *)
+    write_policy : write_policy;  (** default [Write_back]; paging is write-back only *)
     clean_threshold : float;  (** in (0, 1]; default 0.7 *)
     alloc_policy : Tinca_cachelib.Free_monitor.policy;  (** default [Lifo] *)
     group_window_ns : int;
@@ -40,7 +61,8 @@ module Config : sig
             {!commit_async} within this many simulated ns share ONE
             durability sequence.  [0] (default) = fully synchronous —
             {!commit_async} degenerates to today's {!commit}, byte for
-            byte.  Requires the [Batched] pipeline when nonzero. *)
+            byte.  Requires the [Batched] logging pipeline when nonzero
+            (the paging scheme has no group committer). *)
     group_max_batch : int;
         (** drain the pending batch at this many transactions even if
             the window has not elapsed; >= 1, default 32 *)
@@ -53,14 +75,48 @@ module Config : sig
 
   val default : t
 
+  (** The scheme {!validate} will resolve [c] to: the deprecation shim
+      defers an untouched [commit_scheme] to [commit_pipeline]. *)
+  val effective_scheme : t -> scheme
+
+  val scheme_name : scheme -> string
+
   (** Full validation, subsuming the ad-hoc geometry checks: block size
-      and ring shape, shard count bounds, threshold range, and that the
-      per-shard span actually hosts a layout.  Returns the config
-      unchanged on success. *)
+      and ring shape, shard count bounds, threshold range, that the
+      per-shard span actually hosts a layout, and the scheme-specific
+      combination rules (paging rejects a group window and
+      write-through).  Returns the config with [commit_scheme] /
+      [commit_pipeline] normalized to agree. *)
   val validate : t -> (t, string) result
 
-  (** The per-shard cache configuration this facade config induces. *)
+  (** The per-shard cache configuration this facade config induces
+      (logging scheme). *)
   val to_cache_config : t -> Tinca_core.Cache.config
+
+  (** The paging-engine configuration this facade config induces. *)
+  val to_page_config : t -> page_cfg -> Tinca_core.Paging.config
+
+  (** CLI spelling of a scheme: ["logging"] (or ["batched"]),
+      ["per-block"], ["paging"]. *)
+  val scheme_of_string : string -> (scheme, string) result
+
+  (** Central CLI-to-config funnel (ISSUE 10 satellite): every
+      tinca_bench / tinca_check subcommand builds its config through
+      this one helper, so they all accept the same [--scheme] /
+      [--shards] / [--group-window] / [--flight-slots] (and
+      [--ring-slots] / NVM-size) vocabulary and reject the same invalid
+      combinations.  Unset arguments keep [base]'s values (default
+      {!default}); the result is {!validate}d. *)
+  val of_args :
+    ?base:t ->
+    ?scheme:string ->
+    ?shards:int ->
+    ?group_window:int ->
+    ?flight_slots:int ->
+    ?ring_slots:int ->
+    ?nvm_bytes:int ->
+    unit ->
+    (t, string) result
 end
 
 type t
@@ -110,8 +166,10 @@ val ok_exn : ('a, error) result -> 'a
 
 (** {1 Construction} *)
 
-(** Validate the config, partition the device into [config.nshards]
-    shards and format them. *)
+(** Validate the config and format the device for the configured commit
+    scheme (logging: partition into [config.nshards] shards and format
+    each ring; paging: directory + per-shard indirection table and page
+    pool). *)
 val format :
   config:Config.t ->
   pmem:Tinca_pmem.Pmem.t ->
@@ -120,10 +178,14 @@ val format :
   metrics:Tinca_sim.Metrics.t ->
   (t, error) result
 
-(** Re-attach after a crash (shard directory, cross-shard roll-forward
-    or rollback, per-shard recovery).  [Error (Unformatted _)] on
-    unformatted or corrupt media.  The group-commit policy is volatile
-    (not recorded on media), so a recovered handle is synchronous
+(** Re-attach after a crash.  The commit scheme is read back from the
+    media's magic (first 8 bytes), so recovery needs no config: logging
+    media runs the shard-directory roll-forward/rollback plus per-shard
+    ring recovery; paging media rebuilds the volatile index from the
+    indirection table (rolling its staged generation back, or forward
+    under a durable seal).  [Error (Unformatted _)] on unformatted or
+    corrupt media.  The group-commit policy is volatile (not recorded on
+    media), so a recovered handle is synchronous
     ([group_window_ns = 0]). *)
 val recover :
   pmem:Tinca_pmem.Pmem.t ->
@@ -170,7 +232,11 @@ val commit : txn -> (unit, error) result
     batch not yet drained) may roll back at a crash; once {!await}
     returns (or {!on_durable} fires) the transaction is durable and
     must survive any later crash.  Batches are atomic: a crash
-    recovers either none or all of a batch's transactions. *)
+    recovers either none or all of a batch's transactions.
+
+    Logging-scheme only when the window is nonzero; under paging (or
+    with the default zero window) {!commit_async} IS the synchronous
+    commit. *)
 
 type ticket
 
@@ -217,7 +283,7 @@ val group_ack_to_durable : t -> Tinca_util.Histogram.t
     ring-pressure / max-batch / await / sync / barrier — the same cause
     vocabulary the flight recorder stamps on [Batch_drain] records) and
     the standing batch's population high-water mark.  All three also
-    appear in {!stats_kv} as [group_*] keys. *)
+    appear in {!stats_kv} as [group_*] keys (logging scheme). *)
 
 val group_batches : t -> int
 val group_drains_by_cause : t -> (string * int) list
@@ -241,24 +307,60 @@ val sync : t -> unit
 val nshards : t -> int
 val block_size : t -> int
 
-(** The underlying sharded layer — escape hatch for the harness, the
-    checkers and tests. *)
+(** The commit scheme this handle runs (constructor only — the payload
+    carries defaults, not the formatted values). *)
+val scheme : t -> Config.scheme
+
+(** ["logging"] or ["paging"]. *)
+val scheme_name : t -> string
+
+(** The cached content of a block without touching the disk or the
+    replacement state — the crash checkers' post-recovery probe.
+    Scheme-independent. *)
+val peek : t -> int -> bytes option
+
+val contains : t -> int -> bool
+
+(** The underlying sharded logging layer — escape hatch for the
+    harness, the checkers and tests.  Raises [Invalid_argument] on a
+    paging handle. *)
 val shard : t -> Tinca_core.Shard.t
 
+(** The underlying paging engine.  Raises [Invalid_argument] on a
+    logging handle. *)
+val paging : t -> Tinca_core.Paging.t
+
 (** One layout per shard, for the persistence sanitizer's region
-    classifier. *)
+    classifier.  Logging scheme only (raises [Invalid_argument] on a
+    paging handle — use {!page_layouts}). *)
 val layouts : t -> Tinca_core.Layout.t list
 
+(** One region layout per shard of a paging handle, for psan's paging
+    region classifier.  Raises [Invalid_argument] on a logging
+    handle. *)
+val page_layouts : t -> Tinca_core.Paging.region_layout list
+
+(** Logging scheme only (raises [Invalid_argument] under paging —
+    paging's surface is {!stats_kv}). *)
 val stats : t -> Tinca_core.Shard.stats
 
-(** {!Tinca_core.Shard.stats_kv} plus the group-committer [group_*]
-    keys (batches, standing/peak batch sizes, drains by cause). *)
+(** Scheme-aware stats (ISSUE 10 satellite): the engine's own rows —
+    logging media reports {!Tinca_core.Shard.stats_kv} plus the
+    group-committer [group_*] keys; paging media reports the paging
+    vocabulary ([table_swings], [pool_occupancy_pct], ...) with the
+    logging-only rows (ring high water, role switches, group counters)
+    {e absent}, not zero. *)
 val stats_kv : t -> (string * string) list
 
-(** Region-attributed NVM wear ({!Tinca_core.Shard.region_wear}):
-    [(region, total line write-backs, max on one line)]. *)
+(** Region-attributed NVM wear: [(region, total line write-backs, max
+    on one line)].  Region names are scheme-specific (logging:
+    superblock/pointers/ring/...; paging: super/epoch/table/pool/...). *)
 val region_wear : t -> (string * int * int) list
+
 val write_hit_rate : t -> float
+
+(** Peak COW chain depth — a logging-pipeline concept (raises
+    [Invalid_argument] under paging). *)
 val peak_cow_blocks : t -> int
 
 (** Cross-shard blocks-per-commit distribution (paper Fig 13). *)
